@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the substrate components.
+
+These time the hot paths of the reproduction — batch embedding, the
+triplet losses + adaptive mining, the retrieval protocol, the dish
+renderer, and the recurrent encoders — so performance regressions in
+the substrate are caught independently of the experiment results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, l2_normalize
+from repro.core import instance_triplet_loss, semantic_triplet_loss
+from repro.data import (ClassTaxonomy, DishRenderer, IngredientLexicon)
+from repro.nn import BiLSTM, Conv2d, LSTM
+from repro.retrieval import RetrievalProtocol
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def test_bench_instance_triplet_loss(benchmark):
+    rng = RNG(0)
+    img = l2_normalize(Tensor(rng.normal(size=(100, 32)),
+                              requires_grad=True))
+    rec = l2_normalize(Tensor(rng.normal(size=(100, 32)),
+                              requires_grad=True))
+
+    def step():
+        out = instance_triplet_loss(img, rec, strategy="adaptive")
+        return out.loss.item()
+
+    benchmark(step)
+
+
+def test_bench_semantic_triplet_loss(benchmark):
+    rng = RNG(1)
+    img = l2_normalize(Tensor(rng.normal(size=(100, 32))))
+    rec = l2_normalize(Tensor(rng.normal(size=(100, 32))))
+    labels = rng.integers(-1, 10, size=100)
+
+    def step():
+        out = semantic_triplet_loss(img, rec, labels, rng=RNG(2))
+        return out.num_triplets
+
+    benchmark(step)
+
+
+def test_bench_loss_backward(benchmark):
+    rng = RNG(2)
+    raw_img = rng.normal(size=(100, 32))
+    raw_rec = rng.normal(size=(100, 32))  # unaligned -> many violations
+
+    def step():
+        img = Tensor(raw_img, requires_grad=True)
+        rec = Tensor(raw_rec, requires_grad=True)
+        out = instance_triplet_loss(l2_normalize(img), l2_normalize(rec))
+        out.loss.backward()
+        return float(img.grad.sum())
+
+    benchmark(step)
+
+
+def test_bench_retrieval_protocol_1k(benchmark):
+    rng = RNG(3)
+    img = rng.normal(size=(2000, 32))
+    rec = img + rng.normal(0, 0.5, size=img.shape)
+    protocol = RetrievalProtocol(bag_size=1000, num_bags=10, seed=0)
+    result = benchmark(protocol.evaluate, img, rec)
+    assert result.medr() >= 1.0
+
+
+def test_bench_dish_renderer(benchmark):
+    lexicon = IngredientLexicon()
+    taxonomy = ClassTaxonomy(16, lexicon)
+    renderer = DishRenderer(size=24)
+    ingredients = [lexicon[name] for name in taxonomy[0].core]
+    rng = RNG(4)
+    image = benchmark(renderer.render, taxonomy[0], ingredients, rng)
+    assert image.shape == (3, 24, 24)
+
+
+def test_bench_bilstm_forward(benchmark):
+    rng = RNG(5)
+    encoder = BiLSTM(16, 16, rng)
+    x = Tensor(rng.normal(size=(50, 10, 16)))
+    lengths = rng.integers(3, 11, size=50)
+    out = benchmark(encoder, x, lengths)
+    assert out.shape == (50, 32)
+
+
+def test_bench_lstm_forward_backward(benchmark):
+    rng = RNG(6)
+    encoder = LSTM(16, 16, rng)
+    raw = rng.normal(size=(50, 8, 16))
+    lengths = np.full(50, 8)
+
+    def step():
+        x = Tensor(raw, requires_grad=True)
+        __, final = encoder(x, lengths)
+        final.sum().backward()
+        return x.grad is not None
+
+    assert benchmark(step)
+
+
+def test_bench_conv2d_forward(benchmark):
+    rng = RNG(7)
+    conv = Conv2d(3, 16, 3, rng, padding=1)
+    images = Tensor(rng.normal(size=(32, 3, 24, 24)))
+    out = benchmark(conv, images)
+    assert out.shape == (32, 16, 24, 24)

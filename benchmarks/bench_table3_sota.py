@@ -1,0 +1,50 @@
+"""Benchmark regenerating Table 3 — the state-of-the-art comparison.
+
+Trains every scenario once, benchmarks the two-setup evaluation and
+asserts the qualitative shape of the paper's Table 3.
+"""
+
+from conftest import medr_mean
+
+from repro.experiments import format_results_table, table3
+
+
+def test_table3_sota_comparison(runner, benchmark):
+    for name in table3.TRAINED_SCENARIOS:
+        runner.scenario(name)
+
+    results = benchmark.pedantic(table3.run, args=(runner,),
+                                 kwargs={"setups": ("1k", "10k")},
+                                 rounds=1, iterations=1)
+    for setup, per_setup in results.items():
+        print()
+        print(format_results_table(
+            list(per_setup.items()), title=f"Table 3 ({setup} setup)"))
+
+    for setup in ("1k", "10k"):
+        r = {name: medr_mean(res) for name, res in results[setup].items()}
+        chance = runner._protocol(setup).bag_size / 2
+
+        # Random sits at chance; every trained model beats it clearly.
+        assert r["random"] > 0.5 * chance
+        for name in ("cca", "adamine_ins", "adamine"):
+            assert r[name] < r["random"]
+
+        # Global alignment (CCA) lags the triplet-based models.
+        assert r["adamine"] < r["cca"]
+        assert r["adamine_ins"] < r["cca"]
+
+        # The full model beats both pairwise baselines.
+        assert r["adamine"] < r["pwc_star"]
+        assert r["adamine"] < r["pwc_pp"]
+
+        # The semantic-only model is far behind the instance models.
+        assert r["adamine_sem"] > r["adamine"]
+        assert r["adamine_sem"] > r["adamine_ins"]
+
+        # Text ablations degrade the full model.
+        assert r["adamine"] < r["adamine_ingr"]
+        assert r["adamine"] < r["adamine_instr"]
+
+        # Adaptive mining is at least as good as plain averaging.
+        assert r["adamine"] <= r["adamine_avg"] * 1.10

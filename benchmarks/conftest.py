@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`ExperimentRunner` is built per session so every scenario is
+trained exactly once and then reused by all table/figure benchmarks.
+Set ``REPRO_BENCH_SCALE=full`` for the larger configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+def pytest_configure(config):
+    # Benchmark runs should keep the regenerated paper tables visible:
+    # show captured stdout for passing tests in the summary (-rA).
+    config.option.reportchars = "A"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return ExperimentRunner(scale=scale, verbose=True)
+
+
+def medr_mean(result):
+    """Mean MedR over both retrieval directions."""
+    return 0.5 * (result.medr("image_to_recipe")
+                  + result.medr("recipe_to_image"))

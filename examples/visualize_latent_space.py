@@ -1,0 +1,62 @@
+"""Visualize the learned latent space (the paper's Figure 3, as files).
+
+Trains AdaMine and AdaMine_ins, embeds test pairs from the five most
+frequent classes, maps them to 2-D with the built-in t-SNE and writes
+Figure-3-style scatter images (PPM, viewable anywhere) plus a
+Figure-4-style λ-curve chart:
+
+    python examples/visualize_latent_space.py --out figures/
+"""
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro.analysis import line_plot, scatter_plot, summarize_latent_space
+from repro.data import save_ppm
+from repro.experiments import ExperimentRunner, figure3, figure4
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figures")
+    parser.add_argument("--scale", default="test")
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print(f"Training scenarios at scale {args.scale!r} ...")
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+
+    result = figure3.run(runner, pairs_per_class=12, num_classes=5,
+                         tsne_iterations=200)
+    for side in (result.adamine_ins, result.adamine):
+        n_pairs = len(side.class_ids) // 2
+        traces = np.column_stack([np.arange(n_pairs),
+                                  np.arange(n_pairs) + n_pairs])
+        image = scatter_plot(side.coordinates, side.class_ids,
+                             size=384, pair_traces=traces)
+        path = out / f"figure3_{side.scenario}.ppm"
+        save_ppm(image, path)
+        print(f"wrote {path}  (kNN purity {side.knn_purity:.2f}, "
+              f"pair distance {side.pair_distance:.3f})")
+
+    # latent-space health of the full model
+    model = runner.scenario("adamine")
+    image_emb, recipe_emb = model.encode_corpus(runner.test_corpus)
+    print("latent space:", summarize_latent_space(image_emb, recipe_emb))
+
+    print("Sweeping lambda for the Figure 4 curve ...")
+    points = figure4.run(runner, lambdas=(0.1, 0.3, 0.5, 0.7, 0.9))
+    chart = line_plot(np.array([p.lambda_sem for p in points]),
+                      np.array([p.medr for p in points]), size=384)
+    path = out / "figure4_lambda.ppm"
+    save_ppm(chart, path)
+    print(f"wrote {path}")
+    for point in points:
+        print(f"  lambda={point.lambda_sem:.1f}  MedR={point.medr:.1f}")
+
+
+if __name__ == "__main__":
+    main()

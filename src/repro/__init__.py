@@ -1,0 +1,17 @@
+"""AdaMine: cross-modal recipe/image retrieval.
+
+A full from-scratch reproduction of "Cross-Modal Retrieval in the
+Cooking Context: Learning Semantic Text-Image Embeddings" (Carvalho et
+al., SIGIR 2018; companion ICDE 2018 paper "Images & Recipes") on a
+numpy-only deep learning substrate with a synthetic Recipe1M.
+"""
+
+from . import (analysis, autograd, baselines, core, data, experiments, nn,
+               optim, retrieval, text, vision)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd", "nn", "optim", "text", "vision", "data", "core",
+    "baselines", "retrieval", "analysis", "experiments", "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis tools: t-SNE, cluster metrics, sweeps, qualitative tasks."""
+
+from .tsne import TSNE
+from .cluster_metrics import (class_separation_ratio, knn_purity,
+                              matched_pair_distance)
+from .lambda_sweep import PAPER_LAMBDAS, LambdaSweepPoint, run_lambda_sweep
+from .embedding_stats import (LatentSpaceStats, alignment, modality_gap,
+                              summarize_latent_space, uniformity)
+from .plotting import CLASS_PALETTE, line_plot, scatter_plot
+from .qualitative import (IngredientSearchResult, RecipeToImageResult,
+                          RemovalComparison, RetrievalHit,
+                          ingredient_query_embedding, ingredient_to_image,
+                          recipe_to_image, remove_ingredient_comparison)
+
+__all__ = [
+    "TSNE",
+    "knn_purity", "matched_pair_distance", "class_separation_ratio",
+    "run_lambda_sweep", "LambdaSweepPoint", "PAPER_LAMBDAS",
+    "recipe_to_image", "RecipeToImageResult",
+    "ingredient_to_image", "IngredientSearchResult",
+    "ingredient_query_embedding",
+    "remove_ingredient_comparison", "RemovalComparison", "RetrievalHit",
+    "alignment", "uniformity", "modality_gap", "summarize_latent_space",
+    "LatentSpaceStats",
+    "scatter_plot", "line_plot", "CLASS_PALETTE",
+]

@@ -1,0 +1,67 @@
+"""Quantitative proxies for Figure 3's visual claims.
+
+The paper shows t-SNE maps and argues (1) AdaMine groups items of a
+class together and (2) shortens the traces connecting matching pairs.
+These metrics turn both claims into numbers computed on the latent
+embeddings (and, for map-space variants, on t-SNE coordinates):
+
+* :func:`knn_purity` — fraction of each item's k nearest neighbours
+  sharing its class (claim 1);
+* :func:`matched_pair_distance` — mean cosine distance between matching
+  image/recipe pairs (claim 2);
+* :func:`class_separation_ratio` — mean inter-class over intra-class
+  distance (larger = better-separated clusters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..retrieval import cosine_distance, cosine_distance_matrix
+
+__all__ = ["knn_purity", "matched_pair_distance", "class_separation_ratio"]
+
+
+def knn_purity(embeddings: np.ndarray, class_ids: np.ndarray,
+               k: int = 10) -> float:
+    """Mean fraction of k nearest neighbours sharing the query's class."""
+    class_ids = np.asarray(class_ids)
+    n = len(embeddings)
+    if class_ids.shape != (n,):
+        raise ValueError("class_ids must align with embeddings")
+    if not 1 <= k < n:
+        raise ValueError(f"k must be in [1, {n - 1}]")
+    distances = cosine_distance_matrix(embeddings, embeddings)
+    np.fill_diagonal(distances, np.inf)
+    neighbours = np.argsort(distances, axis=1)[:, :k]
+    matches = class_ids[neighbours] == class_ids[:, None]
+    return float(matches.mean())
+
+
+def matched_pair_distance(image_embeddings: np.ndarray,
+                          recipe_embeddings: np.ndarray) -> float:
+    """Mean cosine distance between matching cross-modal pairs."""
+    if image_embeddings.shape != recipe_embeddings.shape:
+        raise ValueError("embedding matrices must be aligned")
+    return float(cosine_distance(image_embeddings,
+                                 recipe_embeddings).mean())
+
+
+def class_separation_ratio(embeddings: np.ndarray,
+                           class_ids: np.ndarray) -> float:
+    """Mean inter-class distance divided by mean intra-class distance.
+
+    Values > 1 mean items sit closer to their own class than to other
+    classes; higher is better-structured.
+    """
+    class_ids = np.asarray(class_ids)
+    if class_ids.shape[0] != len(embeddings):
+        raise ValueError("class_ids must align with embeddings")
+    distances = cosine_distance_matrix(embeddings, embeddings)
+    same = class_ids[:, None] == class_ids[None, :]
+    off_diagonal = ~np.eye(len(embeddings), dtype=bool)
+    intra = distances[same & off_diagonal]
+    inter = distances[~same]
+    if intra.size == 0 or inter.size == 0:
+        raise ValueError("need at least two classes with two members each")
+    return float(inter.mean() / intra.mean())

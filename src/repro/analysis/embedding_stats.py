@@ -1,0 +1,82 @@
+"""Latent-space health diagnostics.
+
+Standard statistics for contrastive embedding spaces, used to inspect
+what the different training objectives do to the geometry:
+
+* **alignment** (Wang & Isola, 2020): mean squared distance between
+  matched cross-modal pairs — lower is better-aligned;
+* **uniformity**: log of the mean Gaussian potential between random
+  pairs — more negative is more uniformly spread on the sphere;
+* **modality gap**: distance between the image and recipe centroids —
+  a known artifact of dual-encoder training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..retrieval import normalize_rows
+
+__all__ = ["LatentSpaceStats", "alignment", "uniformity", "modality_gap",
+           "summarize_latent_space"]
+
+
+def alignment(image_embeddings: np.ndarray,
+              recipe_embeddings: np.ndarray) -> float:
+    """Mean squared Euclidean distance between matched (unit) pairs."""
+    a = normalize_rows(image_embeddings)
+    b = normalize_rows(recipe_embeddings)
+    if a.shape != b.shape:
+        raise ValueError("embedding matrices must be aligned")
+    return float(((a - b) ** 2).sum(axis=1).mean())
+
+
+def uniformity(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """log E[exp(-t ||x - y||^2)] over all distinct pairs."""
+    x = normalize_rows(embeddings)
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two embeddings")
+    squared = np.maximum(
+        (x ** 2).sum(axis=1)[:, None] + (x ** 2).sum(axis=1)[None, :]
+        - 2.0 * x @ x.T, 0.0)
+    off_diagonal = squared[~np.eye(n, dtype=bool)]
+    return float(np.log(np.exp(-t * off_diagonal).mean()))
+
+
+def modality_gap(image_embeddings: np.ndarray,
+                 recipe_embeddings: np.ndarray) -> float:
+    """Euclidean distance between the two modality centroids."""
+    a = normalize_rows(image_embeddings)
+    b = normalize_rows(recipe_embeddings)
+    return float(np.linalg.norm(a.mean(axis=0) - b.mean(axis=0)))
+
+
+@dataclass(frozen=True)
+class LatentSpaceStats:
+    """Summary of a cross-modal latent space's geometry."""
+
+    alignment: float
+    uniformity_images: float
+    uniformity_recipes: float
+    modality_gap: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"alignment={self.alignment:.3f} "
+                f"uniformity(img)={self.uniformity_images:.3f} "
+                f"uniformity(rec)={self.uniformity_recipes:.3f} "
+                f"gap={self.modality_gap:.3f}")
+
+
+def summarize_latent_space(image_embeddings: np.ndarray,
+                           recipe_embeddings: np.ndarray
+                           ) -> LatentSpaceStats:
+    """Compute all diagnostics in one pass."""
+    return LatentSpaceStats(
+        alignment=alignment(image_embeddings, recipe_embeddings),
+        uniformity_images=uniformity(image_embeddings),
+        uniformity_recipes=uniformity(recipe_embeddings),
+        modality_gap=modality_gap(image_embeddings, recipe_embeddings),
+    )

@@ -1,0 +1,116 @@
+"""Minimal numpy rasterizer for figure artifacts.
+
+The environment has no matplotlib; this module renders the paper's two
+figures as plain RGB arrays that :func:`repro.data.save_ppm` can write:
+
+* :func:`scatter_plot` — Figure 3's t-SNE maps (points coloured by
+  class, optional traces between matched pairs);
+* :func:`line_plot` — Figure 4's MedR-vs-λ curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CLASS_PALETTE", "scatter_plot", "line_plot"]
+
+# The paper colours cupcake blue, hamburger orange, green beans pink,
+# pork chops green and pizza red; extended with more distinct hues.
+CLASS_PALETTE = np.array([
+    (0.22, 0.49, 0.72),   # blue
+    (1.00, 0.50, 0.05),   # orange
+    (0.89, 0.47, 0.76),   # pink
+    (0.17, 0.63, 0.17),   # green
+    (0.84, 0.15, 0.16),   # red
+    (0.58, 0.40, 0.74),   # purple
+    (0.55, 0.34, 0.29),   # brown
+    (0.50, 0.50, 0.50),   # grey
+    (0.74, 0.74, 0.13),   # olive
+    (0.09, 0.75, 0.81),   # cyan
+])
+
+
+def _normalize(points: np.ndarray, margin: float) -> np.ndarray:
+    low = points.min(axis=0)
+    span = np.maximum(points.max(axis=0) - low, 1e-12)
+    return margin + (points - low) / span * (1.0 - 2 * margin)
+
+
+def _draw_dot(image: np.ndarray, x: int, y: int, color: np.ndarray,
+              radius: int) -> None:
+    size = image.shape[1]
+    lo_y, hi_y = max(y - radius, 0), min(y + radius + 1, size)
+    lo_x, hi_x = max(x - radius, 0), min(x + radius + 1, size)
+    image[:, lo_y:hi_y, lo_x:hi_x] = color[:, None, None]
+
+
+def _draw_line(image: np.ndarray, x0: int, y0: int, x1: int, y1: int,
+               color: np.ndarray) -> None:
+    steps = max(abs(x1 - x0), abs(y1 - y0), 1)
+    for step in range(steps + 1):
+        t = step / steps
+        x = int(round(x0 + t * (x1 - x0)))
+        y = int(round(y0 + t * (y1 - y0)))
+        if 0 <= y < image.shape[1] and 0 <= x < image.shape[2]:
+            image[:, y, x] = color
+
+
+def scatter_plot(points: np.ndarray, class_ids: np.ndarray,
+                 size: int = 256, dot_radius: int = 2,
+                 pair_traces: np.ndarray | None = None) -> np.ndarray:
+    """Render a 2-D scatter to a (3, size, size) image.
+
+    Parameters
+    ----------
+    points:
+        (n, 2) coordinates (e.g. t-SNE output).
+    class_ids:
+        Integer class per point; colours cycle through the palette.
+    pair_traces:
+        Optional (m, 2) array of point-index pairs to connect with a
+        light line (the paper's matched-pair traces).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    class_ids = np.asarray(class_ids)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if len(class_ids) != len(points):
+        raise ValueError("class_ids must align with points")
+    image = np.ones((3, size, size))
+    scaled = _normalize(points, margin=0.06)
+    pixels = np.clip((scaled * (size - 1)).round().astype(int), 0, size - 1)
+
+    if pair_traces is not None:
+        trace_color = np.array([0.8, 0.8, 0.8])
+        for a, b in np.asarray(pair_traces, dtype=int):
+            _draw_line(image, pixels[a, 0], pixels[a, 1],
+                       pixels[b, 0], pixels[b, 1], trace_color)
+
+    palette_size = len(CLASS_PALETTE)
+    for (x, y), class_id in zip(pixels, class_ids):
+        color = CLASS_PALETTE[int(class_id) % palette_size]
+        _draw_dot(image, x, y, color, dot_radius)
+    return image
+
+
+def line_plot(xs: np.ndarray, ys: np.ndarray, size: int = 256,
+              color=(0.22, 0.49, 0.72)) -> np.ndarray:
+    """Render a polyline chart (Figure 4 style) to a (3, size, size) image."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or len(xs) < 2:
+        raise ValueError("need two aligned 1-D arrays of >= 2 points")
+    image = np.ones((3, size, size))
+    points = _normalize(np.column_stack([xs, ys]), margin=0.1)
+    # y axis grows upward in a chart, downward in an image
+    pixel_x = np.clip((points[:, 0] * (size - 1)).round().astype(int),
+                      0, size - 1)
+    pixel_y = np.clip(((1.0 - points[:, 1]) * (size - 1)).round().astype(int),
+                      0, size - 1)
+    line_color = np.asarray(color, dtype=np.float64)
+    for i in range(len(xs) - 1):
+        _draw_line(image, pixel_x[i], pixel_y[i], pixel_x[i + 1],
+                   pixel_y[i + 1], line_color)
+    for x, y in zip(pixel_x, pixel_y):
+        _draw_dot(image, x, y, line_color * 0.7, radius=2)
+    return image

@@ -1,0 +1,235 @@
+"""Downstream qualitative tasks (§5.3: Tables 2, 4 and 5).
+
+* :func:`recipe_to_image` — Table 2: retrieve top-k images for recipe
+  queries and annotate each hit as the exact match, a same-class item,
+  or an off-class item.
+* :func:`ingredient_to_image` — Table 4: embed a synthetic one-
+  ingredient query (ingredient word + the mean instruction embedding of
+  the corpus, the paper's construction) and retrieve images, optionally
+  constrained to one class ("strawberries within pizza").
+* :func:`remove_ingredient_comparison` — Table 5: retrieve with the
+  original recipe and with the recipe after deleting one ingredient
+  (and its instruction sentences), and measure how often the retrieved
+  images' source recipes contain that ingredient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..core.model import JointEmbeddingModel
+from ..data.dataset import RecipeDataset
+from ..data.encoding import EncodedCorpus, RecipeFeaturizer
+from ..retrieval import NearestNeighborIndex
+
+__all__ = ["RetrievalHit", "RecipeToImageResult", "recipe_to_image",
+           "ingredient_query_embedding", "IngredientSearchResult",
+           "ingredient_to_image", "RemovalComparison",
+           "remove_ingredient_comparison"]
+
+
+@dataclass(frozen=True)
+class RetrievalHit:
+    """One retrieved image."""
+
+    row: int                  # row in the searched corpus
+    recipe_index: int         # dataset-level recipe index
+    distance: float
+    relation: str             # "match" | "same-class" | "other"
+
+
+@dataclass(frozen=True)
+class RecipeToImageResult:
+    """Top-k images retrieved for one recipe query (Table 2 row)."""
+
+    query_row: int
+    query_title: str
+    hits: tuple[RetrievalHit, ...]
+
+    @property
+    def match_rank(self) -> int | None:
+        """1-based rank of the exact match within the hits, if present."""
+        for position, hit in enumerate(self.hits, start=1):
+            if hit.relation == "match":
+                return position
+        return None
+
+    @property
+    def same_class_fraction(self) -> float:
+        """Fraction of hits that are the match or share the class."""
+        relevant = sum(h.relation in ("match", "same-class")
+                       for h in self.hits)
+        return relevant / len(self.hits) if self.hits else 0.0
+
+
+def _image_index(model: JointEmbeddingModel,
+                 corpus: EncodedCorpus) -> NearestNeighborIndex:
+    image_embeddings, __ = model.encode_corpus(corpus)
+    return NearestNeighborIndex(image_embeddings,
+                                ids=np.arange(len(corpus)),
+                                class_ids=corpus.true_class_ids)
+
+
+def _embed_single_recipe(model: JointEmbeddingModel, ingredient_ids,
+                         n_ingredients, sentence_vectors,
+                         n_sentences) -> np.ndarray:
+    with no_grad():
+        embedding = model.embed_recipes(
+            ingredient_ids[None, :], np.array([n_ingredients]),
+            sentence_vectors[None, :, :], np.array([n_sentences]))
+    return embedding.data[0]
+
+
+def recipe_to_image(model: JointEmbeddingModel, dataset: RecipeDataset,
+                    corpus: EncodedCorpus, query_rows: np.ndarray,
+                    k: int = 5) -> list[RecipeToImageResult]:
+    """Retrieve the top-``k`` images for each recipe query row."""
+    index = _image_index(model, corpus)
+    __, recipe_embeddings = model.encode_corpus(corpus)
+    results = []
+    for row in np.asarray(query_rows, dtype=np.int64):
+        rows, distances = index.query(recipe_embeddings[row], k=k)
+        query_class = corpus.true_class_ids[row]
+        hits = []
+        for hit_row, distance in zip(rows, distances):
+            if hit_row == row:
+                relation = "match"
+            elif corpus.true_class_ids[hit_row] == query_class:
+                relation = "same-class"
+            else:
+                relation = "other"
+            hits.append(RetrievalHit(
+                row=int(hit_row),
+                recipe_index=int(corpus.recipe_indices[hit_row]),
+                distance=float(distance),
+                relation=relation))
+        title = dataset[int(corpus.recipe_indices[row])].title
+        results.append(RecipeToImageResult(int(row), title, tuple(hits)))
+    return results
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngredientSearchResult:
+    """Top-k images for a single-ingredient query (Table 4 column)."""
+
+    ingredient: str
+    class_id: int | None
+    hits: tuple[RetrievalHit, ...]
+    containment: tuple[bool, ...]  # hit recipe lists the ingredient
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of retrieved images whose recipe has the ingredient."""
+        if not self.containment:
+            return 0.0
+        return sum(self.containment) / len(self.containment)
+
+
+def ingredient_query_embedding(model: JointEmbeddingModel,
+                               featurizer: RecipeFeaturizer,
+                               ingredient: str,
+                               corpus: EncodedCorpus) -> np.ndarray:
+    """Embed the paper's synthetic ingredient query (§5.3).
+
+    Ingredients part: the single ingredient word. Instructions part:
+    the average instruction embedding over the reference corpus.
+    """
+    token = ingredient.replace(" ", "_")
+    if token not in featurizer.ingredient_vocab:
+        raise ValueError(f"{ingredient!r} is not in the ingredient "
+                         "vocabulary")
+    ids = featurizer.ingredient_vocab.encode_padded(
+        [token], featurizer.max_ingredients)
+    mean_sentence = np.zeros(corpus.sentence_vectors.shape[2])
+    total = 0
+    for row in range(len(corpus)):
+        length = corpus.sentence_lengths[row]
+        mean_sentence += corpus.sentence_vectors[row, :length].sum(axis=0)
+        total += int(length)
+    mean_sentence /= max(total, 1)
+    sentences = np.zeros((featurizer.max_sentences,
+                          corpus.sentence_vectors.shape[2]))
+    sentences[0] = mean_sentence
+    return _embed_single_recipe(model, ids, 1, sentences, 1)
+
+
+def ingredient_to_image(model: JointEmbeddingModel,
+                        featurizer: RecipeFeaturizer,
+                        dataset: RecipeDataset, corpus: EncodedCorpus,
+                        ingredient: str, k: int = 5,
+                        class_id: int | None = None
+                        ) -> IngredientSearchResult:
+    """Retrieve images for an ingredient query (optionally one class)."""
+    query = ingredient_query_embedding(model, featurizer, ingredient,
+                                       corpus)
+    index = _image_index(model, corpus)
+    rows, distances = index.query(query, k=k, class_id=class_id)
+    hits, containment = [], []
+    for hit_row, distance in zip(rows, distances):
+        recipe = dataset[int(corpus.recipe_indices[hit_row])]
+        hits.append(RetrievalHit(
+            row=int(hit_row),
+            recipe_index=recipe.recipe_id,
+            distance=float(distance),
+            relation="other"))
+        containment.append(ingredient in recipe.ingredients)
+    return IngredientSearchResult(ingredient, class_id, tuple(hits),
+                                  tuple(containment))
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RemovalComparison:
+    """Table 5: retrieval before/after deleting one ingredient."""
+
+    ingredient: str
+    query_recipe_index: int
+    with_rate: float      # top-k containment using the original recipe
+    without_rate: float   # top-k containment after removal
+    hits_with: tuple[RetrievalHit, ...]
+    hits_without: tuple[RetrievalHit, ...]
+
+    @property
+    def removal_effect(self) -> float:
+        """Drop in containment caused by the edit (positive = works)."""
+        return self.with_rate - self.without_rate
+
+
+def remove_ingredient_comparison(model: JointEmbeddingModel,
+                                 featurizer: RecipeFeaturizer,
+                                 dataset: RecipeDataset,
+                                 corpus: EncodedCorpus, query_row: int,
+                                 ingredient: str, k: int = 4
+                                 ) -> RemovalComparison:
+    """Run the paper's removing-ingredient experiment for one recipe."""
+    recipe = dataset[int(corpus.recipe_indices[query_row])]
+    edited = recipe.without_ingredient(ingredient)
+    index = _image_index(model, corpus)
+
+    def retrieve(target):
+        ids, n_ing, vectors, n_sent = featurizer.encode_recipe(target)
+        query = _embed_single_recipe(model, ids, n_ing, vectors, n_sent)
+        rows, distances = index.query(query, k=k)
+        hits, contains = [], []
+        for hit_row, distance in zip(rows, distances):
+            hit_recipe = dataset[int(corpus.recipe_indices[hit_row])]
+            hits.append(RetrievalHit(
+                row=int(hit_row), recipe_index=hit_recipe.recipe_id,
+                distance=float(distance), relation="other"))
+            contains.append(ingredient in hit_recipe.ingredients)
+        rate = sum(contains) / len(contains) if contains else 0.0
+        return tuple(hits), rate
+
+    hits_with, with_rate = retrieve(recipe)
+    hits_without, without_rate = retrieve(edited)
+    return RemovalComparison(
+        ingredient=ingredient,
+        query_recipe_index=recipe.recipe_id,
+        with_rate=with_rate,
+        without_rate=without_rate,
+        hits_with=hits_with,
+        hits_without=hits_without)

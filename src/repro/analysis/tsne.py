@@ -1,0 +1,127 @@
+"""t-SNE (van der Maaten & Hinton, 2008), exact-gradient implementation.
+
+Used to regenerate Figure 3: a 2-D map of test-set embeddings from five
+head classes, comparing AdaMine_ins and AdaMine latent spaces. This is
+the standard algorithm — perplexity-calibrated Gaussian affinities in
+the input space, Student-t affinities in the map, gradient descent with
+momentum and early exaggeration — written against numpy only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TSNE"]
+
+
+class TSNE:
+    """Exact t-SNE for small point sets (hundreds of points).
+
+    Parameters
+    ----------
+    perplexity:
+        Effective number of neighbours per point.
+    n_iter:
+        Gradient descent iterations.
+    learning_rate:
+        Map update step size.
+    seed:
+        Initialization seed.
+    """
+
+    def __init__(self, perplexity: float = 20.0, n_iter: int = 300,
+                 learning_rate: float = 100.0, seed: int = 0,
+                 early_exaggeration: float = 4.0):
+        if perplexity < 2:
+            raise ValueError("perplexity must be >= 2")
+        if n_iter < 10:
+            raise ValueError("n_iter must be >= 10")
+        self.perplexity = perplexity
+        self.n_iter = n_iter
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.early_exaggeration = early_exaggeration
+
+    # ------------------------------------------------------------------
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed ``x`` (n, d) into 2-D; returns (n, 2) coordinates."""
+        x = np.asarray(x, dtype=np.float64)
+        n = len(x)
+        if n < 5:
+            raise ValueError("need at least 5 points")
+        p = self._joint_probabilities(x)
+        rng = np.random.default_rng(self.seed)
+        y = rng.normal(0.0, 1e-4, size=(n, 2))
+        velocity = np.zeros_like(y)
+        exaggeration_until = self.n_iter // 4
+
+        for iteration in range(self.n_iter):
+            factor = (self.early_exaggeration
+                      if iteration < exaggeration_until else 1.0)
+            grad = self._gradient(p * factor, y)
+            momentum = 0.5 if iteration < exaggeration_until else 0.8
+            velocity = momentum * velocity - self.learning_rate * grad
+            y += velocity
+            y -= y.mean(axis=0)  # keep the map centred
+        return y
+
+    # ------------------------------------------------------------------
+    def _joint_probabilities(self, x: np.ndarray) -> np.ndarray:
+        distances = self._squared_distances(x)
+        n = len(x)
+        conditional = np.zeros((n, n))
+        target_entropy = np.log(self.perplexity)
+        for i in range(n):
+            conditional[i] = self._calibrated_row(distances[i], i,
+                                                  target_entropy)
+        joint = (conditional + conditional.T) / (2.0 * n)
+        return np.maximum(joint, 1e-12)
+
+    @staticmethod
+    def _squared_distances(x: np.ndarray) -> np.ndarray:
+        norms = (x ** 2).sum(axis=1)
+        distances = norms[:, None] + norms[None, :] - 2.0 * x @ x.T
+        np.fill_diagonal(distances, 0.0)
+        return np.maximum(distances, 0.0)
+
+    @staticmethod
+    def _calibrated_row(row: np.ndarray, i: int, target_entropy: float,
+                        tol: float = 1e-5, max_iter: int = 50) -> np.ndarray:
+        """Binary-search the Gaussian precision matching the perplexity."""
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        mask = np.ones(len(row), dtype=bool)
+        mask[i] = False
+        for __ in range(max_iter):
+            affinities = np.zeros(len(row))
+            affinities[mask] = np.exp(-row[mask] * beta)
+            total = affinities.sum()
+            if total <= 0:
+                probabilities = np.zeros(len(row))
+                probabilities[mask] = 1.0 / mask.sum()
+            else:
+                probabilities = affinities / total
+            positive = probabilities[probabilities > 0]
+            entropy = -(positive * np.log(positive)).sum()
+            error = entropy - target_entropy
+            if abs(error) < tol:
+                break
+            if error > 0:  # entropy too high -> sharpen
+                beta_min = beta
+                beta = beta * 2 if beta_max == np.inf else (beta + beta_max) / 2
+            else:
+                beta_max = beta
+                beta = (beta + beta_min) / 2
+        return probabilities
+
+    @staticmethod
+    def _gradient(p: np.ndarray, y: np.ndarray) -> np.ndarray:
+        distances = TSNE._squared_distances(y)
+        student = 1.0 / (1.0 + distances)
+        np.fill_diagonal(student, 0.0)
+        q = np.maximum(student / student.sum(), 1e-12)
+        coefficient = (p - q) * student
+        grad = np.zeros_like(y)
+        for dim in range(y.shape[1]):
+            diffs = y[:, dim, None] - y[None, :, dim]
+            grad[:, dim] = 4.0 * (coefficient * diffs).sum(axis=1)
+        return grad

@@ -1,0 +1,27 @@
+"""Reverse-mode autodiff substrate (stands in for PyTorch autograd)."""
+
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .functional import (
+    concat,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    cross_entropy,
+    dot_rows,
+    l2_normalize,
+    log_softmax,
+    maximum,
+    pairwise_cosine_distance,
+    softmax,
+    stack,
+    where,
+)
+from .gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "concat", "stack", "maximum", "where",
+    "softmax", "log_softmax", "cross_entropy",
+    "l2_normalize", "dot_rows", "cosine_similarity",
+    "cosine_similarity_matrix", "pairwise_cosine_distance",
+    "numerical_gradient", "check_gradients",
+]

@@ -1,0 +1,141 @@
+"""Differentiable functions built on :class:`repro.autograd.Tensor`.
+
+These cover the composite operations the AdaMine model needs: sequence
+concatenation/stacking, stable softmax and cross entropy (for the PWC
+classification head), L2 normalization and cosine similarity (the latent
+space metric), and elementwise max/where used by hinge losses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "concat", "stack", "maximum", "where", "softmax", "log_softmax",
+    "cross_entropy", "l2_normalize", "cosine_similarity",
+    "cosine_similarity_matrix", "pairwise_cosine_distance", "dot_rows",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pieces = []
+        for i in range(len(tensors)):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            pieces.append(grad[tuple(index)])
+        return tuple(pieces)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def maximum(a: Tensor, b) -> Tensor:
+    """Elementwise maximum of two tensors (ties route gradient to ``a``)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    take_a = a.data >= b.data
+    out_data = np.where(take_a, a.data, b.data)
+
+    def backward(grad):
+        from .tensor import _unbroadcast
+        return (_unbroadcast(grad * take_a, a.shape),
+                _unbroadcast(grad * ~take_a, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable ``np.where`` with a boolean (non-differentiable) mask."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        from .tensor import _unbroadcast
+        return (_unbroadcast(grad * condition, a.shape),
+                _unbroadcast(grad * ~condition, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy of integer ``targets`` given ``logits``.
+
+    Used by the PWC classification head; rows whose target equals
+    ``ignore_index`` (Recipe1M pairs without class labels) contribute
+    nothing to the loss.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        picked = logp[rows[keep], targets[keep]]
+    else:
+        picked = logp[rows, targets]
+    return -picked.mean()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project rows of ``x`` onto the unit sphere (cosine-space embedding)."""
+    norms = (x * x).sum(axis=axis, keepdims=True).clamp_min(eps).sqrt()
+    return x / norms
+
+
+def dot_rows(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise dot product of two equally shaped 2-D tensors."""
+    return (a * b).sum(axis=-1)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Row-wise cosine similarity between two equally shaped tensors."""
+    return dot_rows(l2_normalize(a, axis=axis), l2_normalize(b, axis=axis))
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs cosine similarity: (n, d) x (m, d) -> (n, m)."""
+    return l2_normalize(a) @ l2_normalize(b).T
+
+
+def pairwise_cosine_distance(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs cosine distance ``1 - cos`` — the paper's latent metric."""
+    return 1.0 - cosine_similarity_matrix(a, b)

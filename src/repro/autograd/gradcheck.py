@@ -1,0 +1,68 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Every op in the engine is validated against central differences in the
+test suite; this module provides the shared machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function mapping the input tensors to an output tensor.
+    inputs:
+        All tensor arguments of ``fn``.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Finite-difference step.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    atol: float = 1e-5, rtol: float = 1e-4,
+                    eps: float = 1e-6) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Raises ``AssertionError`` listing the first mismatching input.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {worst:.3e}"
+            )

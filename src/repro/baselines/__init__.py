@@ -1,0 +1,13 @@
+"""State-of-the-art baselines: CCA, random chance, PWC scenarios.
+
+The PWC / PWC++ neural baselines share the AdaMine architecture and
+live in :mod:`repro.core.scenarios` (names ``"pwc_star"``/``"pwc_pp"``).
+"""
+
+from .cca import CCA
+from .kcca import KernelCCA
+from .random_baseline import RandomEmbedder
+from .features import corpus_features, image_features, recipe_features
+
+__all__ = ["CCA", "KernelCCA", "RandomEmbedder",
+           "image_features", "recipe_features", "corpus_features"]

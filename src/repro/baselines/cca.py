@@ -1,0 +1,99 @@
+"""Canonical Correlation Analysis (Hotelling, 1936) — global alignment
+baseline.
+
+Finds linear projections of two views maximizing the correlation of
+matched pairs. Solved in whitened space: with
+``K = Σxx^{-1/2} Σxy Σyy^{-1/2}``, the singular vectors of ``K`` give
+the canonical directions and its singular values the canonical
+correlations. Ridge regularization keeps the whitening stable for
+high-dimensional / low-sample regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+__all__ = ["CCA"]
+
+
+class CCA:
+    """Regularized linear CCA for cross-modal retrieval.
+
+    Parameters
+    ----------
+    dim:
+        Number of canonical components kept (the latent dimensionality).
+    reg:
+        Ridge added to both view covariances before whitening.
+    """
+
+    def __init__(self, dim: int = 32, reg: float = 1e-3):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if reg < 0:
+            raise ValueError("reg must be non-negative")
+        self.dim = dim
+        self.reg = reg
+        self.mean_x: np.ndarray | None = None
+        self.mean_y: np.ndarray | None = None
+        self.w_x: np.ndarray | None = None
+        self.w_y: np.ndarray | None = None
+        self.correlations: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CCA":
+        """Fit on aligned views ``x`` (n, dx) and ``y`` (n, dy)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("views must have the same number of rows")
+        n = x.shape[0]
+        if n < 2:
+            raise ValueError("need at least two pairs to fit CCA")
+        self.mean_x = x.mean(axis=0)
+        self.mean_y = y.mean(axis=0)
+        xc = x - self.mean_x
+        yc = y - self.mean_y
+
+        cxx = xc.T @ xc / (n - 1) + self.reg * np.eye(x.shape[1])
+        cyy = yc.T @ yc / (n - 1) + self.reg * np.eye(y.shape[1])
+        cxy = xc.T @ yc / (n - 1)
+
+        inv_sqrt_xx = self._inverse_sqrt(cxx)
+        inv_sqrt_yy = self._inverse_sqrt(cyy)
+        k = inv_sqrt_xx @ cxy @ inv_sqrt_yy
+        u, singular_values, vt = np.linalg.svd(k, full_matrices=False)
+
+        keep = min(self.dim, len(singular_values))
+        self.w_x = inv_sqrt_xx @ u[:, :keep]
+        self.w_y = inv_sqrt_yy @ vt[:keep].T
+        self.correlations = singular_values[:keep]
+        return self
+
+    @staticmethod
+    def _inverse_sqrt(matrix: np.ndarray) -> np.ndarray:
+        values, vectors = linalg.eigh(matrix)
+        values = np.maximum(values, 1e-12)
+        return vectors @ np.diag(values ** -0.5) @ vectors.T
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.w_x is None:
+            raise RuntimeError("CCA is not fitted; call fit() first")
+
+    def transform_x(self, x: np.ndarray) -> np.ndarray:
+        """Project view-x samples into the canonical space."""
+        self._require_fitted()
+        return (np.asarray(x, dtype=np.float64) - self.mean_x) @ self.w_x
+
+    def transform_y(self, y: np.ndarray) -> np.ndarray:
+        """Project view-y samples into the canonical space."""
+        self._require_fitted()
+        return (np.asarray(y, dtype=np.float64) - self.mean_y) @ self.w_y
+
+    def fit_transform(self, x: np.ndarray, y: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Fit and return both projected views."""
+        self.fit(x, y)
+        return self.transform_x(x), self.transform_y(y)

@@ -1,0 +1,55 @@
+"""Fixed (non-learned) per-modality features for the CCA baseline.
+
+CCA is a global alignment method over precomputed representations; the
+paper applies it to the same pretrained features its neural baselines
+start from. Here:
+
+* image features — per-channel colour statistics plus a coarse
+  downsampled pixel grid (what a frozen backbone exposes);
+* recipe features — mean pretrained ingredient vector ⊕ mean frozen
+  instruction-sentence vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.encoding import EncodedCorpus, RecipeFeaturizer
+
+__all__ = ["image_features", "recipe_features", "corpus_features"]
+
+
+def image_features(images: np.ndarray, grid: int = 4) -> np.ndarray:
+    """Colour statistics + ``grid x grid`` average-pooled pixels."""
+    n, c, h, w = images.shape
+    if h % grid or w % grid:
+        raise ValueError(f"image size {(h, w)} not divisible by grid {grid}")
+    means = images.mean(axis=(2, 3))
+    stds = images.std(axis=(2, 3))
+    pooled = images.reshape(n, c, grid, h // grid, grid, w // grid)
+    pooled = pooled.mean(axis=(3, 5)).reshape(n, -1)
+    return np.concatenate([means, stds, pooled], axis=1)
+
+
+def recipe_features(corpus: EncodedCorpus,
+                    featurizer: RecipeFeaturizer) -> np.ndarray:
+    """Mean ingredient word2vec vector ⊕ mean sentence vector."""
+    vectors = featurizer.ingredient_vectors
+    n = len(corpus)
+    ingredient_part = np.zeros((n, vectors.shape[1]))
+    for row in range(n):
+        length = corpus.ingredient_lengths[row]
+        ids = corpus.ingredient_ids[row, :length]
+        ingredient_part[row] = vectors[ids].mean(axis=0)
+    sentence_part = np.zeros((n, corpus.sentence_vectors.shape[2]))
+    for row in range(n):
+        length = corpus.sentence_lengths[row]
+        sentence_part[row] = corpus.sentence_vectors[row, :length].mean(axis=0)
+    return np.concatenate([ingredient_part, sentence_part], axis=1)
+
+
+def corpus_features(corpus: EncodedCorpus, featurizer: RecipeFeaturizer,
+                    grid: int = 4) -> tuple[np.ndarray, np.ndarray]:
+    """Aligned (image, recipe) fixed-feature matrices for a corpus."""
+    return (image_features(corpus.images, grid=grid),
+            recipe_features(corpus, featurizer))

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+::
+
+    python -m repro generate --out data/ --pairs 1000
+    python -m repro train    --data data/ --scenario adamine --out run/
+    python -m repro evaluate --data data/ --model run/ --setup 1k
+    python -m repro search   --data data/ --model run/ \
+                             --ingredients broccoli chicken
+
+``generate`` writes a synthetic Recipe1M in the Recipe1M JSON layout;
+``train`` fits the featurizer + a scenario and saves both; ``evaluate``
+runs the paper's bag protocol on the test split; ``search`` answers
+fridge queries with the trained engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AdaMine cross-modal recipe retrieval")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic Recipe1M dataset")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--pairs", type=int, default=1000)
+    generate.add_argument("--classes", type=int, default=16)
+    generate.add_argument("--image-size", type=int, default=16)
+    generate.add_argument("--seed", type=int, default=0)
+
+    train = commands.add_parser("train", help="train a scenario")
+    train.add_argument("--data", required=True)
+    train.add_argument("--out", required=True)
+    train.add_argument("--scenario", default="adamine")
+    train.add_argument("--epochs", type=int, default=15)
+    train.add_argument("--batch-size", type=int, default=50)
+    train.add_argument("--learning-rate", type=float, default=2e-3)
+    train.add_argument("--lambda-sem", type=float, default=0.1)
+    train.add_argument("--latent-dim", type=int, default=32)
+    train.add_argument("--backbone", default="hist",
+                       choices=("hist", "mlp", "resnet"))
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = commands.add_parser("evaluate",
+                                   help="evaluate a trained scenario")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--setup", default="1k", choices=("1k", "10k"))
+    evaluate.add_argument("--bag-size", type=int, default=None)
+    evaluate.add_argument("--bags", type=int, default=None)
+
+    search = commands.add_parser("search", help="fridge search")
+    search.add_argument("--data", required=True)
+    search.add_argument("--model", required=True)
+    search.add_argument("--ingredients", nargs="+", required=True)
+    search.add_argument("--top-k", type=int, default=5)
+    return parser
+
+
+def _load_dataset(path: str):
+    from .data import import_recipe1m
+
+    return import_recipe1m(path)
+
+
+def _load_run(model_dir: str, dataset):
+    """Rebuild featurizer + model from a training output directory."""
+    import json
+
+    from .core import build_scenario
+    from .data import RecipeFeaturizer
+
+    model_dir = pathlib.Path(model_dir)
+    with open(model_dir / "run.json") as handle:
+        run = json.load(handle)
+    featurizer = RecipeFeaturizer.load(model_dir)
+    model, __ = build_scenario(
+        run["scenario"], featurizer, run["num_classes"],
+        run["image_size"], latent_dim=run["latent_dim"],
+        backbone=run["backbone"], seed=run["seed"])
+    model.load(model_dir / "model.npz")
+    return featurizer, model
+
+
+def _command_generate(args) -> int:
+    from .data import DatasetConfig, export_recipe1m, generate_dataset
+
+    dataset = generate_dataset(DatasetConfig(
+        num_pairs=args.pairs, num_classes=args.classes,
+        image_size=args.image_size, seed=args.seed))
+    paths = export_recipe1m(dataset, args.out)
+    print(dataset.summary())
+    for name, path in paths.items():
+        print(f"  wrote {name}: {path}")
+    return 0
+
+
+def _command_train(args) -> int:
+    import json
+
+    from .core import Trainer, TrainingConfig, build_scenario
+    from .data import RecipeFeaturizer
+
+    dataset = _load_dataset(args.data)
+    featurizer = RecipeFeaturizer().fit(dataset)
+    train = featurizer.encode_split(dataset, "train")
+    val = featurizer.encode_split(dataset, "val")
+    image_size = dataset.recipes[0].image.shape[-1]
+    config = TrainingConfig(
+        epochs=args.epochs, freeze_epochs=0, batch_size=args.batch_size,
+        learning_rate=args.learning_rate, lambda_sem=args.lambda_sem,
+        augment=False, eval_bag_size=min(200, len(val)), eval_num_bags=2,
+        seed=args.seed)
+    model, config = build_scenario(
+        args.scenario, featurizer, len(dataset.taxonomy), image_size,
+        base_config=config, latent_dim=args.latent_dim,
+        backbone=args.backbone, seed=args.seed)
+    trainer = Trainer(model, config,
+                      class_to_group=dataset.taxonomy.class_to_group_ids())
+    for stats in trainer.fit(train, val):
+        print(f"epoch {stats.epoch:3d}  loss {stats.train_loss:.4f}  "
+              f"val MedR {stats.val_medr:.1f}")
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    featurizer.save(out)
+    model.save(out / "model.npz")
+    with open(out / "run.json", "w") as handle:
+        json.dump({"scenario": args.scenario,
+                   "num_classes": len(dataset.taxonomy),
+                   "image_size": image_size,
+                   "latent_dim": args.latent_dim,
+                   "backbone": args.backbone,
+                   "seed": args.seed,
+                   "best_val_medr": trainer.best_val_medr}, handle)
+    print(f"saved run to {out} (best val MedR "
+          f"{trainer.best_val_medr:.1f})")
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    from .retrieval import RetrievalProtocol
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    defaults = {"1k": (min(100, len(test)), 10),
+                "10k": (min(250, len(test)), 5)}
+    bag_size, bags = defaults[args.setup]
+    protocol = RetrievalProtocol(
+        bag_size=args.bag_size or bag_size,
+        num_bags=args.bags or bags)
+    image_emb, recipe_emb = model.encode_corpus(test)
+    result = protocol.evaluate(image_emb, recipe_emb)
+    print(result.summary())
+    return 0
+
+
+def _command_search(args) -> int:
+    from .core import RecipeSearchEngine
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    results = engine.search_by_ingredients(args.ingredients, k=args.top_k)
+    print(f"top {args.top_k} dishes for {', '.join(args.ingredients)}:")
+    for result in results:
+        marker = "+" if any(i in result.recipe.ingredients
+                            for i in args.ingredients) else " "
+        print(f"  [{marker}] {result.recipe.title:<30} "
+              f"distance {result.distance:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "train": _command_train,
+    "evaluate": _command_evaluate,
+    "search": _command_search,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

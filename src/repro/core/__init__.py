@@ -1,0 +1,27 @@
+"""AdaMine core: branches, joint model, losses, mining, training."""
+
+from .branches import ImageBranch, RecipeBranch
+from .model import JointEmbeddingModel
+from .losses import (TripletLossOutput, classification_loss,
+                     instance_triplet_loss, pairwise_loss,
+                     semantic_triplet_loss)
+from .mining import STRATEGIES, aggregate_triplets, count_active
+from .trainer import EpochStats, Trainer, TrainingConfig
+from .scenarios import (SCENARIO_NAMES, ScenarioSpec, build_model,
+                        build_scenario, scenario_spec)
+from .hierarchical import (HierarchicalLossOutput,
+                           hierarchical_semantic_loss, map_to_group_labels)
+from .engine import RecipeSearchEngine, SearchResult
+
+__all__ = [
+    "ImageBranch", "RecipeBranch", "JointEmbeddingModel",
+    "instance_triplet_loss", "semantic_triplet_loss", "pairwise_loss",
+    "classification_loss", "TripletLossOutput",
+    "aggregate_triplets", "count_active", "STRATEGIES",
+    "Trainer", "TrainingConfig", "EpochStats",
+    "SCENARIO_NAMES", "ScenarioSpec", "scenario_spec",
+    "build_model", "build_scenario",
+    "hierarchical_semantic_loss", "HierarchicalLossOutput",
+    "map_to_group_labels",
+    "RecipeSearchEngine", "SearchResult",
+]

@@ -1,0 +1,178 @@
+"""High-level recipe search engine.
+
+Wraps a trained :class:`JointEmbeddingModel`, its featurizer and a
+corpus into the API a downstream application would actually use:
+
+>>> engine = RecipeSearchEngine(model, featurizer, dataset, corpus)
+>>> engine.search_by_recipe(my_recipe, k=5)        # recipe -> images
+>>> engine.search_by_image(photo, k=5)             # image  -> recipes
+>>> engine.search_by_ingredients(["broccoli"])     # fridge search
+>>> engine.search_without(my_recipe, "peanut butter")  # dietary filter
+
+All searches run over a prebuilt exact nearest-neighbour index of the
+corpus embeddings (both modalities), with optional class constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..data.dataset import RecipeDataset
+from ..data.encoding import EncodedCorpus, RecipeFeaturizer
+from ..data.schema import Recipe
+from ..retrieval import NearestNeighborIndex
+from .model import JointEmbeddingModel
+
+__all__ = ["SearchResult", "RecipeSearchEngine"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One retrieved recipe/image pair."""
+
+    recipe: Recipe
+    distance: float
+    corpus_row: int
+
+
+class RecipeSearchEngine:
+    """Cross-modal search over an embedded recipe corpus.
+
+    Parameters
+    ----------
+    model:
+        A trained joint embedding model.
+    featurizer:
+        The fitted featurizer the model was trained with.
+    dataset:
+        The backing dataset (for recipe payloads).
+    corpus:
+        The encoded corpus to search over (typically the test split, or
+        everything in a production deployment).
+    """
+
+    def __init__(self, model: JointEmbeddingModel,
+                 featurizer: RecipeFeaturizer, dataset: RecipeDataset,
+                 corpus: EncodedCorpus):
+        self.model = model
+        self.featurizer = featurizer
+        self.dataset = dataset
+        self.corpus = corpus
+        image_embeddings, recipe_embeddings = model.encode_corpus(corpus)
+        self._image_index = NearestNeighborIndex(
+            image_embeddings, ids=np.arange(len(corpus)),
+            class_ids=corpus.true_class_ids)
+        self._recipe_index = NearestNeighborIndex(
+            recipe_embeddings, ids=np.arange(len(corpus)),
+            class_ids=corpus.true_class_ids)
+
+    def __len__(self) -> int:
+        return len(self.corpus)
+
+    # ------------------------------------------------------------------
+    # Query embedding helpers
+    # ------------------------------------------------------------------
+    def embed_recipe(self, recipe: Recipe) -> np.ndarray:
+        """Embed one recipe's text into the latent space."""
+        ids, n_ing, vectors, n_sent = self.featurizer.encode_recipe(recipe)
+        with no_grad():
+            out = self.model.embed_recipes(
+                ids[None, :], np.array([max(n_ing, 1)]),
+                vectors[None, :, :], np.array([max(n_sent, 1)]))
+        return out.data[0]
+
+    def embed_image(self, image: np.ndarray) -> np.ndarray:
+        """Embed one (3, S, S) image into the latent space."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 3:
+            raise ValueError(f"expected one (3, S, S) image, got "
+                             f"{image.shape}")
+        with no_grad():
+            out = self.model.embed_images(image[None])
+        return out.data[0]
+
+    def embed_ingredients(self, ingredients: list[str]) -> np.ndarray:
+        """Embed a bare ingredient list (the paper's fridge query).
+
+        The instruction slot is filled with the corpus' mean instruction
+        embedding, as in §5.3.
+        """
+        known = [name for name in ingredients
+                 if name.replace(" ", "_") in self.featurizer.ingredient_vocab]
+        if not known:
+            raise ValueError("none of the ingredients are in the trained "
+                             "vocabulary")
+        tokens = [name.replace(" ", "_") for name in known]
+        ids = self.featurizer.ingredient_vocab.encode_padded(
+            tokens, self.featurizer.max_ingredients)
+        sentences = np.zeros((self.featurizer.max_sentences,
+                              self.corpus.sentence_vectors.shape[2]))
+        sentences[0] = self._mean_instruction_vector()
+        with no_grad():
+            out = self.model.embed_recipes(
+                ids[None, :], np.array([len(tokens)]),
+                sentences[None, :, :], np.array([1]))
+        return out.data[0]
+
+    def _mean_instruction_vector(self) -> np.ndarray:
+        total = np.zeros(self.corpus.sentence_vectors.shape[2])
+        count = 0
+        for row in range(len(self.corpus)):
+            length = self.corpus.sentence_lengths[row]
+            total += self.corpus.sentence_vectors[row, :length].sum(axis=0)
+            count += int(length)
+        return total / max(count, 1)
+
+    # ------------------------------------------------------------------
+    # Searches
+    # ------------------------------------------------------------------
+    def _materialize(self, rows: np.ndarray,
+                     distances: np.ndarray) -> list[SearchResult]:
+        return [SearchResult(
+            recipe=self.dataset[int(self.corpus.recipe_indices[row])],
+            distance=float(distance),
+            corpus_row=int(row))
+            for row, distance in zip(rows, distances)]
+
+    def search_by_recipe(self, recipe: Recipe, k: int = 5,
+                         class_name: str | None = None
+                         ) -> list[SearchResult]:
+        """Recipe text → closest dish images."""
+        return self._search_images(self.embed_recipe(recipe), k, class_name)
+
+    def search_by_image(self, image: np.ndarray, k: int = 5,
+                        class_name: str | None = None) -> list[SearchResult]:
+        """Dish image → closest recipes."""
+        query = self.embed_image(image)
+        class_id = self._resolve_class(class_name)
+        rows, distances = self._recipe_index.query(query, k=k,
+                                                   class_id=class_id)
+        return self._materialize(rows, distances)
+
+    def search_by_ingredients(self, ingredients: list[str], k: int = 5,
+                              class_name: str | None = None
+                              ) -> list[SearchResult]:
+        """Fridge search: ingredient list → dishes containing them."""
+        return self._search_images(self.embed_ingredients(ingredients), k,
+                                   class_name)
+
+    def search_without(self, recipe: Recipe, ingredient: str,
+                       k: int = 5) -> list[SearchResult]:
+        """Dietary filter: search with ``ingredient`` edited out."""
+        return self.search_by_recipe(recipe.without_ingredient(ingredient),
+                                     k=k)
+
+    def _search_images(self, query: np.ndarray, k: int,
+                       class_name: str | None) -> list[SearchResult]:
+        class_id = self._resolve_class(class_name)
+        rows, distances = self._image_index.query(query, k=k,
+                                                  class_id=class_id)
+        return self._materialize(rows, distances)
+
+    def _resolve_class(self, class_name: str | None) -> int | None:
+        if class_name is None:
+            return None
+        return self.dataset.taxonomy[class_name].class_id

@@ -1,0 +1,94 @@
+"""Hierarchical semantic loss — the paper's future-work extension.
+
+The conclusion of the paper proposes "considering hierarchical levels
+within object semantics to better refine the structure of the latent
+space". This module implements that extension on top of the existing
+double-triplet machinery: semantic triplets are applied at **two
+levels** of the class taxonomy,
+
+* the *fine* level — recipe classes (pizza, cupcake, ...), exactly the
+  paper's ℓ_sem with margin α, and
+* the *coarse* level — super-classes / food groups (main, dessert, ...),
+  a second semantic triplet loss over group labels with a smaller
+  margin (groups overlap more than classes, so they are held together
+  more loosely).
+
+Because group identity is a function of class identity, the coarse loss
+reuses :func:`repro.core.losses.semantic_triplet_loss` with class ids
+mapped through the taxonomy's ``class_to_group_ids`` table (unlabeled
+pairs stay unlabeled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor
+from .losses import TripletLossOutput, semantic_triplet_loss
+
+__all__ = ["HierarchicalLossOutput", "map_to_group_labels",
+           "hierarchical_semantic_loss"]
+
+
+@dataclass
+class HierarchicalLossOutput:
+    """Combined loss plus the per-level components for logging."""
+
+    loss: Tensor
+    fine: TripletLossOutput
+    coarse: TripletLossOutput
+
+
+def map_to_group_labels(class_ids: np.ndarray,
+                        class_to_group: np.ndarray) -> np.ndarray:
+    """Translate class labels to group labels, preserving ``-1``."""
+    class_ids = np.asarray(class_ids, dtype=np.int64)
+    class_to_group = np.asarray(class_to_group, dtype=np.int64)
+    if class_ids.size and class_ids.max(initial=-1) >= len(class_to_group):
+        raise ValueError("class id outside the class_to_group table")
+    groups = np.full_like(class_ids, -1)
+    labeled = class_ids >= 0
+    groups[labeled] = class_to_group[class_ids[labeled]]
+    return groups
+
+
+def hierarchical_semantic_loss(image_embeddings: Tensor,
+                               recipe_embeddings: Tensor,
+                               class_ids: np.ndarray,
+                               class_to_group: np.ndarray,
+                               margin: float = 0.3,
+                               group_margin: float = 0.15,
+                               group_weight: float = 0.5,
+                               strategy: str = "adaptive",
+                               rng: np.random.Generator | None = None,
+                               bidirectional: bool = True
+                               ) -> HierarchicalLossOutput:
+    """Two-level semantic loss: ℓ_sem(classes) + w·ℓ_sem(groups).
+
+    Parameters
+    ----------
+    class_to_group:
+        Integer array mapping every class id to its group id
+        (:meth:`repro.data.ClassTaxonomy.class_to_group_ids`).
+    group_margin:
+        Margin of the coarse level (smaller than the class margin:
+        groups are looser clusters).
+    group_weight:
+        Weight of the coarse term inside the combined loss.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    fine = semantic_triplet_loss(image_embeddings, recipe_embeddings,
+                                 class_ids, margin=margin,
+                                 strategy=strategy, rng=rng,
+                                 bidirectional=bidirectional)
+    group_ids = map_to_group_labels(class_ids, class_to_group)
+    coarse = semantic_triplet_loss(image_embeddings, recipe_embeddings,
+                                   group_ids, margin=group_margin,
+                                   strategy=strategy, rng=rng,
+                                   bidirectional=bidirectional)
+    return HierarchicalLossOutput(
+        loss=fine.loss + coarse.loss * group_weight,
+        fine=fine,
+        coarse=coarse)

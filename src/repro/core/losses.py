@@ -1,0 +1,196 @@
+"""Training objectives: double-triplet losses and the PWC baselines.
+
+All losses operate on **L2-normalized** latent embeddings, so the
+distance ``d(x, y) = 1 − x·y`` is the cosine distance of the paper.
+
+* :func:`instance_triplet_loss` — ℓ_ins (Eq. 2): the matching pair must
+  be closer to the query than every other item of the other modality,
+  by margin α. Bidirectional (image→recipe and recipe→image).
+* :func:`semantic_triplet_loss` — ℓ_sem (Eq. 3): for labeled queries, a
+  same-class item of the other modality must be closer than any
+  different-class item, by margin α. Implements §4.4's sampling: one
+  random same-class positive per query and negatives capped at the
+  smallest negative-set size in the batch.
+* :func:`pairwise_loss` — the PWC / PWC++ objective (Eq. 6): absolute
+  distance targets with positive and negative margins
+  (``positive_margin=0`` recovers the original PWC of [33]).
+* :func:`classification_loss` — cross-entropy through a classifier
+  head, used by the AdaMine_ins+cls and PWC scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, concat, cross_entropy
+from .mining import aggregate_triplets
+
+__all__ = ["TripletLossOutput", "instance_triplet_loss",
+           "semantic_triplet_loss", "pairwise_loss", "classification_loss"]
+
+
+@dataclass
+class TripletLossOutput:
+    """A scalar loss plus mining statistics for logging."""
+
+    loss: Tensor
+    num_triplets: int
+    num_active: int
+
+    @property
+    def active_fraction(self) -> float:
+        if self.num_triplets == 0:
+            return 0.0
+        return self.num_active / self.num_triplets
+
+
+def _distance_matrix(queries: Tensor, candidates: Tensor) -> Tensor:
+    """Cosine distance for already-normalized embeddings."""
+    return 1.0 - queries @ candidates.T
+
+
+def _directional_instance_losses(queries: Tensor, candidates: Tensor,
+                                 margin: float
+                                 ) -> tuple[Tensor, np.ndarray]:
+    """Per-triplet hinges for one direction; match is the diagonal."""
+    n = queries.shape[0]
+    distances = _distance_matrix(queries, candidates)
+    rows = np.arange(n)
+    positive = distances[rows, rows]                     # (n,)
+    hinge = (positive.reshape(n, 1) + margin - distances).clamp_min(0.0)
+    off_diag = ~np.eye(n, dtype=bool)
+    flat = hinge[off_diag]                               # (n*(n-1),)
+    query_ids = np.repeat(rows, n)[off_diag.reshape(-1)]
+    return flat, query_ids
+
+
+def instance_triplet_loss(image_embeddings: Tensor,
+                          recipe_embeddings: Tensor,
+                          margin: float = 0.3,
+                          strategy: str = "adaptive",
+                          bidirectional: bool = True) -> TripletLossOutput:
+    """ℓ_ins over every in-batch triplet (Eq. 2), both directions."""
+    if image_embeddings.shape != recipe_embeddings.shape:
+        raise ValueError("modal embeddings must be aligned")
+    losses_i2r, queries_i2r = _directional_instance_losses(
+        image_embeddings, recipe_embeddings, margin)
+    pieces = [losses_i2r]
+    query_ids = [queries_i2r]
+    if bidirectional:
+        losses_r2i, queries_r2i = _directional_instance_losses(
+            recipe_embeddings, image_embeddings, margin)
+        pieces.append(losses_r2i)
+        n = image_embeddings.shape[0]
+        query_ids.append(queries_r2i + n)  # distinct query namespace
+    flat = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+    ids = np.concatenate(query_ids)
+    loss = aggregate_triplets(flat, strategy, query_ids=ids)
+    active = int((flat.data > 0).sum())
+    return TripletLossOutput(loss, flat.shape[0], active)
+
+
+def _semantic_triplet_indices(class_ids: np.ndarray,
+                              rng: np.random.Generator
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build (query, positive, negative) index triples per §4.4.
+
+    One random same-class positive per labeled query; negatives are the
+    different-class labeled items, capped at the smallest negative-set
+    size among eligible queries (the paper's fairness cap).
+    """
+    labeled = np.flatnonzero(class_ids >= 0)
+    eligible = []
+    for i in labeled:
+        same = labeled[(class_ids[labeled] == class_ids[i]) & (labeled != i)]
+        diff = labeled[class_ids[labeled] != class_ids[i]]
+        if same.size and diff.size:
+            eligible.append((i, same, diff))
+    if not eligible:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    cap = min(diff.size for __, __, diff in eligible)
+    q_list, p_list, n_list = [], [], []
+    for i, same, diff in eligible:
+        positive = same[rng.integers(same.size)]
+        negatives = rng.choice(diff, size=cap, replace=False)
+        q_list.append(np.full(cap, i, dtype=np.int64))
+        p_list.append(np.full(cap, positive, dtype=np.int64))
+        n_list.append(negatives)
+    return (np.concatenate(q_list), np.concatenate(p_list),
+            np.concatenate(n_list))
+
+
+def semantic_triplet_loss(image_embeddings: Tensor,
+                          recipe_embeddings: Tensor,
+                          class_ids: np.ndarray,
+                          margin: float = 0.3,
+                          strategy: str = "adaptive",
+                          rng: np.random.Generator | None = None,
+                          bidirectional: bool = True) -> TripletLossOutput:
+    """ℓ_sem over class-guided cross-modal triplets (Eq. 3).
+
+    ``class_ids`` uses ``-1`` for unlabeled pairs, which participate in
+    neither the positive nor the negative sets.
+    """
+    if image_embeddings.shape != recipe_embeddings.shape:
+        raise ValueError("modal embeddings must be aligned")
+    class_ids = np.asarray(class_ids, dtype=np.int64)
+    if class_ids.shape[0] != image_embeddings.shape[0]:
+        raise ValueError("class_ids must align with embeddings")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    q_idx, p_idx, n_idx = _semantic_triplet_indices(class_ids, rng)
+    if q_idx.size == 0:
+        return TripletLossOutput(Tensor(0.0), 0, 0)
+
+    directions = [(image_embeddings, recipe_embeddings)]
+    if bidirectional:
+        directions.append((recipe_embeddings, image_embeddings))
+    pieces, ids = [], []
+    for d, (queries, candidates) in enumerate(directions):
+        distances = _distance_matrix(queries, candidates)
+        d_qp = distances[q_idx, p_idx]
+        d_qn = distances[q_idx, n_idx]
+        pieces.append((d_qp + margin - d_qn).clamp_min(0.0))
+        ids.append(q_idx + d * class_ids.shape[0])
+    flat = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+    all_ids = np.concatenate(ids)
+    loss = aggregate_triplets(flat, strategy, query_ids=all_ids)
+    active = int((flat.data > 0).sum())
+    return TripletLossOutput(loss, flat.shape[0], active)
+
+
+def pairwise_loss(image_embeddings: Tensor, recipe_embeddings: Tensor,
+                  positive_margin: float = 0.3,
+                  negative_margin: float = 0.9) -> Tensor:
+    """PWC / PWC++ pairwise objective (Eq. 6).
+
+    Matching pairs (the diagonal) are pulled within ``positive_margin``
+    of each other; non-matching pairs are pushed beyond
+    ``negative_margin``. ``positive_margin=0`` gives the PWC* baseline
+    (the paper's reimplementation of [33]); the paper's PWC++ uses
+    (0.3, 0.9).
+    """
+    if image_embeddings.shape != recipe_embeddings.shape:
+        raise ValueError("modal embeddings must be aligned")
+    n = image_embeddings.shape[0]
+    distances = _distance_matrix(image_embeddings, recipe_embeddings)
+    rows = np.arange(n)
+    positive = (distances[rows, rows] - positive_margin).clamp_min(0.0)
+    off_diag = ~np.eye(n, dtype=bool)
+    negative = (negative_margin - distances[off_diag]).clamp_min(0.0)
+    return positive.mean() + negative.mean()
+
+
+def classification_loss(image_logits: Tensor, recipe_logits: Tensor,
+                        class_ids: np.ndarray) -> Tensor:
+    """Cross-entropy of the classifier head on both modalities.
+
+    Unlabeled rows (``class_id == -1``) are ignored, mirroring how the
+    PWC baseline only applies its classification term to the labeled
+    half of each batch.
+    """
+    return (cross_entropy(image_logits, class_ids, ignore_index=-1)
+            + cross_entropy(recipe_logits, class_ids, ignore_index=-1))

@@ -1,0 +1,89 @@
+"""Adaptive triplet mining (§3.3 — the "AdaMine" in AdaMine).
+
+Given the per-triplet hinge losses of a mini-batch, an aggregation
+strategy turns them into the scalar whose gradient is the SGD update:
+
+* ``"average"`` — divide by the *total* number of triplets. This is the
+  standard practice the paper criticizes: as training progresses most
+  triplets satisfy their constraint and contribute zeros, so the update
+  vanishes.
+* ``"adaptive"`` — divide by β′, the number of *informative* (non-zero)
+  triplets only (Eq. 4–5). Early in training β′ ≈ total (behaves like
+  averaging); late in training only hard negatives remain active and
+  still receive full-magnitude updates — an automatic curriculum with
+  no switch-point hyperparameter.
+* ``"hard"`` — classical hard-negative mining: keep only the single
+  largest violation per query. Provided for the ablation benchmarks.
+
+β′ is a count, not a differentiated quantity, so the normalizer is
+computed from detached loss values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["STRATEGIES", "aggregate_triplets", "count_active"]
+
+STRATEGIES = ("adaptive", "average", "hard")
+
+
+def count_active(losses: Tensor, tol: float = 0.0) -> int:
+    """Number of triplets with a non-zero hinge loss (β′ of Eq. 5)."""
+    return int((losses.data > tol).sum())
+
+
+def aggregate_triplets(losses: Tensor, strategy: str = "adaptive",
+                       query_ids: np.ndarray | None = None) -> Tensor:
+    """Reduce a flat vector of per-triplet losses to a scalar.
+
+    Parameters
+    ----------
+    losses:
+        1-D tensor of hinge losses ``[d(q,p) + α − d(q,n)]₊``.
+    strategy:
+        One of :data:`STRATEGIES`.
+    query_ids:
+        Required for ``"hard"``: which query each triplet belongs to,
+        so the max is taken per query.
+
+    Returns a scalar tensor; zero (constant) when nothing is active.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown mining strategy {strategy!r}; "
+                         f"expected one of {STRATEGIES}")
+    if losses.ndim != 1:
+        raise ValueError("losses must be a flat vector of triplet losses")
+    total = losses.shape[0]
+    if total == 0:
+        return Tensor(0.0)
+
+    if strategy == "average":
+        return losses.sum() * (1.0 / total)
+
+    if strategy == "adaptive":
+        active = count_active(losses)
+        if active == 0:
+            return Tensor(0.0)
+        return losses.sum() * (1.0 / active)
+
+    # strategy == "hard": one hardest triplet per query
+    if query_ids is None:
+        raise ValueError("hard mining requires query_ids")
+    query_ids = np.asarray(query_ids)
+    if query_ids.shape != (total,):
+        raise ValueError("query_ids must align with losses")
+    values = losses.data
+    keep = np.zeros(total, dtype=bool)
+    for query in np.unique(query_ids):
+        rows = np.flatnonzero(query_ids == query)
+        hardest = rows[np.argmax(values[rows])]
+        if values[hardest] > 0:
+            keep[hardest] = True
+    kept = int(keep.sum())
+    if kept == 0:
+        return Tensor(0.0)
+    mask = Tensor(keep.astype(np.float64))
+    return (losses * mask).sum() * (1.0 / kept)

@@ -1,0 +1,157 @@
+"""Factory for every model scenario evaluated in the paper (§4.3).
+
+===============  ====================================================
+Scenario         Meaning
+===============  ====================================================
+adamine          Retrieval + semantic triplet losses, adaptive mining
+adamine_ins      Instance (retrieval) loss only, adaptive mining
+adamine_sem      Semantic loss only, adaptive mining
+adamine_ins_cls  Instance loss + classification head (as in [33])
+adamine_avg      Both losses, plain gradient averaging (no mining)
+adamine_ingr     Full AdaMine, ingredients-only recipe branch
+adamine_instr    Full AdaMine, instructions-only recipe branch
+pwc_star         Pairwise loss + classification head (PWC* of [33])
+pwc_pp           PWC* plus the positive margin of Eq. 6 (PWC++)
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.encoding import RecipeFeaturizer
+from ..vision import build_image_encoder
+from .branches import ImageBranch, RecipeBranch
+from .model import JointEmbeddingModel
+from .trainer import TrainingConfig
+
+__all__ = ["SCENARIO_NAMES", "ScenarioSpec", "scenario_spec",
+           "build_model", "build_scenario"]
+
+SCENARIO_NAMES = (
+    "adamine", "adamine_ins", "adamine_sem", "adamine_ins_cls",
+    "adamine_avg", "adamine_ingr", "adamine_instr", "pwc_star", "pwc_pp",
+    "adamine_hier",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """What a named scenario changes relative to the full AdaMine."""
+
+    name: str
+    description: str
+    use_instance_loss: bool = True
+    use_semantic_loss: bool = True
+    use_classification: bool = False
+    strategy: str = "adaptive"
+    objective: str = "triplet"
+    use_ingredients: bool = True
+    use_instructions: bool = True
+    positive_margin: float = 0.3
+    use_hierarchical: bool = False
+
+
+_SPECS = {
+    "adamine": ScenarioSpec(
+        "adamine", "retrieval + semantic losses, adaptive mining"),
+    "adamine_ins": ScenarioSpec(
+        "adamine_ins", "retrieval loss only", use_semantic_loss=False),
+    "adamine_sem": ScenarioSpec(
+        "adamine_sem", "semantic loss only", use_instance_loss=False),
+    "adamine_ins_cls": ScenarioSpec(
+        "adamine_ins_cls", "retrieval loss + classification head",
+        use_semantic_loss=False, use_classification=True),
+    "adamine_avg": ScenarioSpec(
+        "adamine_avg", "both losses, gradient averaging",
+        strategy="average"),
+    "adamine_ingr": ScenarioSpec(
+        "adamine_ingr", "full model, ingredients only",
+        use_instructions=False),
+    "adamine_instr": ScenarioSpec(
+        "adamine_instr", "full model, instructions only",
+        use_ingredients=False),
+    "pwc_star": ScenarioSpec(
+        "pwc_star", "pairwise loss + classification head ([33] reimpl.)",
+        objective="pairwise", use_classification=True,
+        positive_margin=0.0),
+    "pwc_pp": ScenarioSpec(
+        "pwc_pp", "pairwise loss with positive margin + classification",
+        objective="pairwise", use_classification=True,
+        positive_margin=0.3),
+    "adamine_hier": ScenarioSpec(
+        "adamine_hier", "AdaMine + two-level (class/group) semantic loss "
+        "(the paper's future-work extension)",
+        use_hierarchical=True),
+}
+
+
+def scenario_spec(name: str) -> ScenarioSpec:
+    """Look up a scenario by name."""
+    if name not in _SPECS:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"expected one of {SCENARIO_NAMES}")
+    return _SPECS[name]
+
+
+def build_model(featurizer: RecipeFeaturizer, num_classes: int,
+                image_size: int, latent_dim: int = 32,
+                backbone: str = "mlp", seed: int = 0,
+                use_ingredients: bool = True,
+                use_instructions: bool = True,
+                with_classifier: bool = False) -> JointEmbeddingModel:
+    """Assemble a :class:`JointEmbeddingModel` from a fitted featurizer."""
+    rng = np.random.default_rng(seed)
+    encoder = build_image_encoder(backbone, rng, image_size,
+                                  feature_dim=latent_dim)
+    image_branch = ImageBranch(encoder, latent_dim, rng)
+    recipe_branch = RecipeBranch(
+        featurizer.ingredient_vectors,
+        sentence_dim=featurizer.sentence_dim,
+        latent_dim=latent_dim,
+        rng=rng,
+        use_ingredients=use_ingredients,
+        use_instructions=use_instructions,
+    )
+    return JointEmbeddingModel(
+        image_branch, recipe_branch,
+        num_classes=num_classes if with_classifier else None,
+        rng=rng)
+
+
+def build_scenario(name: str, featurizer: RecipeFeaturizer,
+                   num_classes: int, image_size: int,
+                   base_config: TrainingConfig | None = None,
+                   latent_dim: int = 32, backbone: str = "mlp",
+                   seed: int = 0
+                   ) -> tuple[JointEmbeddingModel, TrainingConfig]:
+    """Build the model and training configuration of a named scenario.
+
+    ``base_config`` carries the experiment scale (epochs, batch size,
+    learning rate); the scenario overrides only the fields that define
+    it (losses, mining strategy, recipe-branch ablation).
+    """
+    spec = scenario_spec(name)
+    base = base_config or TrainingConfig()
+    config = dataclasses.replace(
+        base,
+        objective=spec.objective,
+        strategy=spec.strategy,
+        use_instance_loss=spec.use_instance_loss,
+        use_semantic_loss=spec.use_semantic_loss,
+        use_classification=spec.use_classification,
+        positive_margin=spec.positive_margin,
+        use_hierarchical=spec.use_hierarchical,
+        seed=seed,
+    )
+    model = build_model(
+        featurizer, num_classes, image_size,
+        latent_dim=latent_dim, backbone=backbone, seed=seed,
+        use_ingredients=spec.use_ingredients,
+        use_instructions=spec.use_instructions,
+        with_classifier=spec.use_classification,
+    )
+    return model, config

@@ -1,0 +1,229 @@
+"""Training loop for all scenarios (AdaMine variants and PWC baselines).
+
+Reproduces the paper's schedule (§4.4): Adam at lr 1e-4, mini-batches
+with the 50/50 labeled/unlabeled composition, the vision backbone
+frozen for an initial phase then fine-tuned, and model selection by
+the best validation MedR at the end of each epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.batching import PairBatcher
+from ..data.encoding import EncodedCorpus
+from ..optim import Adam, TwoPhaseSchedule
+from ..retrieval import RetrievalProtocol
+from ..vision import Augmenter
+from .losses import (classification_loss, instance_triplet_loss,
+                     pairwise_loss, semantic_triplet_loss)
+from .model import JointEmbeddingModel
+
+__all__ = ["TrainingConfig", "EpochStats", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    The defaults mirror the paper where scale allows: margin α = 0.3,
+    semantic weight λ = 0.3, Adam lr 1e-4 (scaled up for the much
+    smaller CPU models), adaptive mining, bidirectional triplets.
+    """
+
+    epochs: int = 12
+    freeze_epochs: int = 3
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    margin: float = 0.3
+    lambda_sem: float = 0.3
+    strategy: str = "adaptive"          # adaptive | average | hard
+    objective: str = "triplet"          # triplet | pairwise
+    use_instance_loss: bool = True
+    use_semantic_loss: bool = True
+    use_classification: bool = False
+    classification_weight: float = 0.3
+    positive_margin: float = 0.3        # pairwise objective only
+    negative_margin: float = 0.9
+    use_hierarchical: bool = False      # two-level semantic loss
+    group_margin: float = 0.15
+    group_weight: float = 0.5
+    bidirectional: bool = True
+    augment: bool = True
+    stratify_batches: bool = True
+    select_best: bool = True
+    eval_bag_size: int = 500
+    eval_num_bags: int = 3
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.objective not in ("triplet", "pairwise"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.objective == "triplet" and not (
+                self.use_instance_loss or self.use_semantic_loss):
+            raise ValueError("triplet objective needs at least one loss")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training diagnostics."""
+
+    epoch: int
+    train_loss: float
+    val_medr: float
+    instance_active_fraction: float = 0.0
+    semantic_active_fraction: float = 0.0
+    backbone_frozen: bool = True
+
+
+class Trainer:
+    """Train a :class:`JointEmbeddingModel` on an encoded corpus."""
+
+    def __init__(self, model: JointEmbeddingModel, config: TrainingConfig,
+                 class_to_group: np.ndarray | None = None):
+        if config.use_hierarchical and class_to_group is None:
+            raise ValueError("hierarchical loss requires a class_to_group "
+                             "mapping (taxonomy.class_to_group_ids())")
+        self.model = model
+        self.config = config
+        self.class_to_group = class_to_group
+        self._rng = np.random.default_rng(config.seed)
+        self.history: list[EpochStats] = []
+        self.best_val_medr: float = float("inf")
+        self._best_state = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train_corpus: EncodedCorpus,
+            val_corpus: EncodedCorpus | None = None) -> list[EpochStats]:
+        """Run the full schedule; returns per-epoch statistics.
+
+        With ``select_best`` (default), the model ends loaded with the
+        parameters of its best validation-MedR epoch, mirroring the
+        paper's model selection.
+        """
+        config = self.config
+        batcher = PairBatcher(train_corpus, batch_size=config.batch_size,
+                              seed=config.seed,
+                              stratify=config.stratify_batches)
+        schedule = TwoPhaseSchedule(self.model.image_branch.backbone,
+                                    config.freeze_epochs, config.epochs)
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        augmenter = (Augmenter(np.random.default_rng(config.seed + 1))
+                     if config.augment else None)
+
+        for epoch in range(config.epochs):
+            schedule.on_epoch_start(epoch)
+            self.model.train()
+            epoch_loss, n_batches = 0.0, 0
+            ins_active, sem_active = [], []
+            for rows in batcher.epoch():
+                loss, stats = self._train_step(train_corpus, rows,
+                                               optimizer, augmenter)
+                epoch_loss += loss
+                n_batches += 1
+                if "ins_active" in stats:
+                    ins_active.append(stats["ins_active"])
+                if "sem_active" in stats:
+                    sem_active.append(stats["sem_active"])
+
+            val_medr = (self.evaluate_medr(val_corpus)
+                        if val_corpus is not None else float("nan"))
+            self.history.append(EpochStats(
+                epoch=epoch,
+                train_loss=epoch_loss / max(n_batches, 1),
+                val_medr=val_medr,
+                instance_active_fraction=float(np.mean(ins_active))
+                if ins_active else 0.0,
+                semantic_active_fraction=float(np.mean(sem_active))
+                if sem_active else 0.0,
+                backbone_frozen=schedule.backbone_frozen,
+            ))
+            if (config.select_best and val_corpus is not None
+                    and val_medr < self.best_val_medr):
+                self.best_val_medr = val_medr
+                self._best_state = self.model.state_dict()
+
+        if config.select_best and self._best_state is not None:
+            self.model.load_state_dict(self._best_state)
+        return self.history
+
+    # ------------------------------------------------------------------
+    def _train_step(self, corpus: EncodedCorpus, rows: np.ndarray,
+                    optimizer: Adam, augmenter: Augmenter | None
+                    ) -> tuple[float, dict]:
+        config = self.config
+        images = corpus.images[rows]
+        if augmenter is not None:
+            images = augmenter(images)
+
+        optimizer.zero_grad()
+        image_emb, recipe_emb = self.model(
+            images,
+            corpus.ingredient_ids[rows],
+            corpus.ingredient_lengths[rows],
+            corpus.sentence_vectors[rows],
+            corpus.sentence_lengths[rows],
+        )
+        class_ids = corpus.class_ids[rows]
+        stats: dict[str, float] = {}
+
+        if config.objective == "pairwise":
+            total = pairwise_loss(image_emb, recipe_emb,
+                                  positive_margin=config.positive_margin,
+                                  negative_margin=config.negative_margin)
+        else:
+            total = None
+            if config.use_instance_loss:
+                ins = instance_triplet_loss(
+                    image_emb, recipe_emb, margin=config.margin,
+                    strategy=config.strategy,
+                    bidirectional=config.bidirectional)
+                stats["ins_active"] = ins.active_fraction
+                total = ins.loss
+            if config.use_semantic_loss:
+                if config.use_hierarchical:
+                    from .hierarchical import hierarchical_semantic_loss
+                    hier = hierarchical_semantic_loss(
+                        image_emb, recipe_emb, class_ids,
+                        self.class_to_group, margin=config.margin,
+                        group_margin=config.group_margin,
+                        group_weight=config.group_weight,
+                        strategy=config.strategy, rng=self._rng,
+                        bidirectional=config.bidirectional)
+                    stats["sem_active"] = hier.fine.active_fraction
+                    sem_loss = hier.loss
+                else:
+                    sem = semantic_triplet_loss(
+                        image_emb, recipe_emb, class_ids,
+                        margin=config.margin, strategy=config.strategy,
+                        rng=self._rng, bidirectional=config.bidirectional)
+                    stats["sem_active"] = sem.active_fraction
+                    sem_loss = sem.loss
+                weighted = sem_loss * config.lambda_sem
+                total = weighted if total is None else total + weighted
+
+        if config.use_classification:
+            logits_img = self.model.classify(image_emb)
+            logits_rec = self.model.classify(recipe_emb)
+            cls = classification_loss(logits_img, logits_rec, class_ids)
+            total = total + cls * config.classification_weight
+
+        total.backward()
+        optimizer.step()
+        return total.item(), stats
+
+    # ------------------------------------------------------------------
+    def evaluate_medr(self, corpus: EncodedCorpus) -> float:
+        """Mean MedR over both retrieval directions on ``corpus``."""
+        config = self.config
+        image_emb, recipe_emb = self.model.encode_corpus(corpus)
+        protocol = RetrievalProtocol(
+            bag_size=min(config.eval_bag_size, len(corpus)),
+            num_bags=config.eval_num_bags, seed=config.seed)
+        result = protocol.evaluate(image_emb, recipe_emb)
+        return 0.5 * (result.medr("image_to_recipe")
+                      + result.medr("recipe_to_image"))

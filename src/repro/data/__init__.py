@@ -1,0 +1,23 @@
+"""Synthetic Recipe1M data substrate."""
+
+from .ingredients import BASE_INGREDIENTS, Ingredient, IngredientLexicon
+from .classes import GROUPS, LAYOUTS, ClassTaxonomy, RecipeClass
+from .instructions import InstructionGrammar
+from .images import DishRenderer
+from .schema import Recipe
+from .generator import DatasetConfig, SyntheticRecipe1M, generate_dataset
+from .dataset import RecipeDataset
+from .encoding import EncodedCorpus, RecipeFeaturizer
+from .batching import PairBatcher
+from .io import load_ppm, save_image_grid, save_ppm
+from .recipe1m_format import export_recipe1m, import_recipe1m
+
+__all__ = [
+    "Ingredient", "IngredientLexicon", "BASE_INGREDIENTS",
+    "RecipeClass", "ClassTaxonomy", "LAYOUTS", "GROUPS",
+    "InstructionGrammar", "DishRenderer", "Recipe",
+    "DatasetConfig", "SyntheticRecipe1M", "generate_dataset",
+    "RecipeDataset", "EncodedCorpus", "RecipeFeaturizer", "PairBatcher",
+    "save_ppm", "load_ppm", "save_image_grid",
+    "export_recipe1m", "import_recipe1m",
+]

@@ -1,0 +1,100 @@
+"""Mini-batch sampling with the paper's labeled/unlabeled composition.
+
+§4.4: batches of 100 pairs are split into 50 random unlabeled pairs and
+50 labeled pairs drawn to respect the class distribution of the split.
+:class:`PairBatcher` reproduces that policy over an
+:class:`~repro.data.encoding.EncodedCorpus` at any batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .encoding import EncodedCorpus
+
+__all__ = ["PairBatcher"]
+
+
+class PairBatcher:
+    """Yield row-index batches over an encoded corpus.
+
+    Parameters
+    ----------
+    corpus:
+        Encoded training corpus.
+    batch_size:
+        Pairs per batch. Half the slots (rounded down) go to labeled
+        pairs when both pools are non-empty.
+    seed:
+        Sampling seed.
+    stratify:
+        Keep the labeled half's class proportions equal to the split's
+        observed class distribution (the paper's policy). When False,
+        labeled rows are drawn uniformly — an ablation knob.
+    """
+
+    def __init__(self, corpus: EncodedCorpus, batch_size: int = 100,
+                 seed: int = 0, stratify: bool = True):
+        if batch_size < 2:
+            raise ValueError("batch_size must be at least 2")
+        self.corpus = corpus
+        self.batch_size = batch_size
+        self.stratify = stratify
+        self._rng = np.random.default_rng(seed)
+        self._labeled_rows = np.flatnonzero(corpus.class_ids >= 0)
+        self._unlabeled_rows = np.flatnonzero(corpus.class_ids < 0)
+        self._class_rows: dict[int, np.ndarray] = {}
+        for class_id in np.unique(corpus.class_ids[self._labeled_rows]):
+            self._class_rows[int(class_id)] = np.flatnonzero(
+                corpus.class_ids == class_id)
+        self._class_probs = None
+        if self._class_rows:
+            counts = np.array([len(rows) for rows in
+                               self._class_rows.values()], dtype=np.float64)
+            self._class_probs = counts / counts.sum()
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return max(1, len(self.corpus) // self.batch_size)
+
+    # ------------------------------------------------------------------
+    def epoch(self) -> Iterator[np.ndarray]:
+        """Yield ``batches_per_epoch`` batches of row indices."""
+        for __ in range(self.batches_per_epoch):
+            yield self.sample_batch()
+
+    def sample_batch(self) -> np.ndarray:
+        """Draw one batch: 50% unlabeled + 50% class-stratified labeled."""
+        rng = self._rng
+        half = self.batch_size // 2
+        n_labeled = half if len(self._labeled_rows) else 0
+        n_unlabeled = self.batch_size - n_labeled
+        if not len(self._unlabeled_rows):
+            n_labeled, n_unlabeled = self.batch_size, 0
+
+        rows: list[np.ndarray] = []
+        if n_unlabeled:
+            rows.append(rng.choice(self._unlabeled_rows, size=n_unlabeled,
+                                   replace=len(self._unlabeled_rows)
+                                   < n_unlabeled))
+        if n_labeled:
+            rows.append(self._sample_labeled(n_labeled))
+        batch = np.concatenate(rows)
+        rng.shuffle(batch)
+        return batch
+
+    def _sample_labeled(self, count: int) -> np.ndarray:
+        rng = self._rng
+        if not self.stratify:
+            return rng.choice(self._labeled_rows, size=count,
+                              replace=len(self._labeled_rows) < count)
+        class_ids = list(self._class_rows)
+        drawn_classes = rng.choice(len(class_ids), size=count,
+                                   p=self._class_probs)
+        picks = np.empty(count, dtype=np.int64)
+        for i, class_pos in enumerate(drawn_classes):
+            pool = self._class_rows[class_ids[class_pos]]
+            picks[i] = pool[rng.integers(len(pool))]
+        return picks

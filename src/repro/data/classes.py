@@ -1,0 +1,273 @@
+"""Recipe class taxonomy.
+
+Recipe1M parses 1048 semantic classes from recipe titles; half the
+dataset pairs carry such a label. This module provides a curated set of
+real dish classes (including every class the paper's figures mention:
+cupcake, hamburger, green beans, pork chops, pizza) and can extend the
+taxonomy procedurally to any requested size, each class carrying:
+
+* a signature set of core ingredients (always present),
+* an extras pool (sometimes present),
+* rendering attributes (background colour, plating layout),
+* a sampling weight (head classes are far more frequent, like Recipe1M).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ingredients import IngredientLexicon
+
+__all__ = ["RecipeClass", "ClassTaxonomy", "LAYOUTS"]
+
+LAYOUTS = ("disc", "grid", "stack", "bowl")
+
+# Coarse super-classes ("hierarchical levels within object semantics",
+# the paper's stated future-work extension, implemented in
+# repro.core.hierarchical).
+GROUPS = ("main", "side", "dessert", "breakfast", "drink")
+
+_CURATED_GROUPS = {
+    "pizza": "main", "cupcake": "dessert", "hamburger": "main",
+    "green beans": "side", "pork chops": "main", "salad": "side",
+    "soup": "main", "pasta": "main", "brownies": "dessert",
+    "cookies": "dessert", "tacos": "main", "sushi": "main",
+    "pancakes": "breakfast", "smoothie": "drink", "curry": "main",
+    "roasted chicken": "main", "burrito": "main", "omelette": "breakfast",
+    "risotto": "main", "cheesecake": "dessert", "muffins": "breakfast",
+    "waffles": "breakfast", "chili": "main", "steak": "main",
+    "fried rice": "main", "quiche": "breakfast", "apple pie": "dessert",
+    "coleslaw": "side", "mashed potatoes": "side", "stir fry": "main",
+}
+
+# name, core ingredients, extras, layout, background RGB
+_CURATED = [
+    ("pizza", ["pizza dough", "tomato sauce", "mozzarella"],
+     ["pepperoni", "mushrooms", "olives", "basil", "pineapple", "bell pepper",
+      "onion", "oregano", "arugula", "feta cheese", "strawberries"],
+     "disc", (0.55, 0.35, 0.22)),
+    ("cupcake", ["flour", "sugar", "butter", "eggs"],
+     ["vanilla extract", "frosting", "sprinkles", "chocolate chips",
+      "blueberries", "cinnamon", "cocoa powder"],
+     "stack", (0.85, 0.75, 0.80)),
+    ("hamburger", ["hamburger buns", "ground beef", "lettuce"],
+     ["cheddar cheese", "tomato", "onion", "bacon", "ketchup", "mustard",
+      "mayonnaise"],
+     "stack", (0.60, 0.45, 0.30)),
+    ("green beans", ["green beans", "butter", "salt"],
+     ["garlic", "almonds", "bacon", "lemons", "olive oil", "black pepper"],
+     "bowl", (0.30, 0.45, 0.28)),
+    ("pork chops", ["pork chops", "salt", "black pepper"],
+     ["garlic", "thyme", "butter", "apples", "onion", "brown sugar",
+      "balsamic vinegar"],
+     "disc", (0.48, 0.32, 0.24)),
+    ("salad", ["lettuce", "olive oil", "tomato"],
+     ["cucumber", "feta cheese", "olives", "onion", "avocado", "arugula",
+      "balsamic vinegar", "parmesan"],
+     "bowl", (0.42, 0.55, 0.32)),
+    ("soup", ["onion", "garlic", "celery"],
+     ["carrot", "potatoes", "chicken", "cream", "thyme", "lentils",
+      "black pepper", "parsley", "broccoli"],
+     "bowl", (0.72, 0.58, 0.35)),
+    ("pasta", ["pasta", "olive oil", "garlic"],
+     ["tomato sauce", "parmesan", "basil", "mushrooms", "cream", "spinach",
+      "ground beef", "pesto"],
+     "bowl", (0.70, 0.55, 0.30)),
+    ("brownies", ["flour", "sugar", "cocoa powder", "eggs"],
+     ["chocolate chips", "walnuts", "butter", "vanilla extract",
+      "pecans", "butterscotch chips"],
+     "grid", (0.35, 0.22, 0.16)),
+    ("cookies", ["flour", "sugar", "butter", "eggs"],
+     ["chocolate chips", "oats", "raisins", "peanut butter", "pecans",
+      "vanilla extract", "condensed milk", "butterscotch chips"],
+     "grid", (0.68, 0.52, 0.35)),
+    ("tacos", ["tortillas", "ground beef", "onion"],
+     ["salsa", "cheddar cheese", "lettuce", "cilantro", "black beans",
+      "sour cream", "limes", "chili powder"],
+     "stack", (0.75, 0.55, 0.28)),
+    ("sushi", ["rice", "salmon", "soy sauce"],
+     ["tuna", "avocado", "cucumber", "shrimp", "ginger"],
+     "grid", (0.30, 0.35, 0.40)),
+    ("pancakes", ["flour", "milk", "eggs", "sugar"],
+     ["maple syrup", "butter", "blueberries", "bananas", "cinnamon"],
+     "stack", (0.80, 0.65, 0.42)),
+    ("smoothie", ["milk", "bananas", "honey"],
+     ["strawberries", "blueberries", "mango", "yogurt", "peaches",
+      "raspberries"],
+     "bowl", (0.78, 0.62, 0.70)),
+    ("curry", ["curry powder", "onion", "garlic"],
+     ["chicken", "rice", "chickpeas", "ginger", "cream", "cilantro",
+      "tofu", "cumin", "broccoli", "bell pepper", "zucchini"],
+     "bowl", (0.80, 0.60, 0.25)),
+    ("roasted chicken", ["chicken", "olive oil", "garlic"],
+     ["lemons", "thyme", "potatoes", "parsley", "butter", "paprika",
+      "balsamic vinegar", "mustard"],
+     "disc", (0.55, 0.40, 0.25)),
+    ("burrito", ["tortillas", "rice", "black beans"],
+     ["ground beef", "cheddar cheese", "salsa", "sour cream", "avocado",
+      "cilantro", "jalapenos", "guacamole"],
+     "stack", (0.70, 0.52, 0.30)),
+    ("omelette", ["eggs", "butter", "salt"],
+     ["cheddar cheese", "mushrooms", "spinach", "ham", "onion",
+      "bell pepper", "scallions", "parsley"],
+     "disc", (0.85, 0.72, 0.45)),
+    ("risotto", ["rice", "butter", "parmesan"],
+     ["mushrooms", "onion", "peas", "chicken broth", "garlic",
+      "asparagus", "saffron"],
+     "bowl", (0.78, 0.70, 0.50)),
+    ("cheesecake", ["cream cheese", "sugar", "eggs"],
+     ["vanilla extract", "strawberries", "blueberries", "caramel",
+      "raspberries", "dark chocolate", "cherries"],
+     "disc", (0.80, 0.70, 0.60)),
+    ("muffins", ["flour", "sugar", "eggs", "milk"],
+     ["blueberries", "bananas", "chocolate chips", "oats", "cinnamon",
+      "walnuts", "cranberries", "pumpkin"],
+     "grid", (0.72, 0.58, 0.42)),
+    ("waffles", ["flour", "eggs", "milk", "butter"],
+     ["maple syrup", "strawberries", "whipped cream", "blueberries",
+      "powdered sugar", "bananas"],
+     "grid", (0.82, 0.66, 0.40)),
+    ("chili", ["ground beef", "kidney beans", "tomato sauce"],
+     ["onion", "chili powder", "cumin", "bell pepper", "garlic",
+      "jalapenos", "cheddar cheese", "sour cream"],
+     "bowl", (0.55, 0.25, 0.18)),
+    ("steak", ["beef", "salt", "black pepper"],
+     ["butter", "garlic", "rosemary", "thyme", "mushrooms", "onion",
+      "potatoes"],
+     "disc", (0.42, 0.28, 0.22)),
+    ("fried rice", ["rice", "eggs", "soy sauce"],
+     ["peas", "carrot", "scallions", "garlic", "ginger", "shrimp",
+      "sesame oil", "ham"],
+     "bowl", (0.68, 0.58, 0.35)),
+    ("quiche", ["eggs", "cream", "flour"],
+     ["bacon", "spinach", "swiss cheese", "onion", "mushrooms",
+      "leeks", "goat cheese"],
+     "disc", (0.80, 0.68, 0.48)),
+    ("apple pie", ["apples", "flour", "sugar", "butter"],
+     ["cinnamon", "nutmeg", "lemons", "vanilla extract", "caramel"],
+     "disc", (0.75, 0.55, 0.32)),
+    ("coleslaw", ["cabbage", "mayonnaise", "carrot"],
+     ["apple cider vinegar", "onion", "celery", "dijon mustard",
+      "raisins", "sugar"],
+     "bowl", (0.62, 0.72, 0.52)),
+    ("mashed potatoes", ["potatoes", "butter", "milk"],
+     ["garlic", "sour cream", "parsley", "black pepper", "scallions",
+      "parmesan"],
+     "bowl", (0.82, 0.78, 0.62)),
+    ("stir fry", ["soy sauce", "garlic", "ginger"],
+     ["broccoli", "bell pepper", "carrot", "snow peas", "chicken",
+      "tofu", "sesame oil", "bok choy", "scallions"],
+     "bowl", (0.48, 0.38, 0.28)),
+]
+
+
+@dataclass(frozen=True)
+class RecipeClass:
+    """One semantic recipe class (e.g. *pizza*)."""
+
+    class_id: int
+    name: str
+    core: tuple[str, ...]
+    extras: tuple[str, ...]
+    layout: str
+    background: tuple[float, float, float]
+    weight: float = 1.0      # relative sampling frequency
+    group: str = "main"      # coarse super-class (see GROUPS)
+
+
+class ClassTaxonomy:
+    """A fixed-size taxonomy of recipe classes.
+
+    Parameters
+    ----------
+    num_classes:
+        Total number of classes. The first ``min(num_classes, 16)`` are
+        curated real dishes; the remainder are procedurally generated
+        with random ingredient signatures.
+    lexicon:
+        Ingredient lexicon used both to validate curated signatures and
+        to sample procedural ones.
+    seed:
+        RNG seed for procedural generation and class weights.
+    """
+
+    def __init__(self, num_classes: int, lexicon: IngredientLexicon,
+                 seed: int = 0):
+        if num_classes < 1:
+            raise ValueError("need at least one class")
+        self.lexicon = lexicon
+        rng = np.random.default_rng(seed)
+        classes: list[RecipeClass] = []
+        for i, (name, core, extras, layout, bg) in enumerate(
+                _CURATED[:num_classes]):
+            self._validate(core + extras)
+            classes.append(RecipeClass(i, name, tuple(core), tuple(extras),
+                                       layout, bg,
+                                       group=_CURATED_GROUPS[name]))
+        for i in range(len(classes), num_classes):
+            classes.append(self._procedural(i, rng))
+        # Zipf-like head-heavy sampling weights, as in Recipe1M.
+        ranks = np.arange(1, num_classes + 1, dtype=np.float64)
+        weights = 1.0 / ranks ** 0.7
+        weights /= weights.sum()
+        self.classes = [
+            RecipeClass(c.class_id, c.name, c.core, c.extras, c.layout,
+                        c.background, float(w), c.group)
+            for c, w in zip(classes, weights)
+        ]
+        self._by_name = {c.name: c for c in self.classes}
+
+    def _validate(self, names: list[str]) -> None:
+        unknown = [n for n in names if n not in self.lexicon]
+        if unknown:
+            raise ValueError(f"unknown ingredients in taxonomy: {unknown}")
+
+    def _procedural(self, class_id: int,
+                    rng: np.random.Generator) -> RecipeClass:
+        core = self.lexicon.sample(rng, 3)
+        extras = self.lexicon.sample(rng, 8, exclude={i.name for i in core})
+        layout = LAYOUTS[rng.integers(len(LAYOUTS))]
+        background = tuple(rng.uniform(0.2, 0.8, size=3).round(3))
+        group = GROUPS[rng.integers(len(GROUPS))]
+        return RecipeClass(class_id, f"dish-{class_id}",
+                           tuple(i.name for i in core),
+                           tuple(i.name for i in extras),
+                           layout, background, group=group)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __getitem__(self, key) -> RecipeClass:
+        if isinstance(key, str):
+            return self._by_name[key]
+        return self.classes[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def weights(self) -> np.ndarray:
+        return np.array([c.weight for c in self.classes])
+
+    @property
+    def group_names(self) -> list[str]:
+        """Distinct super-class names, in first-appearance order."""
+        seen: list[str] = []
+        for cls in self.classes:
+            if cls.group not in seen:
+                seen.append(cls.group)
+        return seen
+
+    def class_to_group_ids(self) -> np.ndarray:
+        """Map ``class_id`` → integer group id (for hierarchical losses)."""
+        order = {name: i for i, name in enumerate(self.group_names)}
+        return np.array([order[c.group] for c in self.classes],
+                        dtype=np.int64)
+
+    def sample_class(self, rng: np.random.Generator) -> RecipeClass:
+        """Draw a class following the head-heavy frequency distribution."""
+        index = rng.choice(len(self.classes), p=self.weights)
+        return self.classes[index]

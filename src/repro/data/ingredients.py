@@ -1,0 +1,296 @@
+"""Ingredient lexicon with visual attributes.
+
+Each ingredient carries an RGB colour and a texture coefficient used by
+the procedural dish renderer, so images genuinely encode which
+ingredients a recipe contains — the property the paper's
+ingredient-to-image and ingredient-removal experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ingredient", "IngredientLexicon", "BASE_INGREDIENTS"]
+
+
+@dataclass(frozen=True)
+class Ingredient:
+    """One ingredient and its rendering attributes."""
+
+    name: str
+    color: tuple[float, float, float]  # RGB in [0, 1]
+    texture: float                     # blob noise amplitude in [0, 1]
+    group: str                         # coarse food group
+
+
+# name, (r, g, b), texture, group — colours picked to be food-plausible
+# and mutually distinguishable at small render resolutions.
+BASE_INGREDIENTS: list[Ingredient] = [Ingredient(n, c, t, g) for n, c, t, g in [
+    # vegetables
+    ("tomato", (0.86, 0.18, 0.12), 0.15, "vegetable"),
+    ("broccoli", (0.13, 0.47, 0.13), 0.45, "vegetable"),
+    ("spinach", (0.10, 0.40, 0.12), 0.35, "vegetable"),
+    ("carrot", (0.95, 0.52, 0.10), 0.25, "vegetable"),
+    ("onion", (0.93, 0.88, 0.76), 0.20, "vegetable"),
+    ("garlic", (0.96, 0.94, 0.85), 0.15, "vegetable"),
+    ("bell pepper", (0.90, 0.25, 0.15), 0.20, "vegetable"),
+    ("green beans", (0.25, 0.60, 0.22), 0.40, "vegetable"),
+    ("cucumber", (0.55, 0.78, 0.35), 0.20, "vegetable"),
+    ("zucchini", (0.45, 0.65, 0.25), 0.25, "vegetable"),
+    ("mushrooms", (0.72, 0.62, 0.50), 0.35, "vegetable"),
+    ("corn", (0.98, 0.85, 0.25), 0.45, "vegetable"),
+    ("peas", (0.35, 0.68, 0.28), 0.45, "vegetable"),
+    ("potatoes", (0.90, 0.82, 0.58), 0.25, "vegetable"),
+    ("arugula", (0.22, 0.52, 0.20), 0.40, "vegetable"),
+    ("lettuce", (0.48, 0.75, 0.32), 0.30, "vegetable"),
+    ("olives", (0.20, 0.22, 0.12), 0.25, "vegetable"),
+    ("avocado", (0.55, 0.68, 0.30), 0.20, "vegetable"),
+    ("eggplant", (0.35, 0.15, 0.40), 0.20, "vegetable"),
+    ("cauliflower", (0.95, 0.93, 0.86), 0.35, "vegetable"),
+    ("celery", (0.62, 0.80, 0.45), 0.30, "vegetable"),
+    ("cabbage", (0.70, 0.85, 0.55), 0.30, "vegetable"),
+    ("pumpkin", (0.95, 0.58, 0.15), 0.20, "vegetable"),
+    ("beets", (0.55, 0.10, 0.25), 0.20, "vegetable"),
+    ("asparagus", (0.35, 0.58, 0.25), 0.35, "vegetable"),
+    # fruits
+    ("strawberries", (0.90, 0.15, 0.25), 0.30, "fruit"),
+    ("pineapple", (0.98, 0.82, 0.30), 0.35, "fruit"),
+    ("lemons", (0.98, 0.92, 0.35), 0.20, "fruit"),
+    ("limes", (0.60, 0.82, 0.30), 0.20, "fruit"),
+    ("apples", (0.85, 0.30, 0.25), 0.15, "fruit"),
+    ("bananas", (0.96, 0.88, 0.55), 0.15, "fruit"),
+    ("blueberries", (0.25, 0.30, 0.60), 0.35, "fruit"),
+    ("raspberries", (0.80, 0.18, 0.35), 0.35, "fruit"),
+    ("mango", (0.98, 0.68, 0.22), 0.20, "fruit"),
+    ("peaches", (0.97, 0.72, 0.48), 0.20, "fruit"),
+    ("oranges", (0.96, 0.60, 0.15), 0.20, "fruit"),
+    ("cherries", (0.70, 0.10, 0.20), 0.25, "fruit"),
+    ("raisins", (0.35, 0.22, 0.18), 0.35, "fruit"),
+    ("coconut", (0.97, 0.96, 0.92), 0.40, "fruit"),
+    # proteins
+    ("chicken", (0.93, 0.80, 0.58), 0.25, "protein"),
+    ("beef", (0.48, 0.26, 0.18), 0.30, "protein"),
+    ("ground beef", (0.50, 0.30, 0.20), 0.40, "protein"),
+    ("pork", (0.85, 0.60, 0.50), 0.25, "protein"),
+    ("pork chops", (0.80, 0.55, 0.45), 0.25, "protein"),
+    ("bacon", (0.70, 0.32, 0.25), 0.35, "protein"),
+    ("ham", (0.90, 0.55, 0.52), 0.20, "protein"),
+    ("salmon", (0.95, 0.55, 0.42), 0.25, "protein"),
+    ("tuna", (0.80, 0.62, 0.58), 0.25, "protein"),
+    ("shrimp", (0.95, 0.62, 0.50), 0.30, "protein"),
+    ("eggs", (0.97, 0.88, 0.55), 0.15, "protein"),
+    ("tofu", (0.95, 0.93, 0.85), 0.15, "protein"),
+    ("sausage", (0.62, 0.32, 0.22), 0.30, "protein"),
+    ("pepperoni", (0.75, 0.20, 0.15), 0.30, "protein"),
+    ("turkey", (0.88, 0.72, 0.55), 0.25, "protein"),
+    ("lamb", (0.55, 0.30, 0.22), 0.28, "protein"),
+    ("chickpeas", (0.90, 0.80, 0.55), 0.40, "protein"),
+    ("black beans", (0.15, 0.12, 0.12), 0.40, "protein"),
+    ("lentils", (0.65, 0.45, 0.25), 0.45, "protein"),
+    # dairy
+    ("butter", (0.98, 0.90, 0.55), 0.10, "dairy"),
+    ("milk", (0.98, 0.97, 0.94), 0.05, "dairy"),
+    ("cream", (0.98, 0.96, 0.90), 0.08, "dairy"),
+    ("yogurt", (0.97, 0.96, 0.92), 0.08, "dairy"),
+    ("cheddar cheese", (0.96, 0.70, 0.25), 0.15, "dairy"),
+    ("mozzarella", (0.97, 0.95, 0.88), 0.15, "dairy"),
+    ("parmesan", (0.94, 0.88, 0.70), 0.30, "dairy"),
+    ("feta cheese", (0.97, 0.96, 0.90), 0.30, "dairy"),
+    ("cream cheese", (0.97, 0.95, 0.90), 0.08, "dairy"),
+    ("sour cream", (0.97, 0.96, 0.92), 0.08, "dairy"),
+    ("condensed milk", (0.96, 0.92, 0.80), 0.05, "dairy"),
+    # grains & starches
+    ("flour", (0.96, 0.94, 0.88), 0.15, "grain"),
+    ("bread", (0.88, 0.72, 0.48), 0.25, "grain"),
+    ("pizza dough", (0.92, 0.85, 0.68), 0.15, "grain"),
+    ("pasta", (0.95, 0.85, 0.60), 0.25, "grain"),
+    ("spaghetti", (0.94, 0.84, 0.58), 0.30, "grain"),
+    ("rice", (0.96, 0.95, 0.90), 0.30, "grain"),
+    ("noodles", (0.93, 0.84, 0.60), 0.30, "grain"),
+    ("oats", (0.90, 0.82, 0.65), 0.35, "grain"),
+    ("tortillas", (0.94, 0.88, 0.72), 0.15, "grain"),
+    ("breadcrumbs", (0.88, 0.75, 0.52), 0.40, "grain"),
+    ("quinoa", (0.90, 0.85, 0.70), 0.45, "grain"),
+    ("hamburger buns", (0.92, 0.75, 0.45), 0.15, "grain"),
+    # sweets & baking
+    ("sugar", (0.99, 0.99, 0.98), 0.15, "sweet"),
+    ("brown sugar", (0.75, 0.55, 0.35), 0.20, "sweet"),
+    ("honey", (0.95, 0.72, 0.25), 0.08, "sweet"),
+    ("chocolate chips", (0.28, 0.18, 0.12), 0.40, "sweet"),
+    ("cocoa powder", (0.35, 0.22, 0.15), 0.25, "sweet"),
+    ("vanilla extract", (0.60, 0.45, 0.30), 0.05, "sweet"),
+    ("maple syrup", (0.72, 0.45, 0.20), 0.05, "sweet"),
+    ("butterscotch chips", (0.85, 0.60, 0.30), 0.40, "sweet"),
+    ("frosting", (0.97, 0.90, 0.94), 0.10, "sweet"),
+    ("sprinkles", (0.90, 0.50, 0.70), 0.55, "sweet"),
+    ("pecans", (0.58, 0.38, 0.22), 0.40, "sweet"),
+    ("walnuts", (0.62, 0.45, 0.30), 0.40, "sweet"),
+    ("almonds", (0.80, 0.62, 0.45), 0.35, "sweet"),
+    ("peanut butter", (0.78, 0.58, 0.32), 0.10, "sweet"),
+    # condiments & seasoning
+    ("olive oil", (0.80, 0.78, 0.35), 0.05, "condiment"),
+    ("soy sauce", (0.25, 0.15, 0.10), 0.05, "condiment"),
+    ("ketchup", (0.78, 0.12, 0.08), 0.08, "condiment"),
+    ("mustard", (0.90, 0.75, 0.20), 0.08, "condiment"),
+    ("mayonnaise", (0.97, 0.95, 0.88), 0.05, "condiment"),
+    ("balsamic vinegar", (0.28, 0.15, 0.12), 0.05, "condiment"),
+    ("hummus", (0.88, 0.80, 0.62), 0.12, "condiment"),
+    ("salsa", (0.80, 0.25, 0.15), 0.25, "condiment"),
+    ("tomato sauce", (0.78, 0.18, 0.10), 0.12, "condiment"),
+    ("pesto", (0.35, 0.52, 0.22), 0.20, "condiment"),
+    ("salt", (0.99, 0.99, 0.99), 0.10, "spice"),
+    ("black pepper", (0.20, 0.18, 0.16), 0.30, "spice"),
+    ("basil", (0.25, 0.50, 0.22), 0.30, "spice"),
+    ("oregano", (0.38, 0.48, 0.25), 0.30, "spice"),
+    ("thyme", (0.40, 0.50, 0.32), 0.30, "spice"),
+    ("parsley", (0.30, 0.55, 0.25), 0.30, "spice"),
+    ("cilantro", (0.28, 0.58, 0.25), 0.30, "spice"),
+    ("fresh mint", (0.30, 0.62, 0.35), 0.30, "spice"),
+    ("cinnamon", (0.65, 0.40, 0.20), 0.20, "spice"),
+    ("paprika", (0.80, 0.30, 0.12), 0.20, "spice"),
+    ("cumin", (0.60, 0.45, 0.22), 0.20, "spice"),
+    ("curry powder", (0.85, 0.65, 0.15), 0.20, "spice"),
+    ("ginger", (0.88, 0.75, 0.45), 0.15, "spice"),
+    ("chili powder", (0.70, 0.20, 0.10), 0.20, "spice"),
+    ("rosemary", (0.35, 0.45, 0.30), 0.35, "spice"),
+    ("dill", (0.40, 0.58, 0.30), 0.35, "spice"),
+    ("nutmeg", (0.55, 0.40, 0.25), 0.15, "spice"),
+    ("turmeric", (0.90, 0.70, 0.10), 0.15, "spice"),
+    ("saffron", (0.95, 0.65, 0.10), 0.20, "spice"),
+    ("bay leaves", (0.40, 0.45, 0.28), 0.25, "spice"),
+    ("cayenne", (0.75, 0.18, 0.08), 0.20, "spice"),
+    ("garlic powder", (0.92, 0.88, 0.75), 0.12, "spice"),
+    ("vanilla bean", (0.30, 0.22, 0.15), 0.10, "sweet"),
+    ("dark chocolate", (0.22, 0.14, 0.10), 0.20, "sweet"),
+    ("white chocolate", (0.95, 0.92, 0.82), 0.15, "sweet"),
+    ("caramel", (0.78, 0.50, 0.22), 0.08, "sweet"),
+    ("marshmallows", (0.98, 0.97, 0.95), 0.20, "sweet"),
+    ("powdered sugar", (0.99, 0.99, 0.97), 0.10, "sweet"),
+    ("molasses", (0.30, 0.18, 0.10), 0.05, "sweet"),
+    ("hazelnuts", (0.62, 0.42, 0.25), 0.40, "sweet"),
+    ("pistachios", (0.65, 0.72, 0.42), 0.40, "sweet"),
+    ("cashews", (0.88, 0.78, 0.58), 0.35, "sweet"),
+    ("kale", (0.15, 0.38, 0.18), 0.40, "vegetable"),
+    ("leeks", (0.75, 0.85, 0.58), 0.25, "vegetable"),
+    ("shallots", (0.85, 0.70, 0.62), 0.20, "vegetable"),
+    ("radishes", (0.90, 0.30, 0.40), 0.25, "vegetable"),
+    ("turnips", (0.92, 0.88, 0.82), 0.22, "vegetable"),
+    ("parsnips", (0.93, 0.88, 0.72), 0.22, "vegetable"),
+    ("sweet potatoes", (0.90, 0.50, 0.20), 0.22, "vegetable"),
+    ("brussels sprouts", (0.35, 0.58, 0.28), 0.38, "vegetable"),
+    ("artichokes", (0.50, 0.60, 0.38), 0.30, "vegetable"),
+    ("okra", (0.42, 0.62, 0.30), 0.35, "vegetable"),
+    ("snow peas", (0.50, 0.72, 0.35), 0.30, "vegetable"),
+    ("bok choy", (0.60, 0.78, 0.48), 0.28, "vegetable"),
+    ("watercress", (0.25, 0.52, 0.25), 0.38, "vegetable"),
+    ("fennel", (0.85, 0.90, 0.75), 0.25, "vegetable"),
+    ("scallions", (0.55, 0.75, 0.40), 0.30, "vegetable"),
+    ("jalapenos", (0.30, 0.55, 0.20), 0.22, "vegetable"),
+    ("grapes", (0.45, 0.60, 0.30), 0.25, "fruit"),
+    ("pears", (0.85, 0.85, 0.55), 0.18, "fruit"),
+    ("plums", (0.45, 0.20, 0.35), 0.18, "fruit"),
+    ("kiwi", (0.50, 0.70, 0.30), 0.28, "fruit"),
+    ("cranberries", (0.68, 0.12, 0.18), 0.32, "fruit"),
+    ("apricots", (0.95, 0.68, 0.35), 0.20, "fruit"),
+    ("figs", (0.48, 0.28, 0.32), 0.25, "fruit"),
+    ("dates", (0.40, 0.25, 0.15), 0.28, "fruit"),
+    ("pomegranate", (0.72, 0.12, 0.22), 0.35, "fruit"),
+    ("watermelon", (0.92, 0.35, 0.40), 0.18, "fruit"),
+    ("cantaloupe", (0.95, 0.70, 0.42), 0.18, "fruit"),
+    ("duck", (0.62, 0.38, 0.25), 0.28, "protein"),
+    ("crab", (0.92, 0.58, 0.45), 0.28, "protein"),
+    ("lobster", (0.88, 0.35, 0.25), 0.25, "protein"),
+    ("scallops", (0.95, 0.90, 0.82), 0.20, "protein"),
+    ("mussels", (0.25, 0.20, 0.25), 0.30, "protein"),
+    ("anchovies", (0.60, 0.55, 0.48), 0.28, "protein"),
+    ("cod", (0.95, 0.92, 0.85), 0.20, "protein"),
+    ("tilapia", (0.93, 0.90, 0.82), 0.20, "protein"),
+    ("ground turkey", (0.85, 0.70, 0.55), 0.38, "protein"),
+    ("chorizo", (0.65, 0.22, 0.15), 0.32, "protein"),
+    ("prosciutto", (0.82, 0.45, 0.42), 0.22, "protein"),
+    ("kidney beans", (0.55, 0.15, 0.15), 0.40, "protein"),
+    ("pinto beans", (0.72, 0.52, 0.38), 0.40, "protein"),
+    ("edamame", (0.48, 0.68, 0.32), 0.38, "protein"),
+    ("tempeh", (0.85, 0.75, 0.55), 0.30, "protein"),
+    ("goat cheese", (0.96, 0.95, 0.90), 0.22, "dairy"),
+    ("ricotta", (0.97, 0.96, 0.91), 0.15, "dairy"),
+    ("brie", (0.95, 0.92, 0.82), 0.12, "dairy"),
+    ("gouda", (0.93, 0.75, 0.40), 0.15, "dairy"),
+    ("blue cheese", (0.90, 0.90, 0.85), 0.30, "dairy"),
+    ("swiss cheese", (0.95, 0.90, 0.72), 0.15, "dairy"),
+    ("provolone", (0.95, 0.92, 0.80), 0.12, "dairy"),
+    ("buttermilk", (0.97, 0.96, 0.90), 0.05, "dairy"),
+    ("heavy cream", (0.98, 0.97, 0.93), 0.05, "dairy"),
+    ("whipped cream", (0.99, 0.98, 0.96), 0.10, "dairy"),
+    ("barley", (0.85, 0.75, 0.55), 0.40, "grain"),
+    ("couscous", (0.92, 0.86, 0.68), 0.42, "grain"),
+    ("polenta", (0.95, 0.82, 0.45), 0.30, "grain"),
+    ("cornmeal", (0.95, 0.85, 0.50), 0.35, "grain"),
+    ("croutons", (0.85, 0.68, 0.42), 0.42, "grain"),
+    ("pita bread", (0.93, 0.86, 0.70), 0.15, "grain"),
+    ("baguette", (0.90, 0.75, 0.50), 0.22, "grain"),
+    ("lasagna noodles", (0.94, 0.85, 0.62), 0.20, "grain"),
+    ("macaroni", (0.95, 0.86, 0.60), 0.30, "grain"),
+    ("ramen noodles", (0.92, 0.82, 0.55), 0.32, "grain"),
+    ("wild rice", (0.38, 0.28, 0.20), 0.40, "grain"),
+    ("brown rice", (0.78, 0.62, 0.45), 0.35, "grain"),
+    ("granola", (0.78, 0.60, 0.38), 0.45, "grain"),
+    ("sesame oil", (0.72, 0.55, 0.25), 0.05, "condiment"),
+    ("fish sauce", (0.60, 0.42, 0.22), 0.05, "condiment"),
+    ("hoisin sauce", (0.38, 0.22, 0.15), 0.06, "condiment"),
+    ("sriracha", (0.82, 0.20, 0.10), 0.08, "condiment"),
+    ("worcestershire sauce", (0.30, 0.20, 0.12), 0.05, "condiment"),
+    ("tahini", (0.85, 0.78, 0.62), 0.10, "condiment"),
+    ("guacamole", (0.55, 0.68, 0.32), 0.18, "condiment"),
+    ("ranch dressing", (0.96, 0.95, 0.90), 0.08, "condiment"),
+    ("barbecue sauce", (0.45, 0.18, 0.10), 0.08, "condiment"),
+    ("teriyaki sauce", (0.35, 0.22, 0.12), 0.06, "condiment"),
+    ("dijon mustard", (0.85, 0.72, 0.30), 0.08, "condiment"),
+    ("horseradish", (0.94, 0.93, 0.86), 0.15, "condiment"),
+    ("capers", (0.40, 0.48, 0.28), 0.30, "condiment"),
+    ("red wine vinegar", (0.55, 0.18, 0.20), 0.05, "condiment"),
+    ("apple cider vinegar", (0.85, 0.70, 0.42), 0.05, "condiment"),
+    ("coconut milk", (0.97, 0.96, 0.93), 0.06, "condiment"),
+    ("vegetable broth", (0.82, 0.72, 0.48), 0.05, "condiment"),
+    ("chicken broth", (0.88, 0.75, 0.48), 0.05, "condiment"),
+]]
+
+
+class IngredientLexicon:
+    """Indexed ingredient collection with name lookup and sampling."""
+
+    def __init__(self, ingredients: list[Ingredient] | None = None):
+        self.ingredients = list(ingredients if ingredients is not None
+                                else BASE_INGREDIENTS)
+        self._by_name = {ing.name: ing for ing in self.ingredients}
+        if len(self._by_name) != len(self.ingredients):
+            raise ValueError("duplicate ingredient names in lexicon")
+
+    def __len__(self) -> int:
+        return len(self.ingredients)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Ingredient:
+        return self._by_name[name]
+
+    @property
+    def names(self) -> list[str]:
+        return [ing.name for ing in self.ingredients]
+
+    def by_group(self, group: str) -> list[Ingredient]:
+        """All ingredients of one food group."""
+        return [ing for ing in self.ingredients if ing.group == group]
+
+    def sample(self, rng: np.random.Generator, k: int,
+               exclude: set[str] | None = None) -> list[Ingredient]:
+        """Draw ``k`` distinct ingredients uniformly, minus ``exclude``."""
+        exclude = exclude or set()
+        pool = [ing for ing in self.ingredients if ing.name not in exclude]
+        if k > len(pool):
+            raise ValueError(f"cannot sample {k} from pool of {len(pool)}")
+        picks = rng.choice(len(pool), size=k, replace=False)
+        return [pool[i] for i in picks]

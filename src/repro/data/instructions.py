@@ -1,0 +1,116 @@
+"""Grammar-based generation of cooking instructions.
+
+Instructions are produced from templates referencing the recipe's
+actual ingredients, so the instruction text carries real signal about
+the dish content (the property behind the AdaMine_instr ablation and
+the ingredient-removal experiment, where instruction sentences naming
+an ingredient are deleted together with it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InstructionGrammar"]
+
+_PREP_TEMPLATES = [
+    "Preheat the oven to {temp} degrees.",
+    "Chop the {ing} into small pieces.",
+    "Dice the {ing} finely.",
+    "Rinse the {ing} under cold water.",
+    "Slice the {ing} thinly.",
+    "Mince the {ing}.",
+    "Peel and cut the {ing}.",
+]
+
+_COMBINE_TEMPLATES = [
+    "Mix the {ing} and {ing2} in a large bowl.",
+    "Combine the {ing} with the {ing2}.",
+    "Whisk together the {ing} and {ing2} until smooth.",
+    "Stir the {ing} into the {ing2}.",
+    "Toss the {ing} with the {ing2}.",
+    "Fold the {ing} gently into the {ing2}.",
+]
+
+_COOK_TEMPLATES = [
+    "Saute the {ing} in a hot pan for {mins} minutes.",
+    "Bake for {mins} minutes until golden.",
+    "Simmer the {ing} over low heat for {mins} minutes.",
+    "Grill the {ing} for {mins} minutes per side.",
+    "Roast the {ing} for {mins} minutes.",
+    "Cook the {ing} until tender.",
+    "Fry the {ing} until crisp.",
+    "Boil the {ing} for {mins} minutes.",
+]
+
+_FINISH_TEMPLATES = [
+    "Season to taste with salt and pepper.",
+    "Garnish with {ing} and serve.",
+    "Let rest for {mins} minutes before serving.",
+    "Serve warm with the {ing} on top.",
+    "Sprinkle the {ing} over the dish.",
+    "Drizzle with {ing} before serving.",
+    "Enjoy!",
+]
+
+
+class InstructionGrammar:
+    """Sample instruction sentences for a set of ingredient names."""
+
+    def __init__(self, min_sentences: int = 3, max_sentences: int = 7):
+        if min_sentences < 2:
+            raise ValueError("recipes need at least 2 instruction sentences")
+        if max_sentences < min_sentences:
+            raise ValueError("max_sentences < min_sentences")
+        self.min_sentences = min_sentences
+        self.max_sentences = max_sentences
+
+    def generate(self, ingredient_names: list[str],
+                 rng: np.random.Generator) -> list[str]:
+        """Produce a plausible ordered instruction list.
+
+        Every recipe gets a prep → combine → cook → finish arc; each
+        sentence that takes an ingredient slot draws from the recipe's
+        own ingredient list, so most ingredients are mentioned at least
+        once in the instructions.
+        """
+        if not ingredient_names:
+            raise ValueError("cannot generate instructions without ingredients")
+        total = int(rng.integers(self.min_sentences, self.max_sentences + 1))
+        # Fixed arc proportions, at least one cook step.
+        n_prep = max(1, total // 3)
+        n_cook = max(1, total // 3)
+        n_combine = max(0, total - n_prep - n_cook - 1)
+        sentences = []
+        mention_order = list(rng.permutation(ingredient_names))
+
+        def next_ing() -> str:
+            if mention_order:
+                return mention_order.pop()
+            return str(rng.choice(ingredient_names))
+
+        for __ in range(n_prep):
+            sentences.append(self._fill(_PREP_TEMPLATES, rng, next_ing))
+        for __ in range(n_combine):
+            sentences.append(self._fill(_COMBINE_TEMPLATES, rng, next_ing))
+        for __ in range(n_cook):
+            sentences.append(self._fill(_COOK_TEMPLATES, rng, next_ing))
+        sentences.append(self._fill(_FINISH_TEMPLATES, rng, next_ing))
+        return sentences
+
+    @staticmethod
+    def _fill(templates: list[str], rng: np.random.Generator,
+              next_ing) -> str:
+        template = templates[rng.integers(len(templates))]
+        sentence = template
+        if "{ing}" in sentence:
+            sentence = sentence.replace("{ing}", next_ing(), 1)
+        if "{ing2}" in sentence:
+            sentence = sentence.replace("{ing2}", next_ing(), 1)
+        if "{temp}" in sentence:
+            sentence = sentence.replace("{temp}",
+                                        str(int(rng.integers(300, 450))))
+        if "{mins}" in sentence:
+            sentence = sentence.replace("{mins}",
+                                        str(int(rng.integers(2, 45))))
+        return sentence

@@ -1,0 +1,74 @@
+"""Image file I/O without external imaging libraries.
+
+Rendered dish images can be written as binary PPM (P6) files — viewable
+by virtually every image tool — so users can inspect what the
+procedural renderer and the qualitative experiments actually retrieve.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["save_ppm", "load_ppm", "save_image_grid"]
+
+
+def save_ppm(image: np.ndarray, path) -> None:
+    """Write a channel-first float RGB image in [0, 1] as binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {image.shape}")
+    pixels = (np.clip(image, 0.0, 1.0) * 255.0).round().astype(np.uint8)
+    pixels = pixels.transpose(1, 2, 0)  # H, W, C
+    height, width = pixels.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())
+
+
+def load_ppm(path) -> np.ndarray:
+    """Read a binary PPM back into a channel-first float array in [0,1]."""
+    data = pathlib.Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    # header: magic, width, height, maxval — whitespace separated, with
+    # possible comment lines.
+    fields: list[bytes] = []
+    position = 2
+    while len(fields) < 3:
+        while position < len(data) and data[position:position + 1].isspace():
+            position += 1
+        if data[position:position + 1] == b"#":
+            while data[position:position + 1] not in (b"\n", b""):
+                position += 1
+            continue
+        start = position
+        while position < len(data) and not data[position:position + 1].isspace():
+            position += 1
+        fields.append(data[start:position])
+    width, height, maxval = (int(f) for f in fields)
+    position += 1  # single whitespace after maxval
+    pixels = np.frombuffer(data, dtype=np.uint8, offset=position,
+                           count=width * height * 3)
+    image = pixels.reshape(height, width, 3).transpose(2, 0, 1)
+    return image.astype(np.float64) / maxval
+
+
+def save_image_grid(images: np.ndarray, path, columns: int = 5,
+                    pad: int = 1) -> None:
+    """Tile several (3, H, W) images into one PPM contact sheet."""
+    images = np.asarray(images)
+    if images.ndim != 4 or images.shape[1] != 3:
+        raise ValueError(f"expected (N, 3, H, W), got {images.shape}")
+    n, __, height, width = images.shape
+    columns = min(columns, n)
+    rows = (n + columns - 1) // columns
+    sheet = np.ones((3, rows * (height + pad) - pad,
+                     columns * (width + pad) - pad))
+    for i in range(n):
+        r, c = divmod(i, columns)
+        top = r * (height + pad)
+        left = c * (width + pad)
+        sheet[:, top:top + height, left:left + width] = images[i]
+    save_ppm(sheet, path)

@@ -1,0 +1,129 @@
+"""Import/export in the Recipe1M JSON layout.
+
+Recipe1M ships its text layer as a JSON list (``layer1.json``) of
+objects ``{id, title, ingredients: [{text}], instructions: [{text}],
+partition}``; the class annotations live in a separate id → class map.
+This module writes and reads that exact schema, so a user with the real
+dataset can swap it in for the synthetic corpus — and the synthetic
+corpus can be exported for tools written against Recipe1M.
+
+Images are stored separately (Recipe1M keys image files by recipe id);
+here they are written as one ``images.npz`` keyed the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .classes import ClassTaxonomy
+from .dataset import RecipeDataset
+from .ingredients import IngredientLexicon
+from .schema import Recipe
+
+__all__ = ["export_recipe1m", "import_recipe1m"]
+
+_PARTITIONS = ("train", "val", "test")
+
+
+def export_recipe1m(dataset: RecipeDataset, directory) -> dict[str, str]:
+    """Write ``layer1.json``, ``classes.json`` and ``images.npz``.
+
+    Returns the mapping of artifact name → written path.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    partition_of = {}
+    for name in _PARTITIONS:
+        for index in dataset.split_indices(name):
+            partition_of[int(index)] = name
+
+    layer1 = []
+    classes = {}
+    images = {}
+    for index, recipe in enumerate(dataset.recipes):
+        rid = f"r{recipe.recipe_id:08d}"
+        layer1.append({
+            "id": rid,
+            "title": recipe.title,
+            "ingredients": [{"text": name} for name in recipe.ingredients],
+            "instructions": [{"text": s} for s in recipe.instructions],
+            "partition": partition_of.get(index, "train"),
+        })
+        if recipe.class_id is not None:
+            classes[rid] = int(recipe.class_id)
+        images[rid] = recipe.image
+
+    paths = {}
+    layer1_path = directory / "layer1.json"
+    with open(layer1_path, "w") as handle:
+        json.dump(layer1, handle)
+    paths["layer1"] = str(layer1_path)
+
+    classes_path = directory / "classes.json"
+    with open(classes_path, "w") as handle:
+        json.dump({"assignments": classes,
+                   "names": [c.name for c in dataset.taxonomy.classes]},
+                  handle)
+    paths["classes"] = str(classes_path)
+
+    images_path = directory / "images.npz"
+    np.savez_compressed(images_path, **images)
+    paths["images"] = str(images_path)
+    return paths
+
+
+def import_recipe1m(directory,
+                    taxonomy: ClassTaxonomy | None = None) -> RecipeDataset:
+    """Load a directory written by :func:`export_recipe1m`.
+
+    ``taxonomy`` may be supplied to attach a richer taxonomy; otherwise
+    a minimal one is rebuilt from ``classes.json`` (procedural
+    signatures, which only affects *new* generation, not the loaded
+    data).
+    """
+    directory = pathlib.Path(directory)
+    with open(directory / "layer1.json") as handle:
+        layer1 = json.load(handle)
+    with open(directory / "classes.json") as handle:
+        class_file = json.load(handle)
+    assignments = class_file["assignments"]
+    class_names = class_file["names"]
+
+    with np.load(directory / "images.npz") as archive:
+        images = {key: archive[key] for key in archive.files}
+
+    recipes: list[Recipe] = []
+    splits: dict[str, list[int]] = {name: [] for name in _PARTITIONS}
+    for index, entry in enumerate(layer1):
+        rid = entry["id"]
+        class_id = assignments.get(rid)
+        recipes.append(Recipe(
+            recipe_id=int(rid.lstrip("r")),
+            title=entry["title"],
+            class_id=class_id,
+            # imported data has no hidden ground truth; fall back to the
+            # observed label (unlabeled pairs get -1 handled downstream)
+            true_class_id=class_id if class_id is not None else -1,
+            ingredients=[i["text"] for i in entry["ingredients"]],
+            instructions=[s["text"] for s in entry["instructions"]],
+            image=images[rid],
+        ))
+        partition = entry.get("partition", "train")
+        if partition not in splits:
+            raise ValueError(f"unknown partition {partition!r} for {rid}")
+        splits[partition].append(index)
+
+    if taxonomy is None:
+        lexicon = IngredientLexicon()
+        taxonomy = ClassTaxonomy(max(len(class_names), 1), lexicon)
+    return RecipeDataset(
+        recipes,
+        {name: np.array(rows, dtype=np.int64)
+         for name, rows in splits.items()},
+        taxonomy,
+        taxonomy.lexicon,
+    )

@@ -1,0 +1,70 @@
+"""Core dataset record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Recipe"]
+
+
+@dataclass
+class Recipe:
+    """One image-recipe pair of the synthetic Recipe1M.
+
+    Attributes
+    ----------
+    recipe_id:
+        Unique integer id.
+    title:
+        Recipe title (used by Recipe1M to parse classes).
+    class_id:
+        The *observed* semantic class label, or ``None`` for the
+        unlabeled half of the dataset.
+    true_class_id:
+        The generating class. Equal to ``class_id`` when labeled; kept
+        for evaluation-only diagnostics on unlabeled pairs (never used
+        in training).
+    ingredients:
+        Ingredient names, in listing order.
+    instructions:
+        Ordered instruction sentences.
+    image:
+        Channel-first float RGB array in ``[0, 1]``.
+    """
+
+    recipe_id: int
+    title: str
+    class_id: int | None
+    true_class_id: int
+    ingredients: list[str]
+    instructions: list[str]
+    image: np.ndarray = field(repr=False)
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.class_id is not None
+
+    def without_ingredient(self, name: str) -> "Recipe":
+        """Return a copy with one ingredient removed everywhere.
+
+        The ingredient is dropped from the list and every instruction
+        sentence mentioning it is deleted — the paper's Table 5
+        "removing ingredients" edit.
+        """
+        if name not in self.ingredients:
+            raise ValueError(f"{name!r} is not an ingredient of this recipe")
+        kept_instructions = [s for s in self.instructions
+                             if name.lower() not in s.lower()]
+        if not kept_instructions:
+            kept_instructions = ["Serve and enjoy."]
+        return Recipe(
+            recipe_id=self.recipe_id,
+            title=self.title,
+            class_id=self.class_id,
+            true_class_id=self.true_class_id,
+            ingredients=[i for i in self.ingredients if i != name],
+            instructions=kept_instructions,
+            image=self.image,
+        )

@@ -1,0 +1,13 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from .configs import SCALES, ExperimentScale, get_scale
+from .runner import ExperimentRunner
+from .tables import (PAPER_REFERENCE, format_metric, format_results_table,
+                     result_row)
+
+__all__ = [
+    "ExperimentScale", "SCALES", "get_scale",
+    "ExperimentRunner",
+    "format_metric", "result_row", "format_results_table",
+    "PAPER_REFERENCE",
+]

@@ -1,0 +1,79 @@
+"""Run every table and figure in one session.
+
+    python -m repro.experiments.all --scale bench
+
+Shares one :class:`ExperimentRunner`, so each scenario trains once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import figure3, figure4, table1, table2, table3, table4, table5
+from .runner import ExperimentRunner
+from .tables import format_results_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench")
+    args = parser.parse_args(argv)
+    started = time.time()
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+
+    print("\n" + "=" * 70)
+    results1 = table1.run(runner)
+    print(format_results_table(list(results1.items()),
+                               title="Table 1: semantic information (10k)"))
+
+    print("\n" + "=" * 70)
+    results3 = table3.run(runner)
+    for setup, per_setup in results3.items():
+        print(format_results_table(list(per_setup.items()),
+                                   title=f"Table 3 ({setup} setup)"))
+        print()
+
+    print("=" * 70)
+    results2 = table2.run(runner)
+    print("Table 2: mean same-class fraction  "
+          f"AdaMine={results2.mean_same_class_fraction('adamine'):.2f}  "
+          f"AdaMine_ins="
+          f"{results2.mean_same_class_fraction('adamine_ins'):.2f}")
+
+    print("\n" + "=" * 70)
+    results4 = table4.run(runner)
+    print("Table 4: ingredient-to-image hit-rates within 'pizza'")
+    for ingredient, result in results4.items():
+        print(f"  {ingredient:<14} {result.hit_rate:.2f}")
+
+    print("\n" + "=" * 70)
+    try:
+        results5 = table5.run(runner)
+        print(f"Table 5: removing 'broccoli'  with={results5.mean_with_rate:.2f} "
+              f"without={results5.mean_without_rate:.2f} "
+              f"effect={results5.mean_effect:+.2f}")
+    except ValueError as error:
+        print(f"Table 5 skipped: {error}")
+
+    print("\n" + "=" * 70)
+    resultsf3 = figure3.run(runner)
+    print("Figure 3: latent structure")
+    for side in (resultsf3.adamine_ins, resultsf3.adamine):
+        print(f"  {side.scenario:<12} purity {side.knn_purity:.2f}  "
+              f"pair distance {side.pair_distance:.3f}  "
+              f"separation {side.separation:.2f}")
+
+    print("\n" + "=" * 70)
+    resultsf4 = figure4.run(runner)
+    print("Figure 4: MedR vs lambda")
+    for point in resultsf4:
+        print(f"  lambda={point.lambda_sem:.1f}  MedR={point.medr:5.1f}")
+
+    print(f"\nall experiments done in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Generate a markdown report of every reproduced experiment.
+
+    python -m repro.experiments.report --scale bench --out report.md
+
+The report contains one section per table/figure with the measured
+numbers next to the paper's (where the paper reports them), plus the
+latent-space diagnostics — the same content EXPERIMENTS.md snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+
+from ..analysis import summarize_latent_space
+from . import figure3, figure4, table1, table2, table3, table4, table5
+from .runner import ExperimentRunner
+from .tables import PAPER_REFERENCE
+
+__all__ = ["generate_report", "main"]
+
+
+def _metric_row(name: str, result, paper: tuple[float, float] | None) -> str:
+    i2r = result.image_to_recipe
+    r2i = result.recipe_to_image
+    paper_text = (f"{paper[0]:.1f} / {paper[1]:.1f}" if paper else "—")
+    return (f"| {name} | {paper_text} "
+            f"| {i2r['MedR'][0]:.1f} / {r2i['MedR'][0]:.1f} "
+            f"| {i2r['R@1'][0]:.1f} | {i2r['R@5'][0]:.1f} "
+            f"| {i2r['R@10'][0]:.1f} |")
+
+
+def _table_section(out, title: str, results: dict, setup: str) -> None:
+    out.write(f"\n## {title}\n\n")
+    out.write("| scenario | paper MedR (i2r/r2i) | measured MedR (i2r/r2i) "
+              "| R@1 | R@5 | R@10 |\n")
+    out.write("|---|---|---|---|---|---|\n")
+    reference = PAPER_REFERENCE.get(setup, {})
+    for name, result in results.items():
+        out.write(_metric_row(name, result, reference.get(name)) + "\n")
+
+
+def generate_report(runner: ExperimentRunner) -> str:
+    """Run every experiment on ``runner`` and render markdown."""
+    out = io.StringIO()
+    scale = runner.scale
+    out.write("# AdaMine reproduction report\n\n")
+    out.write(f"scale `{scale.name}`: {scale.dataset.num_pairs} pairs, "
+              f"{scale.dataset.num_classes} classes, "
+              f"{scale.dataset.image_size}px images, "
+              f"{scale.training.epochs} epochs, "
+              f"λ={scale.training.lambda_sem}, "
+              f"backbone `{scale.backbone}`\n")
+    out.write(f"\nbags: 1k-style {scale.small_bag}, "
+              f"10k-style {scale.large_bag} "
+              f"(paper: (1000, 10) and (10000, 5))\n")
+
+    results1 = table1.run(runner)
+    _table_section(out, "Table 1 — semantic information (10k-style)",
+                   results1, "10k")
+
+    results3 = table3.run(runner)
+    for setup in ("1k", "10k"):
+        _table_section(out, f"Table 3 — SOTA comparison ({setup}-style)",
+                       results3[setup], setup)
+
+    results2 = table2.run(runner)
+    out.write("\n## Table 2 — recipe-to-image neighbourhoods\n\n")
+    out.write(f"mean same-class fraction in the top-5: "
+              f"AdaMine {results2.mean_same_class_fraction('adamine'):.2f},"
+              f" AdaMine_ins "
+              f"{results2.mean_same_class_fraction('adamine_ins'):.2f}\n")
+
+    results4 = table4.run(runner)
+    out.write("\n## Table 4 — ingredient-to-image within 'pizza'\n\n")
+    out.write("| ingredient | top-5 hit-rate |\n|---|---|\n")
+    for ingredient, result in results4.items():
+        out.write(f"| {ingredient} | {result.hit_rate:.2f} |\n")
+
+    out.write("\n## Table 5 — removing an ingredient\n\n")
+    try:
+        results5 = table5.run(runner)
+        out.write(f"containment with broccoli {results5.mean_with_rate:.2f}"
+                  f" → after removal {results5.mean_without_rate:.2f} "
+                  f"(effect {results5.mean_effect:+.2f}, "
+                  f"{len(results5.comparisons)} queries)\n")
+    except ValueError as error:
+        out.write(f"skipped: {error}\n")
+
+    resultsf3 = figure3.run(runner)
+    out.write("\n## Figure 3 — latent-space structure\n\n")
+    out.write("| model | kNN purity | pair distance | separation |\n")
+    out.write("|---|---|---|---|\n")
+    for side in (resultsf3.adamine_ins, resultsf3.adamine):
+        out.write(f"| {side.scenario} | {side.knn_purity:.2f} "
+                  f"| {side.pair_distance:.3f} | {side.separation:.2f} |\n")
+
+    resultsf4 = figure4.run(runner)
+    out.write("\n## Figure 4 — MedR vs λ\n\n")
+    out.write("| λ | validation MedR |\n|---|---|\n")
+    for point in resultsf4:
+        out.write(f"| {point.lambda_sem:.1f} | {point.medr:.1f} |\n")
+
+    model = runner.scenario("adamine")
+    image_emb, recipe_emb = model.encode_corpus(runner.test_corpus)
+    stats = summarize_latent_space(image_emb, recipe_emb)
+    out.write("\n## Latent-space diagnostics (AdaMine)\n\n")
+    out.write(f"alignment {stats.alignment:.3f}, "
+              f"uniformity (images) {stats.uniformity_images:.3f}, "
+              f"uniformity (recipes) {stats.uniformity_recipes:.3f}, "
+              f"modality gap {stats.modality_gap:.3f}\n")
+    return out.getvalue()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench")
+    parser.add_argument("--out", default=None,
+                        help="write the report here (default: stdout)")
+    args = parser.parse_args(argv)
+    started = time.time()
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    report = generate_report(runner)
+    report += (f"\n---\ngenerated in {time.time() - started:.0f}s at "
+               f"scale {args.scale}\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""End-to-end experiment runner with scenario caching.
+
+One :class:`ExperimentRunner` owns a generated dataset, the fitted
+featurizer, the encoded corpora, and lazily trains each scenario the
+first time it is requested (so a benchmark session regenerating all
+tables trains every model exactly once).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines import CCA, RandomEmbedder, corpus_features
+from ..core.scenarios import build_scenario
+from ..core.trainer import Trainer
+from ..data.encoding import RecipeFeaturizer
+from ..data.generator import generate_dataset
+from ..retrieval import ProtocolResult, RetrievalProtocol
+from .configs import ExperimentScale, get_scale
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Build the corpus once; train/evaluate scenarios on demand."""
+
+    def __init__(self, scale: str | ExperimentScale = "bench",
+                 verbose: bool = False):
+        self.scale = get_scale(scale)
+        self.verbose = verbose
+        self._log(f"generating dataset ({self.scale.dataset.num_pairs} pairs)")
+        self.dataset = generate_dataset(self.scale.dataset)
+        self.featurizer = RecipeFeaturizer(
+            word_dim=self.scale.word_dim,
+            sentence_dim=self.scale.sentence_dim,
+            max_ingredients=self.scale.max_ingredients,
+            max_sentences=self.scale.max_sentences,
+            seed=self.scale.dataset.seed,
+        ).fit(self.dataset)
+        self.train_corpus = self.featurizer.encode_split(self.dataset,
+                                                         "train")
+        self.val_corpus = self.featurizer.encode_split(self.dataset, "val")
+        self.test_corpus = self.featurizer.encode_split(self.dataset, "test")
+        self._models: dict[str, object] = {}
+        self._trainers: dict[str, Trainer] = {}
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[runner] {message}", flush=True)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.dataset.taxonomy)
+
+    # ------------------------------------------------------------------
+    def scenario(self, name: str):
+        """Return the trained model of a scenario (training on first use)."""
+        if name not in self._models:
+            started = time.time()
+            self._log(f"training scenario {name}")
+            model, config = build_scenario(
+                name, self.featurizer, self.num_classes,
+                self.scale.dataset.image_size,
+                base_config=self.scale.training,
+                latent_dim=self.scale.latent_dim,
+                backbone=self.scale.backbone,
+                seed=self.scale.dataset.seed,
+            )
+            trainer = Trainer(
+                model, config,
+                class_to_group=self.dataset.taxonomy.class_to_group_ids())
+            trainer.fit(self.train_corpus, self.val_corpus)
+            self._models[name] = model
+            self._trainers[name] = trainer
+            self._log(f"{name} trained in {time.time() - started:.1f}s "
+                      f"(best val MedR {trainer.best_val_medr:.1f})")
+        return self._models[name]
+
+    def trainer(self, name: str) -> Trainer:
+        """Trainer (with history) of a scenario; trains if needed."""
+        self.scenario(name)
+        return self._trainers[name]
+
+    # ------------------------------------------------------------------
+    def _protocol(self, setup: str) -> RetrievalProtocol:
+        if setup == "1k":
+            size, bags = self.scale.small_bag
+        elif setup == "10k":
+            size, bags = self.scale.large_bag
+        else:
+            raise ValueError(f"unknown setup {setup!r}; use '1k' or '10k'")
+        return RetrievalProtocol(bag_size=min(size, len(self.test_corpus)),
+                                 num_bags=bags,
+                                 seed=self.scale.dataset.seed)
+
+    def evaluate(self, name: str, setup: str = "1k") -> ProtocolResult:
+        """Train (if needed) and evaluate a scenario on the test split."""
+        model = self.scenario(name)
+        image_emb, recipe_emb = model.encode_corpus(self.test_corpus)
+        return self._protocol(setup).evaluate(image_emb, recipe_emb)
+
+    def random_result(self, setup: str = "1k") -> ProtocolResult:
+        """Chance baseline on the test split."""
+        embedder = RandomEmbedder(dim=self.scale.latent_dim,
+                                  seed=self.scale.dataset.seed)
+        a, b = embedder.embed_pair(len(self.test_corpus))
+        return self._protocol(setup).evaluate(a, b)
+
+    def cca_result(self, setup: str = "1k") -> ProtocolResult:
+        """CCA baseline: fit on train fixed features, evaluate on test."""
+        train_img, train_rec = corpus_features(self.train_corpus,
+                                               self.featurizer)
+        test_img, test_rec = corpus_features(self.test_corpus,
+                                             self.featurizer)
+        cca = CCA(dim=min(self.scale.latent_dim, train_img.shape[1],
+                          train_rec.shape[1]),
+                  reg=1e-2).fit(train_img, train_rec)
+        return self._protocol(setup).evaluate(cca.transform_x(test_img),
+                                              cca.transform_y(test_rec))

@@ -1,0 +1,40 @@
+"""Table 1 — impact of semantic information (10k setup).
+
+Compares AdaMine_ins (retrieval loss only), AdaMine_ins+cls (retrieval
++ classification head, the strategy of [33]) and AdaMine (retrieval +
+semantic loss) on the large-bag protocol, both directions.
+
+Expected shape: AdaMine < AdaMine_ins+cls < AdaMine_ins on MedR.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..retrieval import ProtocolResult
+from .runner import ExperimentRunner
+from .tables import format_results_table
+
+__all__ = ["SCENARIOS", "run", "main"]
+
+SCENARIOS = ("adamine_ins", "adamine_ins_cls", "adamine")
+
+
+def run(runner: ExperimentRunner) -> dict[str, ProtocolResult]:
+    """Evaluate the three scenarios on the 10k-style setup."""
+    return {name: runner.evaluate(name, setup="10k") for name in SCENARIOS}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench")
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    results = run(runner)
+    print(format_results_table(
+        list(results.items()),
+        title="Table 1: impact of the semantic information (10k setup)"))
+
+
+if __name__ == "__main__":
+    main()

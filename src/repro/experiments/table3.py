@@ -1,0 +1,55 @@
+"""Table 3 — state-of-the-art comparison (1k and 10k setups).
+
+Rows: Random, CCA, PWC*, PWC++, every AdaMine scenario, AdaMine.
+Expected shape (MedR, lower is better):
+
+* Random ≈ bag_size / 2; CCA and AdaMine_sem far behind triplet models;
+* AdaMine < AdaMine_ins+cls < AdaMine_ins < AdaMine_avg;
+* AdaMine ≪ PWC++ ≤ PWC*;
+* ingredient-only / instruction-only ablations clearly degraded.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..retrieval import ProtocolResult
+from .runner import ExperimentRunner
+from .tables import format_results_table
+
+__all__ = ["TRAINED_SCENARIOS", "run", "main"]
+
+TRAINED_SCENARIOS = (
+    "pwc_star", "pwc_pp", "adamine_sem", "adamine_ins", "adamine_ins_cls",
+    "adamine_avg", "adamine_ingr", "adamine_instr", "adamine",
+)
+
+
+def run(runner: ExperimentRunner, setups: tuple[str, ...] = ("1k", "10k")
+        ) -> dict[str, dict[str, ProtocolResult]]:
+    """Evaluate all baselines + scenarios; returns results[setup][name]."""
+    results: dict[str, dict[str, ProtocolResult]] = {}
+    for setup in setups:
+        per_setup = {"random": runner.random_result(setup),
+                     "cca": runner.cca_result(setup)}
+        for name in TRAINED_SCENARIOS:
+            per_setup[name] = runner.evaluate(name, setup=setup)
+        results[setup] = per_setup
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench")
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    results = run(runner)
+    for setup, per_setup in results.items():
+        bag = runner._protocol(setup).bag_size
+        print(format_results_table(
+            list(per_setup.items()),
+            title=f"\nTable 3 ({setup} setup, bags of {bag}):"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Table 5 — removing an ingredient from the query.
+
+The paper takes a recipe with broccoli, retrieves top-4 images, then
+deletes broccoli (from the ingredient list and from every instruction
+mentioning it) and retrieves again: images with broccoli disappear
+from the results. We run the same edit over several broccoli recipes
+and report mean containment before and after.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import RemovalComparison, remove_ingredient_comparison
+from .runner import ExperimentRunner
+
+__all__ = ["Table5Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Aggregated removal effect over several query recipes."""
+
+    ingredient: str
+    comparisons: tuple[RemovalComparison, ...]
+
+    @property
+    def mean_with_rate(self) -> float:
+        return float(np.mean([c.with_rate for c in self.comparisons]))
+
+    @property
+    def mean_without_rate(self) -> float:
+        return float(np.mean([c.without_rate for c in self.comparisons]))
+
+    @property
+    def mean_effect(self) -> float:
+        return self.mean_with_rate - self.mean_without_rate
+
+
+def run(runner: ExperimentRunner, ingredient: str = "broccoli",
+        max_queries: int = 5, k: int = 4) -> Table5Result:
+    """Apply the removal edit to up to ``max_queries`` recipes that
+    contain ``ingredient`` in the test split."""
+    model = runner.scenario("adamine")
+    corpus = runner.test_corpus
+    rows = [row for row in range(len(corpus))
+            if ingredient in runner.dataset[
+                int(corpus.recipe_indices[row])].ingredients]
+    if not rows:
+        raise ValueError(f"no test recipe contains {ingredient!r}")
+    comparisons = tuple(
+        remove_ingredient_comparison(model, runner.featurizer,
+                                     runner.dataset, corpus, row,
+                                     ingredient, k=k)
+        for row in rows[:max_queries])
+    return Table5Result(ingredient, comparisons)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench")
+    parser.add_argument("--ingredient", default="broccoli")
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(scale=args.scale, verbose=True)
+    result = run(runner, ingredient=args.ingredient)
+    print(f"Table 5: removing '{result.ingredient}' "
+          f"({len(result.comparisons)} queries, top-4)")
+    print(f"  containment with ingredient   : {result.mean_with_rate:.2f}")
+    print(f"  containment after removal     : {result.mean_without_rate:.2f}")
+    print(f"  removal effect                : {result.mean_effect:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Paper-style table formatting."""
+
+from __future__ import annotations
+
+from ..retrieval import ProtocolResult
+
+__all__ = ["format_metric", "result_row", "format_results_table",
+           "PAPER_REFERENCE"]
+
+# The paper's own 1k/10k numbers (Table 3), kept for side-by-side
+# reporting in EXPERIMENTS.md. Format: name -> (i2r MedR, r2i MedR).
+PAPER_REFERENCE = {
+    "1k": {
+        "random": (499.0, 499.0), "cca": (15.7, 24.8), "pwc": (5.2, 5.1),
+        "pwc_star": (5.0, 5.3), "pwc_pp": (3.3, 3.5),
+        "adamine_sem": (21.1, 21.1), "adamine_ins": (1.5, 1.6),
+        "adamine_ins_cls": (1.1, 1.2), "adamine_avg": (2.3, 2.2),
+        "adamine_ingr": (4.9, 5.0), "adamine_instr": (3.9, 3.7),
+        "adamine": (1.0, 1.0),
+    },
+    "10k": {
+        "pwc_pp": (34.6, 35.0), "adamine_sem": (207.3, 205.4),
+        "adamine_ins": (15.4, 15.8), "adamine_ins_cls": (14.8, 15.2),
+        "adamine_avg": (24.6, 24.0), "adamine_ingr": (52.8, 53.8),
+        "adamine_instr": (39.0, 39.2), "adamine": (13.2, 12.2),
+    },
+}
+
+_METRICS = ("MedR", "R@1", "R@5", "R@10")
+
+
+def format_metric(mean: float, std: float) -> str:
+    """Render ``mean ± std`` the way the paper's tables do."""
+    return f"{mean:.1f}±{std:.1f}"
+
+
+def result_row(name: str, result: ProtocolResult) -> str:
+    """One table line: scenario name + both directions' metrics."""
+    cells = [f"{name:<18}"]
+    for direction in (result.image_to_recipe, result.recipe_to_image):
+        for metric in _METRICS:
+            mean, std = direction[metric]
+            cells.append(f"{format_metric(mean, std):>12}")
+    return " ".join(cells)
+
+
+def format_results_table(rows: list[tuple[str, ProtocolResult]],
+                         title: str = "") -> str:
+    """Render a full paper-style table for a list of scenario results."""
+    header_cells = [f"{'scenario':<18}"]
+    for direction in ("im->rec", "rec->im"):
+        for metric in _METRICS:
+            header_cells.append(f"{direction + ' ' + metric:>12}")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" ".join(header_cells))
+    lines.append("-" * len(lines[-1]))
+    for name, result in rows:
+        lines.append(result_row(name, result))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Neural network building blocks (the ``torch.nn`` stand-in)."""
+
+from .module import Module, Parameter
+from .container import ModuleList, Sequential
+from .linear import Linear
+from .embedding import Embedding
+from .activations import ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .normalization import BatchNorm1d, LayerNorm
+from .conv import Conv2d, GlobalAvgPool2d, MaxPool2d
+from .recurrent import LSTM, BiLSTM, LSTMCell, reverse_padded
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Embedding", "ReLU", "Tanh", "Sigmoid", "Dropout",
+    "LayerNorm", "BatchNorm1d", "Conv2d", "MaxPool2d", "GlobalAvgPool2d",
+    "LSTMCell", "LSTM", "BiLSTM", "reverse_padded", "init",
+]

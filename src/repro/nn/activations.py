@@ -1,0 +1,29 @@
+"""Activation modules (thin wrappers over autograd ops)."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()

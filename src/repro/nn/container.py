@@ -1,0 +1,51 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._modules = list(modules)
+
+    def forward(self, x):
+        for module in self._modules:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are tracked."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._modules = list(modules)
+
+    def append(self, module: Module) -> None:
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

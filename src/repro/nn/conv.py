@@ -1,0 +1,140 @@
+"""2-D convolution and pooling, implemented via im2col.
+
+These back the :class:`repro.vision.MiniResNet` image encoder that
+stands in for the paper's ResNet-50. Forward and backward passes are
+written directly against numpy with custom autograd closures, which is
+substantially faster than composing them from primitive tensor ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .init import he_normal, zeros
+from .module import Module, Parameter
+
+__all__ = ["Conv2d", "MaxPool2d", "GlobalAvgPool2d", "im2col", "col2im"]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold (N, C, H, W) into columns (N, C*k*k, out_h*out_w)."""
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kernel * kernel, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Fold columns back to (N, C, H, W), accumulating overlaps."""
+    n, c, h, w = x_shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """2-D convolution ``(N, C_in, H, W) -> (N, C_out, H', W')``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0,
+                 bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(he_normal(shape, rng))
+        self.bias = Parameter(zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = _out_size(h, k, s, p)
+        out_w = _out_size(w, k, s, p)
+
+        cols = im2col(x.data, k, s, p)  # (n, c*k*k, L)
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("of,nfl->nol", w_flat, cols)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+
+        weight, bias = self.weight, self.bias
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def backward(grad):
+            g = grad.reshape(n, self.out_channels, -1)  # (n, o, L)
+            grad_w = np.einsum("nol,nfl->of", g, cols).reshape(weight.data.shape)
+            grad_cols = np.einsum("of,nol->nfl", w_flat, g)
+            grad_x = col2im(grad_cols, (n, c, h, w), k, s, p)
+            if bias is None:
+                return (grad_x, grad_w)
+            grad_b = g.sum(axis=(0, 2))
+            return (grad_x, grad_w, grad_b)
+
+        return Tensor._make(out, parents, backward)
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window (kernel == stride)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"spatial dims {(h, w)} not divisible by pool {k}")
+        out_h, out_w = h // k, w // k
+        windows = x.data.reshape(n, c, out_h, k, out_w, k)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, out_h, out_w, k * k)
+        arg = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+
+        def backward(grad):
+            grad_windows = np.zeros_like(windows)
+            np.put_along_axis(grad_windows, arg[..., None], grad[..., None],
+                              axis=-1)
+            grad_x = grad_windows.reshape(n, c, out_h, out_w, k, k)
+            grad_x = grad_x.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+            return (grad_x,)
+
+        return Tensor._make(out, (x,), backward)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over spatial dimensions: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        return x.reshape(n, c, h * w).mean(axis=2)

@@ -1,0 +1,32 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero activations during training, scaled to keep the mean.
+
+    Evaluation mode is the identity. The mask generator is owned by the
+    module so the whole training run stays reproducible under one seed.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)

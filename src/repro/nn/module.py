@@ -1,0 +1,152 @@
+"""Module/Parameter system (the substrate for ``torch.nn.Module``).
+
+A :class:`Module` discovers its :class:`Parameter` attributes and
+sub-modules by attribute scanning, supports train/eval switching,
+gradient zeroing, parameter freezing (used by the paper's two-phase
+training schedule) and flat ``state_dict`` serialization.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network components."""
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        """Yield direct sub-modules, in attribute definition order."""
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}{name}", value)
+        for child_name, child in self.named_children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters (recursively, duplicates removed)."""
+        seen: set[int] = set()
+        result: list[Parameter] = []
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                result.append(param)
+        return result
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in this module tree."""
+        params = self.parameters()
+        if trainable_only:
+            params = [p for p in params if p.requires_grad]
+        return sum(p.size for p in params)
+
+    # ------------------------------------------------------------------
+    # Mode switching / gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch norm)."""
+        self.training = mode
+        for _, child in self.named_children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradient buffers of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Stop gradients flowing into this module's parameters.
+
+        Mirrors the paper's schedule of keeping the vision backbone
+        frozen for the first training phase.
+        """
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradient flow into this module's parameters."""
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat name → array copy of all parameters."""
+        return OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            param = own[name]
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': "
+                    f"{values.shape} vs {param.data.shape}"
+                )
+            param.data = values.copy()
+
+    def save(self, path) -> None:
+        """Persist parameters to an ``.npz`` file."""
+        np.savez(path, **{k: v for k, v in self.state_dict().items()})
+
+    def load(self, path) -> None:
+        """Restore parameters previously written by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files})

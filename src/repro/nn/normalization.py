@@ -1,0 +1,63 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm", "BatchNorm1d"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis, with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over axis 0 with running statistics.
+
+    Used inside the MiniResNet stand-in for ResNet-50's BN layers
+    (applied to flattened channel features).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+        self.running_mean = np.zeros(dim)
+        self.running_var = np.ones(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * batch_mean)
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * batch_var)
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            normed = centered / (var + self.eps).sqrt()
+        else:
+            normed = (x - Tensor(self.running_mean)) / Tensor(
+                np.sqrt(self.running_var + self.eps))
+        return normed * self.gamma + self.beta

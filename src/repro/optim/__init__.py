@@ -1,0 +1,9 @@
+"""Optimizers and training schedules."""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam
+from .schedule import CosineDecay, StepDecay, TwoPhaseSchedule
+
+__all__ = ["Optimizer", "SGD", "Adam", "TwoPhaseSchedule",
+           "StepDecay", "CosineDecay"]

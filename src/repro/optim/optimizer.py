@@ -1,0 +1,34 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..nn import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class holding a parameter list and the step/zero_grad API.
+
+    Frozen parameters (``requires_grad == False``) are skipped at step
+    time, which is how the two-phase backbone freezing interacts with a
+    single optimizer instance.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: Sequence[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffers of all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

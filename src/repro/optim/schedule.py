@@ -1,0 +1,96 @@
+"""Training schedules.
+
+The paper's recipe (§4.4): freeze the vision backbone, train the text
+branch and the two latent-space projections for 20 epochs, then
+unfreeze the backbone and fine-tune everything for 60 more epochs.
+:class:`TwoPhaseSchedule` encodes exactly that policy, with the epoch
+counts made configurable so scaled-down runs keep the same shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..nn import Module
+from .optimizer import Optimizer
+
+__all__ = ["TwoPhaseSchedule", "StepDecay", "CosineDecay"]
+
+
+class TwoPhaseSchedule:
+    """Freeze a backbone for the first phase, unfreeze it afterwards.
+
+    Parameters
+    ----------
+    backbone:
+        Module to keep frozen during phase one (the image CNN).
+    freeze_epochs:
+        Number of initial epochs with the backbone frozen
+        (20 in the paper).
+    total_epochs:
+        Overall epoch budget (80 in the paper).
+    """
+
+    def __init__(self, backbone: Module, freeze_epochs: int, total_epochs: int):
+        if freeze_epochs < 0 or total_epochs < freeze_epochs:
+            raise ValueError(
+                f"invalid schedule: freeze={freeze_epochs}, total={total_epochs}"
+            )
+        self.backbone = backbone
+        self.freeze_epochs = freeze_epochs
+        self.total_epochs = total_epochs
+        self._unfrozen = False
+        if freeze_epochs > 0:
+            backbone.freeze()
+        else:
+            self._unfrozen = True
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Notify the schedule that ``epoch`` (0-based) is beginning."""
+        if not self._unfrozen and epoch >= self.freeze_epochs:
+            self.backbone.unfreeze()
+            self._unfrozen = True
+
+    @property
+    def backbone_frozen(self) -> bool:
+        return not self._unfrozen
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``step`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step: int, gamma: float = 0.1):
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step = step
+        self.gamma = gamma
+        self._base_lr = optimizer.lr
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Set the optimizer's lr for the given 0-based epoch."""
+        self.optimizer.lr = self._base_lr * self.gamma ** (epoch // self.step)
+
+
+class CosineDecay:
+    """Cosine-anneal the learning rate over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self._base_lr = optimizer.lr
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Set the optimizer's lr for the given 0-based epoch."""
+        progress = min(epoch / max(self.total_epochs - 1, 1), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        self.optimizer.lr = self.min_lr + (self._base_lr
+                                           - self.min_lr) * cosine

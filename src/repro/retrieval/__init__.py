@@ -1,0 +1,21 @@
+"""Cross-modal retrieval engine: distances, ranking, metrics, protocol."""
+
+from .distance import cosine_distance, cosine_distance_matrix, normalize_rows
+from .ranking import rank_items, ranks_of_matches
+from .metrics import (RetrievalMetrics, aggregate_metrics, median_rank,
+                      recall_at_k)
+from .protocol import ProtocolResult, RetrievalProtocol, evaluate_embeddings
+from .index import NearestNeighborIndex
+from .significance import (BootstrapComparison, compare_models,
+                           paired_bootstrap)
+from .curves import mean_reciprocal_rank, rank_histogram, recall_curve
+
+__all__ = [
+    "normalize_rows", "cosine_distance_matrix", "cosine_distance",
+    "ranks_of_matches", "rank_items",
+    "median_rank", "recall_at_k", "RetrievalMetrics", "aggregate_metrics",
+    "RetrievalProtocol", "ProtocolResult", "evaluate_embeddings",
+    "NearestNeighborIndex",
+    "paired_bootstrap", "compare_models", "BootstrapComparison",
+    "recall_curve", "rank_histogram", "mean_reciprocal_rank",
+]

@@ -1,0 +1,53 @@
+"""Rank-distribution analyses beyond MedR/R@K point metrics.
+
+* :func:`recall_curve` — R@K for a whole sweep of K (recall curves are
+  the standard companion plot to Table 3's point metrics);
+* :func:`rank_histogram` — the distribution of match ranks;
+* :func:`mean_reciprocal_rank` — MRR, a complementary point metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_curve", "rank_histogram", "mean_reciprocal_rank"]
+
+
+def recall_curve(ranks: np.ndarray, max_k: int | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(ks, recalls)`` with R@K in percent for K = 1..max_k."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks")
+    if max_k is None:
+        max_k = int(ranks.max())
+    if max_k < 1:
+        raise ValueError("max_k must be >= 1")
+    ks = np.arange(1, max_k + 1)
+    sorted_ranks = np.sort(ranks)
+    counts = np.searchsorted(sorted_ranks, ks, side="right")
+    return ks, 100.0 * counts / ranks.size
+
+
+def rank_histogram(ranks: np.ndarray, num_bins: int = 10,
+                   max_rank: int | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of match ranks: ``(bin_edges, counts)``."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks")
+    if max_rank is None:
+        max_rank = int(ranks.max())
+    edges = np.linspace(1, max_rank + 1, num_bins + 1)
+    counts, __ = np.histogram(ranks, bins=edges)
+    return edges, counts
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """MRR = mean(1 / rank); 1.0 is perfect retrieval."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise ValueError("no ranks")
+    if (ranks < 1).any():
+        raise ValueError("ranks are 1-based")
+    return float((1.0 / ranks).mean())

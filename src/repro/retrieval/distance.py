@@ -1,0 +1,30 @@
+"""Cosine distances over plain numpy embeddings (evaluation path).
+
+Training-time distances live in :mod:`repro.autograd.functional`; this
+module is the inference/evaluation twin operating on raw arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_rows", "cosine_distance_matrix", "cosine_distance"]
+
+
+def normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """L2-normalize each row of ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    return x / np.maximum(norms, eps)
+
+
+def cosine_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs cosine distance: (n, d) x (m, d) -> (n, m)."""
+    return 1.0 - normalize_rows(a) @ normalize_rows(b).T
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise cosine distance between two aligned matrices."""
+    a = normalize_rows(a)
+    b = normalize_rows(b)
+    return 1.0 - (a * b).sum(axis=-1)

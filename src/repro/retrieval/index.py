@@ -1,0 +1,57 @@
+"""Exact nearest-neighbour index over latent embeddings.
+
+Backs the qualitative experiments (Tables 2, 4, 5): retrieve the
+closest images for an arbitrary query vector, optionally constrained
+to one semantic class (the paper's "within the class pizza" search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distance import cosine_distance_matrix, normalize_rows
+
+__all__ = ["NearestNeighborIndex"]
+
+
+class NearestNeighborIndex:
+    """Brute-force cosine index with optional per-item class metadata."""
+
+    def __init__(self, embeddings: np.ndarray,
+                 ids: np.ndarray | None = None,
+                 class_ids: np.ndarray | None = None):
+        self.embeddings = normalize_rows(embeddings)
+        n = len(self.embeddings)
+        self.ids = (np.arange(n) if ids is None
+                    else np.asarray(ids, dtype=np.int64))
+        if len(self.ids) != n:
+            raise ValueError("ids must align with embeddings")
+        self.class_ids = (None if class_ids is None
+                          else np.asarray(class_ids, dtype=np.int64))
+        if self.class_ids is not None and len(self.class_ids) != n:
+            raise ValueError("class_ids must align with embeddings")
+
+    def __len__(self) -> int:
+        return len(self.embeddings)
+
+    def query(self, vector: np.ndarray, k: int = 5,
+              class_id: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(ids, distances)`` for one query vector.
+
+        ``class_id`` restricts candidates to one class (requires the
+        index to have been built with ``class_ids``).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        candidates = np.arange(len(self.embeddings))
+        if class_id is not None:
+            if self.class_ids is None:
+                raise ValueError("index built without class metadata")
+            candidates = np.flatnonzero(self.class_ids == class_id)
+            if candidates.size == 0:
+                raise ValueError(f"no items of class {class_id} in index")
+        distances = cosine_distance_matrix(
+            vector, self.embeddings[candidates])[0]
+        order = np.argsort(distances, kind="stable")[:k]
+        return self.ids[candidates[order]], distances[order]

@@ -1,0 +1,69 @@
+"""Cross-modal retrieval metrics: MedR and R@K.
+
+Matches §4.2 of the paper: the median retrieval rank (MedR, lower is
+better) and the recall percentage at top K (R@K in [0, 100], higher is
+better), both computed over all queries of a bag and then aggregated
+(mean ± std) over bags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["median_rank", "recall_at_k", "RetrievalMetrics",
+           "aggregate_metrics"]
+
+
+def median_rank(ranks: np.ndarray) -> float:
+    """Median of 1-based match ranks (MedR)."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks to aggregate")
+    return float(np.median(ranks))
+
+
+def recall_at_k(ranks: np.ndarray, k: int) -> float:
+    """Percentage of queries whose match ranks in the top ``k``."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks to aggregate")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float(100.0 * (ranks <= k).mean())
+
+
+@dataclass(frozen=True)
+class RetrievalMetrics:
+    """MedR and R@{1,5,10} for one retrieval direction on one bag."""
+
+    medr: float
+    r_at_1: float
+    r_at_5: float
+    r_at_10: float
+
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray) -> "RetrievalMetrics":
+        return cls(
+            medr=median_rank(ranks),
+            r_at_1=recall_at_k(ranks, 1),
+            r_at_5=recall_at_k(ranks, 5),
+            r_at_10=recall_at_k(ranks, 10),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {"MedR": self.medr, "R@1": self.r_at_1,
+                "R@5": self.r_at_5, "R@10": self.r_at_10}
+
+
+def aggregate_metrics(per_bag: list[RetrievalMetrics]
+                      ) -> dict[str, tuple[float, float]]:
+    """Mean ± std of each metric across bags (paper's reporting format)."""
+    if not per_bag:
+        raise ValueError("no bags to aggregate")
+    result = {}
+    for key in ("MedR", "R@1", "R@5", "R@10"):
+        values = np.array([m.as_dict()[key] for m in per_bag])
+        result[key] = (float(values.mean()), float(values.std()))
+    return result

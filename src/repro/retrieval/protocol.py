@@ -1,0 +1,118 @@
+"""The paper's bag-resampling evaluation protocol (§4.2).
+
+From the test set, sample ``num_bags`` unique subsets of ``bag_size``
+matching pairs; within each bag, use every item of one modality as a
+query against all ``bag_size`` candidates of the other modality, in
+both directions; report mean ± std of MedR and R@K over bags.
+
+The paper uses 10 bags of 1 000 ("1k setup") and 5 bags of 10 000
+("10k setup"); both are configurable here so scaled-down corpora keep
+the protocol's exact shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import cosine_distance_matrix
+from .metrics import RetrievalMetrics, aggregate_metrics
+from .ranking import ranks_of_matches
+
+__all__ = ["ProtocolResult", "RetrievalProtocol", "evaluate_embeddings"]
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Aggregated two-direction retrieval results.
+
+    ``image_to_recipe`` / ``recipe_to_image`` map metric names to
+    ``(mean, std)`` tuples over bags.
+    """
+
+    image_to_recipe: dict[str, tuple[float, float]]
+    recipe_to_image: dict[str, tuple[float, float]]
+    bag_size: int
+    num_bags: int
+
+    def medr(self, direction: str = "image_to_recipe") -> float:
+        return getattr(self, direction)["MedR"][0]
+
+    def summary(self) -> str:
+        def fmt(metrics):
+            return ", ".join(f"{k}={m:.1f}±{s:.1f}"
+                             for k, (m, s) in metrics.items())
+
+        return (f"im->rec: {fmt(self.image_to_recipe)}\n"
+                f"rec->im: {fmt(self.recipe_to_image)}")
+
+
+class RetrievalProtocol:
+    """Resampled-bag evaluation of a pair of embedding matrices.
+
+    Parameters
+    ----------
+    bag_size:
+        Matching pairs per bag (1 000 or 10 000 in the paper).
+    num_bags:
+        Number of resampled bags (10 and 5 in the paper).
+    seed:
+        Bag-sampling seed.
+    """
+
+    def __init__(self, bag_size: int = 1000, num_bags: int = 10,
+                 seed: int = 0):
+        if bag_size < 2:
+            raise ValueError("bag_size must be >= 2")
+        if num_bags < 1:
+            raise ValueError("num_bags must be >= 1")
+        self.bag_size = bag_size
+        self.num_bags = num_bags
+        self.seed = seed
+
+    def sample_bags(self, population: int) -> list[np.ndarray]:
+        """Draw ``num_bags`` subsets of ``bag_size`` indices.
+
+        Bags are sampled without replacement within a bag; if the
+        population is smaller than ``bag_size``, the whole population
+        forms each bag (degenerate but well-defined for tiny tests).
+        """
+        rng = np.random.default_rng(self.seed)
+        size = min(self.bag_size, population)
+        return [rng.choice(population, size=size, replace=False)
+                for __ in range(self.num_bags)]
+
+    def evaluate(self, image_embeddings: np.ndarray,
+                 recipe_embeddings: np.ndarray) -> ProtocolResult:
+        """Run the full two-direction protocol.
+
+        Row ``i`` of both matrices must correspond to the same pair.
+        """
+        if image_embeddings.shape != recipe_embeddings.shape:
+            raise ValueError("embedding matrices must be aligned")
+        n = len(image_embeddings)
+        i2r_bags, r2i_bags = [], []
+        for bag in self.sample_bags(n):
+            distances = cosine_distance_matrix(image_embeddings[bag],
+                                               recipe_embeddings[bag])
+            i2r_bags.append(RetrievalMetrics.from_ranks(
+                ranks_of_matches(distances)))
+            r2i_bags.append(RetrievalMetrics.from_ranks(
+                ranks_of_matches(distances.T)))
+        return ProtocolResult(
+            image_to_recipe=aggregate_metrics(i2r_bags),
+            recipe_to_image=aggregate_metrics(r2i_bags),
+            bag_size=min(self.bag_size, n),
+            num_bags=self.num_bags,
+        )
+
+
+def evaluate_embeddings(image_embeddings: np.ndarray,
+                        recipe_embeddings: np.ndarray,
+                        bag_size: int = 1000, num_bags: int = 10,
+                        seed: int = 0) -> ProtocolResult:
+    """One-call convenience wrapper around :class:`RetrievalProtocol`."""
+    protocol = RetrievalProtocol(bag_size=bag_size, num_bags=num_bags,
+                                 seed=seed)
+    return protocol.evaluate(image_embeddings, recipe_embeddings)

@@ -1,0 +1,38 @@
+"""Rank computation for cross-modal retrieval.
+
+Queries are rows of a distance matrix whose diagonal holds the
+matching item (the paper's protocol: every query's ground truth is its
+own pair in the other modality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ranks_of_matches", "rank_items"]
+
+
+def ranks_of_matches(distances: np.ndarray) -> np.ndarray:
+    """1-based rank of each query's matching item.
+
+    ``distances[i, j]`` is the distance from query ``i`` to candidate
+    ``j``; the match of query ``i`` is candidate ``i``. Ties are broken
+    pessimistically (the match ranks after equal-distance candidates),
+    which makes reported metrics conservative.
+    """
+    distances = np.asarray(distances)
+    n, m = distances.shape
+    if n != m:
+        raise ValueError(f"expected a square matrix, got {distances.shape}")
+    match_distance = np.diag(distances)[:, None]
+    better = (distances < match_distance).sum(axis=1)
+    ties = (distances == match_distance).sum(axis=1) - 1  # exclude the match
+    return better + ties + 1
+
+
+def rank_items(distances_row: np.ndarray, k: int | None = None) -> np.ndarray:
+    """Candidate indices sorted by increasing distance (top-``k``)."""
+    order = np.argsort(distances_row, kind="stable")
+    if k is not None:
+        order = order[:k]
+    return order

@@ -1,0 +1,92 @@
+"""Paired bootstrap significance testing for retrieval comparisons.
+
+When two models are evaluated on the same query set, the per-query
+match ranks are paired. The paired bootstrap resamples queries with
+replacement and measures how often the sign of the metric difference
+flips — a standard, distribution-free way to decide whether "model A's
+MedR is lower than model B's" is more than bag-sampling luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import cosine_distance_matrix
+from .ranking import ranks_of_matches
+
+__all__ = ["BootstrapComparison", "paired_bootstrap", "compare_models"]
+
+
+@dataclass(frozen=True)
+class BootstrapComparison:
+    """Outcome of a paired bootstrap test on a rank-based metric."""
+
+    metric: str
+    value_a: float
+    value_b: float
+    p_value: float          # P(metric_a >= metric_b) under resampling
+    num_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when A beats B at the 5% level."""
+        return self.p_value < 0.05
+
+
+def _metric(ranks: np.ndarray, metric: str) -> float:
+    if metric == "MedR":
+        return float(np.median(ranks))
+    if metric.startswith("R@"):
+        k = int(metric[2:])
+        return float(100.0 * (ranks <= k).mean())
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def paired_bootstrap(ranks_a: np.ndarray, ranks_b: np.ndarray,
+                     metric: str = "MedR", num_samples: int = 2000,
+                     seed: int = 0) -> BootstrapComparison:
+    """Test whether model A beats model B on paired per-query ranks.
+
+    For MedR "beats" means lower; for R@K it means higher. The reported
+    p-value is the bootstrap probability that A does **not** beat B.
+    """
+    ranks_a = np.asarray(ranks_a)
+    ranks_b = np.asarray(ranks_b)
+    if ranks_a.shape != ranks_b.shape or ranks_a.ndim != 1:
+        raise ValueError("need two aligned 1-D rank arrays")
+    if num_samples < 100:
+        raise ValueError("num_samples too small for a stable p-value")
+    n = len(ranks_a)
+    rng = np.random.default_rng(seed)
+    lower_is_better = metric == "MedR"
+    losses = 0
+    for __ in range(num_samples):
+        rows = rng.integers(0, n, size=n)
+        a = _metric(ranks_a[rows], metric)
+        b = _metric(ranks_b[rows], metric)
+        if (a >= b) if lower_is_better else (a <= b):
+            losses += 1
+    return BootstrapComparison(
+        metric=metric,
+        value_a=_metric(ranks_a, metric),
+        value_b=_metric(ranks_b, metric),
+        p_value=losses / num_samples,
+        num_samples=num_samples)
+
+
+def compare_models(image_a: np.ndarray, recipe_a: np.ndarray,
+                   image_b: np.ndarray, recipe_b: np.ndarray,
+                   metric: str = "MedR", num_samples: int = 2000,
+                   seed: int = 0) -> BootstrapComparison:
+    """Paired bootstrap over the image→recipe ranks of two models.
+
+    All four embedding matrices must be row-aligned to the same pairs.
+    """
+    if not (len(image_a) == len(recipe_a) == len(image_b) == len(recipe_b)):
+        raise ValueError("all embedding matrices must be aligned")
+    ranks_a = ranks_of_matches(cosine_distance_matrix(image_a, recipe_a))
+    ranks_b = ranks_of_matches(cosine_distance_matrix(image_b, recipe_b))
+    return paired_bootstrap(ranks_a, ranks_b, metric=metric,
+                            num_samples=num_samples, seed=seed)

@@ -1,0 +1,12 @@
+"""Text substrate: tokenization, vocabulary, pretrained encoders."""
+
+from .tokenizer import split_sentences, tokenize
+from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+from .word2vec import Word2Vec
+from .skip_thought import SkipThoughtLite
+
+__all__ = [
+    "tokenize", "split_sentences",
+    "Vocabulary", "PAD_TOKEN", "UNK_TOKEN",
+    "Word2Vec", "SkipThoughtLite",
+]

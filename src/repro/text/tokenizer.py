@@ -1,0 +1,25 @@
+"""Minimal text tokenization for recipes.
+
+Recipe1M preprocessing lower-cases text, strips punctuation and splits
+on whitespace; this module reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "split_sentences"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case and split ``text`` into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split instruction text into sentences on terminal punctuation."""
+    parts = _SENTENCE_RE.split(text.strip())
+    return [p for p in (part.strip() for part in parts) if p]

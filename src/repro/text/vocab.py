@@ -1,0 +1,82 @@
+"""Vocabulary mapping tokens to integer ids.
+
+Id 0 is the padding token and id 1 the unknown token, matching the
+conventions of the embedding layer (padding row zeroed).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD_TOKEN", "UNK_TOKEN"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Bidirectional token ↔ id mapping with frequency-based pruning."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+        self._id_to_token: list[str] = [PAD_TOKEN, UNK_TOKEN]
+        for token in tokens:
+            self.add(token)
+
+    @classmethod
+    def from_corpus(cls, documents: Iterable[Sequence[str]],
+                    min_count: int = 1,
+                    max_size: int | None = None) -> "Vocabulary":
+        """Build a vocabulary from tokenized documents.
+
+        Tokens are added in decreasing frequency (ties broken
+        alphabetically) so ids are stable across runs.
+        """
+        counts = Counter()
+        for doc in documents:
+            counts.update(doc)
+        eligible = sorted(
+            (token for token, n in counts.items() if n >= min_count),
+            key=lambda t: (-counts[t], t),
+        )
+        if max_size is not None:
+            eligible = eligible[: max(0, max_size - 2)]
+        return cls(eligible)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if new; return its id."""
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Map tokens to ids (unknowns to the UNK id)."""
+        return [self._token_to_id.get(t, 1) for t in tokens]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Map ids back to tokens."""
+        return [self._id_to_token[i] for i in ids]
+
+    def encode_padded(self, tokens: Sequence[str], length: int) -> np.ndarray:
+        """Encode and right-pad/truncate to ``length`` ids."""
+        ids = self.encode(tokens)[:length]
+        padded = np.zeros(length, dtype=np.int64)
+        padded[: len(ids)] = ids
+        return padded
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __getitem__(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)

@@ -1,0 +1,138 @@
+"""Skip-gram word2vec with negative sampling (Mikolov et al., 2013).
+
+The paper initializes the ingredient branch with word2vec vectors
+pretrained on the recipe corpus; this is a from-scratch numpy
+implementation (manual gradients — no autograd graph needed) producing
+those pretrained vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["Word2Vec"]
+
+
+class Word2Vec:
+    """Skip-gram with negative sampling over tokenized documents.
+
+    Parameters
+    ----------
+    vocab:
+        Vocabulary assigning ids; index 0 (padding) is never sampled.
+    dim:
+        Embedding dimensionality.
+    window:
+        Max distance between center and context words.
+    negatives:
+        Negative samples per positive pair.
+    lr:
+        SGD learning rate.
+    seed:
+        RNG seed for initialization and sampling.
+    """
+
+    def __init__(self, vocab: Vocabulary, dim: int = 32, window: int = 3,
+                 negatives: int = 5, lr: float = 0.05, seed: int = 0):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        self._rng = np.random.default_rng(seed)
+        scale = 0.5 / dim
+        self.input_vectors = self._rng.uniform(-scale, scale,
+                                               size=(len(vocab), dim))
+        self.output_vectors = np.zeros((len(vocab), dim))
+        self._noise = None  # unigram^0.75 table, built at fit time
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Sequence[Sequence[str]],
+            epochs: int = 3) -> "Word2Vec":
+        """Train on tokenized documents; returns self."""
+        encoded = [np.array(self.vocab.encode(doc), dtype=np.int64)
+                   for doc in documents if len(doc) >= 2]
+        if not encoded:
+            raise ValueError("word2vec needs at least one document of >=2 tokens")
+        self._build_noise_table(encoded)
+        for __ in range(epochs):
+            order = self._rng.permutation(len(encoded))
+            for doc_index in order:
+                self._train_document(encoded[doc_index])
+        return self
+
+    def _build_noise_table(self, encoded: list[np.ndarray]) -> None:
+        counts = np.zeros(len(self.vocab))
+        for doc in encoded:
+            np.add.at(counts, doc, 1)
+        counts[0] = 0.0  # never draw padding as a negative
+        weights = counts ** 0.75
+        total = weights.sum()
+        if total == 0:
+            raise ValueError("empty corpus")
+        self._noise = weights / total
+
+    def _train_document(self, doc: np.ndarray) -> None:
+        length = len(doc)
+        for center_pos in range(length):
+            center = doc[center_pos]
+            if center <= 1:  # skip pad/unk centers
+                continue
+            span = self._rng.integers(1, self.window + 1)
+            lo = max(0, center_pos - span)
+            hi = min(length, center_pos + span + 1)
+            for context_pos in range(lo, hi):
+                if context_pos == center_pos:
+                    continue
+                context = doc[context_pos]
+                if context <= 1:
+                    continue
+                negatives = self._rng.choice(
+                    len(self.vocab), size=self.negatives, p=self._noise)
+                self._sgd_step(center, context, negatives)
+
+    def _sgd_step(self, center: int, context: int,
+                  negatives: np.ndarray) -> None:
+        """One negative-sampling update (binary logistic per target)."""
+        v = self.input_vectors[center]
+        targets = np.concatenate(([context], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        outs = self.output_vectors[targets]           # (k+1, d)
+        scores = 1.0 / (1.0 + np.exp(-outs @ v))       # sigmoid
+        gradient = (scores - labels)[:, None]          # (k+1, 1)
+        grad_v = (gradient * outs).sum(axis=0)
+        self.output_vectors[targets] -= self.lr * gradient * v[None, :]
+        self.input_vectors[center] -= self.lr * grad_v
+
+    # ------------------------------------------------------------------
+    def vectors(self) -> np.ndarray:
+        """Return the trained input embedding table (padding row zeroed)."""
+        table = self.input_vectors.copy()
+        table[0] = 0.0
+        return table
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' vectors."""
+        va = self.input_vectors[self.vocab[a]]
+        vb = self.input_vectors[self.vocab[b]]
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: str, k: int = 5) -> list[tuple[str, float]]:
+        """Return the ``k`` nearest tokens by cosine similarity."""
+        index = self.vocab[token]
+        norms = np.linalg.norm(self.input_vectors, axis=1)
+        norms[norms == 0] = 1.0
+        normalized = self.input_vectors / norms[:, None]
+        sims = normalized @ normalized[index]
+        sims[index] = -np.inf
+        sims[:2] = -np.inf  # pad/unk
+        best = np.argsort(-sims)[:k]
+        return [(self.vocab.tokens[i], float(sims[i])) for i in best]

@@ -1,0 +1,15 @@
+"""Vision substrate: image encoders, transforms, pretraining."""
+
+from .resnet import (BatchNorm2d, HistogramEncoder, MLPEncoder, MiniResNet,
+                     ResidualBlock, build_image_encoder)
+from .transforms import (Augmenter, additive_noise, brightness_jitter,
+                         flip_horizontal, random_crop)
+from .pretrain import color_statistics, pretrain_backbone
+
+__all__ = [
+    "MiniResNet", "MLPEncoder", "HistogramEncoder", "ResidualBlock", "BatchNorm2d",
+    "build_image_encoder",
+    "Augmenter", "flip_horizontal", "brightness_jitter", "additive_noise",
+    "random_crop",
+    "pretrain_backbone", "color_statistics",
+]

@@ -1,0 +1,64 @@
+"""Self-supervised backbone warm-start (the ImageNet-pretraining stand-in).
+
+The paper initializes its ResNet-50 from ImageNet. With no external
+data available, we warm-start the backbone with a *colour-statistics
+proxy task*: regress each image's per-channel mean and variance from
+the backbone features through a throwaway linear head. This teaches
+the convolutional filters to expose exactly the signal our procedural
+dish images encode (ingredient colours and textures), mirroring the
+role of ImageNet features, and is discarded after pretraining — only
+the backbone weights are kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Linear, Module
+from ..optim import Adam
+
+__all__ = ["pretrain_backbone", "color_statistics"]
+
+
+def color_statistics(images: np.ndarray) -> np.ndarray:
+    """Per-image targets: channel means and standard deviations (6 dims)."""
+    means = images.mean(axis=(2, 3))
+    stds = images.std(axis=(2, 3))
+    return np.concatenate([means, stds], axis=1)
+
+
+def pretrain_backbone(backbone: Module, images: np.ndarray,
+                      epochs: int = 3, batch_size: int = 32,
+                      lr: float = 1e-3, seed: int = 0) -> list[float]:
+    """Warm-start ``backbone`` on the colour-statistics proxy task.
+
+    Returns the per-epoch mean squared errors (decreasing losses are
+    asserted by the test suite as evidence the backbone actually
+    learns). The regression head is local to this function and
+    discarded on return.
+    """
+    rng = np.random.default_rng(seed)
+    targets = color_statistics(images)
+    head = Linear(backbone.feature_dim, targets.shape[1], rng)
+    optimizer = Adam(list(backbone.parameters()) + list(head.parameters()),
+                     lr=lr)
+    losses = []
+    n = len(images)
+    for __ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            rows = order[start:start + batch_size]
+            optimizer.zero_grad()
+            features = backbone(Tensor(images[rows]))
+            predicted = head(features)
+            error = predicted - Tensor(targets[rows])
+            loss = (error * error).mean()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return losses

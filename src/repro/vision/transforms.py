@@ -1,0 +1,83 @@
+"""Image augmentation for training batches.
+
+Lightweight numpy equivalents of the crop/flip/jitter pipeline used
+when fine-tuning vision backbones. All functions take and return
+channel-first ``(..., 3, H, W)`` arrays and never modify their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["flip_horizontal", "brightness_jitter", "additive_noise",
+           "random_crop", "Augmenter"]
+
+
+def flip_horizontal(images: np.ndarray) -> np.ndarray:
+    """Mirror images along the width axis."""
+    return images[..., ::-1].copy()
+
+
+def brightness_jitter(images: np.ndarray, rng: np.random.Generator,
+                      strength: float = 0.1) -> np.ndarray:
+    """Scale each image by an independent factor in [1-s, 1+s]."""
+    n = images.shape[0]
+    factors = rng.uniform(1.0 - strength, 1.0 + strength, size=(n, 1, 1, 1))
+    return np.clip(images * factors, 0.0, 1.0)
+
+
+def additive_noise(images: np.ndarray, rng: np.random.Generator,
+                   sigma: float = 0.02) -> np.ndarray:
+    """Add gaussian pixel noise."""
+    return np.clip(images + rng.normal(0.0, sigma, size=images.shape),
+                   0.0, 1.0)
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator,
+                pad: int = 2) -> np.ndarray:
+    """Reflect-pad by ``pad`` then crop back at a random offset."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                    mode="reflect")
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy:dy + h, dx:dx + w]
+    return out
+
+
+class Augmenter:
+    """Composable train-time augmentation pipeline.
+
+    Parameters
+    ----------
+    rng:
+        Generator for all stochastic choices.
+    flip_prob:
+        Per-image probability of a horizontal flip.
+    brightness, noise_sigma, crop_pad:
+        Strengths of the individual transforms (0 disables each).
+    """
+
+    def __init__(self, rng: np.random.Generator, flip_prob: float = 0.5,
+                 brightness: float = 0.1, noise_sigma: float = 0.02,
+                 crop_pad: int = 1):
+        self.rng = rng
+        self.flip_prob = flip_prob
+        self.brightness = brightness
+        self.noise_sigma = noise_sigma
+        self.crop_pad = crop_pad
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        out = images.copy()
+        if self.crop_pad:
+            out = random_crop(out, self.rng, pad=self.crop_pad)
+        if self.flip_prob:
+            flips = self.rng.random(len(out)) < self.flip_prob
+            if flips.any():
+                out[flips] = flip_horizontal(out[flips])
+        if self.brightness:
+            out = brightness_jitter(out, self.rng, self.brightness)
+        if self.noise_sigma:
+            out = additive_noise(out, self.rng, self.noise_sigma)
+        return out

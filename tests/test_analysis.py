@@ -1,0 +1,215 @@
+"""Unit tests for t-SNE, cluster metrics and the qualitative tasks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (TSNE, class_separation_ratio,
+                            ingredient_query_embedding, ingredient_to_image,
+                            knn_purity, matched_pair_distance,
+                            recipe_to_image, remove_ingredient_comparison,
+                            run_lambda_sweep)
+from repro.core import Trainer, TrainingConfig, build_scenario
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        x = RNG(0).normal(size=(30, 8))
+        out = TSNE(perplexity=5, n_iter=50).fit_transform(x)
+        assert out.shape == (30, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_well_separated_clusters(self):
+        rng = RNG(1)
+        a = rng.normal(0.0, 0.1, size=(20, 5))
+        b = rng.normal(5.0, 0.1, size=(20, 5))
+        coords = TSNE(perplexity=8, n_iter=250,
+                      seed=0).fit_transform(np.vstack([a, b]))
+        labels = np.array([0] * 20 + [1] * 20)
+        # in map space the clusters should also be distinguishable
+        assert knn_purity(coords, labels, k=5) > 0.8
+
+    def test_centered_output(self):
+        coords = TSNE(perplexity=4, n_iter=50).fit_transform(
+            RNG(2).normal(size=(15, 4)))
+        np.testing.assert_allclose(coords.mean(axis=0), np.zeros(2),
+                                   atol=1e-8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=5)
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 4)))
+
+    def test_deterministic_under_seed(self):
+        x = RNG(3).normal(size=(20, 5))
+        a = TSNE(perplexity=5, n_iter=40, seed=9).fit_transform(x)
+        b = TSNE(perplexity=5, n_iter=40, seed=9).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+
+class TestClusterMetrics:
+    def test_knn_purity_perfect_clusters(self):
+        emb = np.vstack([np.tile([1.0, 0.0], (10, 1)) + RNG(4).normal(
+            0, 0.01, size=(10, 2)),
+            np.tile([0.0, 1.0], (10, 1)) + RNG(5).normal(
+            0, 0.01, size=(10, 2))])
+        labels = np.array([0] * 10 + [1] * 10)
+        assert knn_purity(emb, labels, k=5) == 1.0
+
+    def test_knn_purity_random_near_chance(self):
+        emb = RNG(6).normal(size=(100, 8))
+        labels = RNG(7).integers(0, 4, size=100)
+        purity = knn_purity(emb, labels, k=10)
+        assert 0.1 < purity < 0.45  # chance = 0.25
+
+    def test_knn_purity_validation(self):
+        with pytest.raises(ValueError):
+            knn_purity(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            knn_purity(np.zeros((5, 2)), np.zeros(5), k=5)
+
+    def test_matched_pair_distance_zero_for_identical(self):
+        x = RNG(8).normal(size=(6, 4))
+        assert matched_pair_distance(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matched_pair_distance_misaligned(self):
+        with pytest.raises(ValueError):
+            matched_pair_distance(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_separation_ratio_orders_structures(self):
+        rng = RNG(9)
+        labels = np.array([0] * 15 + [1] * 15)
+        tight = np.vstack([rng.normal(0, 0.05, size=(15, 3)) + [1, 0, 0],
+                           rng.normal(0, 0.05, size=(15, 3)) + [0, 1, 0]])
+        loose = rng.normal(size=(30, 3))
+        assert (class_separation_ratio(tight, labels)
+                > class_separation_ratio(loose, labels))
+
+    def test_separation_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            class_separation_ratio(np.zeros((4, 2)), np.zeros(4))
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A small trained AdaMine model + corpus for qualitative tests."""
+    ds = generate_dataset(DatasetConfig(num_pairs=160, num_classes=6,
+                                        image_size=12, seed=21))
+    feat = RecipeFeaturizer(word_dim=12, sentence_dim=12,
+                            max_ingredients=10, max_sentences=6).fit(ds)
+    train = feat.encode_split(ds, "train")
+    val = feat.encode_split(ds, "val")
+    test = feat.encode_split(ds, "test")
+    config = TrainingConfig(epochs=4, freeze_epochs=0, batch_size=24,
+                            learning_rate=2e-3, augment=False,
+                            eval_bag_size=24, eval_num_bags=1)
+    model, cfg = build_scenario("adamine", feat, 6, 12, base_config=config,
+                                latent_dim=24, seed=0)
+    Trainer(model, cfg).fit(train, val)
+    return {"dataset": ds, "featurizer": feat, "model": model,
+            "train": train, "test": test}
+
+
+class TestRecipeToImage:
+    def test_hits_annotated(self, trained_setup):
+        results = recipe_to_image(trained_setup["model"],
+                                  trained_setup["dataset"],
+                                  trained_setup["test"],
+                                  np.array([0, 1]), k=5)
+        assert len(results) == 2
+        for result in results:
+            assert len(result.hits) == 5
+            assert all(h.relation in ("match", "same-class", "other")
+                       for h in result.hits)
+            assert 0.0 <= result.same_class_fraction <= 1.0
+
+    def test_match_rank_consistency(self, trained_setup):
+        results = recipe_to_image(trained_setup["model"],
+                                  trained_setup["dataset"],
+                                  trained_setup["test"],
+                                  np.array([3]), k=len(trained_setup["test"]))
+        # searching the full corpus must find the match somewhere
+        assert results[0].match_rank is not None
+
+    def test_distances_sorted(self, trained_setup):
+        results = recipe_to_image(trained_setup["model"],
+                                  trained_setup["dataset"],
+                                  trained_setup["test"], np.array([2]), k=6)
+        distances = [h.distance for h in results[0].hits]
+        assert distances == sorted(distances)
+
+
+class TestIngredientToImage:
+    def test_query_embedding_unit_norm(self, trained_setup):
+        vec = ingredient_query_embedding(
+            trained_setup["model"], trained_setup["featurizer"],
+            "butter", trained_setup["train"])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_unknown_ingredient_raises(self, trained_setup):
+        with pytest.raises(ValueError):
+            ingredient_query_embedding(
+                trained_setup["model"], trained_setup["featurizer"],
+                "unobtainium", trained_setup["train"])
+
+    def test_search_returns_k_hits(self, trained_setup):
+        result = ingredient_to_image(
+            trained_setup["model"], trained_setup["featurizer"],
+            trained_setup["dataset"], trained_setup["test"], "butter", k=5)
+        assert len(result.hits) == 5
+        assert len(result.containment) == 5
+        assert 0.0 <= result.hit_rate <= 1.0
+
+    def test_class_constrained_search(self, trained_setup):
+        ds = trained_setup["dataset"]
+        corpus = trained_setup["test"]
+        class_id = int(np.bincount(corpus.true_class_ids).argmax())
+        result = ingredient_to_image(
+            trained_setup["model"], trained_setup["featurizer"],
+            ds, corpus, "butter", k=3, class_id=class_id)
+        for hit in result.hits:
+            assert corpus.true_class_ids[hit.row] == class_id
+
+
+class TestRemoveIngredient:
+    def test_comparison_structure(self, trained_setup):
+        corpus = trained_setup["test"]
+        ds = trained_setup["dataset"]
+        row = next(r for r in range(len(corpus))
+                   if len(ds[int(corpus.recipe_indices[r])].ingredients) > 3)
+        ingredient = ds[int(corpus.recipe_indices[row])].ingredients[-1]
+        result = remove_ingredient_comparison(
+            trained_setup["model"], trained_setup["featurizer"], ds,
+            corpus, row, ingredient, k=4)
+        assert len(result.hits_with) == 4
+        assert len(result.hits_without) == 4
+        assert -1.0 <= result.removal_effect <= 1.0
+
+
+class TestLambdaSweep:
+    def test_sweep_returns_requested_points(self, trained_setup):
+        ds = trained_setup["dataset"]
+        feat = trained_setup["featurizer"]
+        config = TrainingConfig(epochs=1, freeze_epochs=0, batch_size=24,
+                                learning_rate=2e-3, augment=False,
+                                eval_bag_size=20, eval_num_bags=1)
+        points = run_lambda_sweep(
+            feat, trained_setup["train"],
+            feat.encode_split(ds, "val"), 6, 12,
+            lambdas=(0.2, 0.8), base_config=config, latent_dim=16)
+        assert [p.lambda_sem for p in points] == [0.2, 0.8]
+        assert all(np.isfinite(p.medr) for p in points)
+
+    def test_empty_lambdas_raise(self, trained_setup):
+        with pytest.raises(ValueError):
+            run_lambda_sweep(trained_setup["featurizer"],
+                             trained_setup["train"], trained_setup["test"],
+                             6, 12, lambdas=())

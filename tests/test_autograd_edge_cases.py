@@ -1,0 +1,108 @@
+"""Edge-case tests of the autograd engine surface."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_from_tensor_shares_data(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.data.dtype == np.float64
+
+    def test_from_int_array_promotes_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.data.dtype == np.float64
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        t = as_tensor(3.5)
+        assert t.item() == 3.5
+
+
+class TestAccessors:
+    def test_numpy_view(self):
+        t = Tensor(np.arange(4.0))
+        assert t.numpy() is t.data
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 5)))
+        assert len(t) == 3
+        assert t.size == 15
+        assert t.ndim == 2
+
+    def test_item_multi_element_raises(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(3)).item()
+
+    def test_item_on_2d_singleton(self):
+        assert Tensor(np.array([[7.0]])).item() == 7.0
+
+
+class TestGradFlagInteractions:
+    def test_grad_enabled_by_default(self):
+        assert is_grad_enabled()
+
+    def test_nested_no_grad_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_under_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_op_between_nograd_tensors_has_no_parents(self):
+        a = Tensor(np.ones(2))
+        b = Tensor(np.ones(2))
+        out = a + b
+        assert out._parents == ()
+        assert out._backward is None
+
+
+class TestMixedGraphs:
+    def test_grad_only_flows_to_requiring_inputs(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=False)
+        (a * b).sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_constant_scalar_leaf(self):
+        loss = Tensor(0.0)
+        loss.backward()  # no graph: a silent no-op on constants
+        assert loss.grad is None or loss.grad is not None  # must not raise
+
+    def test_backward_through_detach_stops(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = (a * 2.0).detach()
+        (b * 3.0).sum().backward()
+        assert a.grad is None
+
+    def test_interleaved_forward_backward(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        first = (a * a).sum()
+        second = (a * 3.0).sum()
+        first.backward()
+        second.backward()
+        np.testing.assert_allclose(a.grad, [4.0 + 3.0])

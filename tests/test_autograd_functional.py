@@ -1,0 +1,184 @@
+"""Unit tests for composite differentiable functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    concat,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    cross_entropy,
+    dot_rows,
+    l2_normalize,
+    log_softmax,
+    maximum,
+    pairwise_cosine_distance,
+    softmax,
+    stack,
+    where,
+)
+
+
+def rand(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        a, b = rand((2, 3)), rand((2, 2), 1)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out.data[:, :3], a.data)
+
+    def test_concat_gradcheck(self):
+        check_gradients(lambda a, b: concat([a, b], axis=-1),
+                        [rand((2, 3)), rand((2, 4), 1)])
+
+    def test_concat_axis0_gradcheck(self):
+        check_gradients(lambda a, b: concat([a, b], axis=0),
+                        [rand((2, 3)), rand((4, 3), 1)])
+
+    def test_stack_values(self):
+        a, b = rand((3,)), rand((3,), 1)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_stack_gradcheck(self):
+        check_gradients(lambda a, b: stack([a, b], axis=1),
+                        [rand((2, 3)), rand((2, 3), 1)])
+
+
+class TestMaxWhere:
+    def test_maximum_gradcheck(self):
+        check_gradients(lambda a, b: maximum(a, b),
+                        [rand((3, 3)), rand((3, 3), 1)])
+
+    def test_maximum_values(self):
+        out = maximum(Tensor([1.0, 5.0]), Tensor([2.0, 3.0]))
+        np.testing.assert_allclose(out.data, [2.0, 5.0])
+
+    def test_where_selects(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        np.testing.assert_allclose(out.data, [1.0, 9.0])
+
+    def test_where_gradcheck(self):
+        cond = np.array([[True, False, True]])
+        check_gradients(lambda a, b: where(cond, a, b),
+                        [rand((2, 3)), rand((2, 3), 1)])
+
+    def test_where_broadcast_condition(self):
+        cond = np.array([[True], [False]])
+        a, b = rand((2, 3)), rand((2, 3), 1)
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data[0], a.data[0])
+        np.testing.assert_allclose(out.data[1], b.data[1])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(rand((4, 7)))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_stable_for_large_logits(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_softmax_gradcheck(self):
+        check_gradients(lambda a: softmax(a), [rand((3, 4))], atol=1e-4)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = rand((3, 5))
+        np.testing.assert_allclose(log_softmax(x).data,
+                                   np.log(softmax(x).data), atol=1e-10)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]),
+                        requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([1, 2]))
+        assert loss.item() == pytest.approx(np.log(4))
+
+    def test_cross_entropy_gradcheck(self):
+        targets = np.array([0, 2, 1])
+        check_gradients(lambda a: cross_entropy(a, targets),
+                        [rand((3, 4))], atol=1e-4)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = rand((3, 4))
+        full = cross_entropy(logits, np.array([0, -1, 1]), ignore_index=-1)
+        manual = cross_entropy(rand((3, 4)), np.array([0, 1]))
+        assert np.isfinite(full.item())
+        assert np.isfinite(manual.item())
+
+    def test_cross_entropy_all_ignored_is_zero(self):
+        logits = rand((2, 3))
+        loss = cross_entropy(logits, np.array([-1, -1]), ignore_index=-1)
+        assert loss.item() == 0.0
+
+
+class TestCosine:
+    def test_l2_normalize_unit_norm(self):
+        out = l2_normalize(rand((5, 8)))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1),
+                                   np.ones(5))
+
+    def test_l2_normalize_gradcheck(self):
+        check_gradients(lambda a: l2_normalize(a), [rand((3, 4))], atol=1e-4)
+
+    def test_dot_rows(self):
+        a, b = rand((4, 3)), rand((4, 3), 1)
+        np.testing.assert_allclose(dot_rows(a, b).data,
+                                   (a.data * b.data).sum(axis=1))
+
+    def test_cosine_similarity_self_is_one(self):
+        x = rand((4, 6))
+        np.testing.assert_allclose(cosine_similarity(x, x).data, np.ones(4))
+
+    def test_cosine_similarity_range(self):
+        sims = cosine_similarity_matrix(rand((10, 5)), rand((8, 5), 1)).data
+        assert sims.shape == (10, 8)
+        assert (sims <= 1 + 1e-9).all() and (sims >= -1 - 1e-9).all()
+
+    def test_pairwise_cosine_distance_zero_diagonal(self):
+        x = rand((6, 4))
+        dist = pairwise_cosine_distance(x, x).data
+        np.testing.assert_allclose(np.diag(dist), np.zeros(6), atol=1e-10)
+
+    def test_pairwise_distance_gradcheck(self):
+        check_gradients(lambda a, b: pairwise_cosine_distance(a, b),
+                        [rand((3, 4)), rand((2, 4), 1)], atol=1e-4)
+
+    def test_cosine_scale_invariance(self):
+        a, b = rand((3, 5)), rand((3, 5), 1)
+        base = cosine_similarity(a, b).data
+        scaled = cosine_similarity(Tensor(a.data * 7.0), b).data
+        np.testing.assert_allclose(base, scaled, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=6))
+def test_property_softmax_invariant_to_shift(n, d):
+    rng = np.random.default_rng(n * 7 + d)
+    logits = rng.normal(size=(n, d))
+    a = softmax(Tensor(logits)).data
+    b = softmax(Tensor(logits + 100.0)).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_property_cosine_distance_symmetric(n):
+    rng = np.random.default_rng(n)
+    x = Tensor(rng.normal(size=(n, 4)))
+    dist = pairwise_cosine_distance(x, x).data
+    np.testing.assert_allclose(dist, dist.T, atol=1e-10)

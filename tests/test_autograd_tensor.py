@@ -1,0 +1,280 @@
+"""Unit tests for the autograd tensor engine (gradcheck every op)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, no_grad
+
+
+def rand(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(0, scale, size=shape), requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_gradcheck(self):
+        check_gradients(lambda a, b: a + b, [rand((3, 4)), rand((3, 4), 1)])
+
+    def test_add_broadcast_gradcheck(self):
+        check_gradients(lambda a, b: a + b, [rand((3, 4)), rand((4,), 1)])
+
+    def test_add_broadcast_column(self):
+        check_gradients(lambda a, b: a + b, [rand((3, 4)), rand((3, 1), 1)])
+
+    def test_sub_gradcheck(self):
+        check_gradients(lambda a, b: a - b, [rand((2, 3)), rand((2, 3), 1)])
+
+    def test_rsub_scalar(self):
+        x = rand((3,))
+        y = 1.0 - x
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, -np.ones(3))
+
+    def test_mul_gradcheck(self):
+        check_gradients(lambda a, b: a * b, [rand((3, 4)), rand((3, 4), 1)])
+
+    def test_mul_broadcast_gradcheck(self):
+        check_gradients(lambda a, b: a * b, [rand((2, 3, 4)), rand((4,), 1)])
+
+    def test_div_gradcheck(self):
+        b = rand((3, 3), 1)
+        b.data += 3.0  # keep away from zero
+        check_gradients(lambda a, b: a / b, [rand((3, 3)), b])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [rand((5,))])
+
+    def test_pow_gradcheck(self):
+        a = rand((4,))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a ** 3, [a])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            rand((2,)) ** rand((2,))
+
+    def test_scalar_radd_rmul(self):
+        x = rand((2, 2))
+        y = (2.0 + x) * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 3.0 * np.ones((2, 2)))
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        check_gradients(lambda a, b: a @ b, [rand((3, 4)), rand((4, 5), 1)])
+
+    def test_matmul_vector_matrix(self):
+        check_gradients(lambda a, b: a @ b, [rand((4,)), rand((4, 5), 1)])
+
+    def test_matmul_matrix_vector(self):
+        check_gradients(lambda a, b: a @ b, [rand((3, 4)), rand((4,), 1)])
+
+    def test_matmul_dot(self):
+        check_gradients(lambda a, b: a @ b, [rand((4,)), rand((4,), 1)])
+
+    def test_matmul_values(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        b = Tensor([[3.0], [4.0]], requires_grad=True)
+        out = a @ b
+        assert out.item() == pytest.approx(11.0)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [rand((3, 4))])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=0), [rand((3, 4))])
+
+    def test_sum_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True), [rand((3, 4))])
+
+    def test_mean_all(self):
+        check_gradients(lambda a: a.mean(), [rand((3, 4))])
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: a.mean(axis=1), [rand((2, 5))])
+
+    def test_mean_matches_numpy(self):
+        x = rand((4, 6))
+        np.testing.assert_allclose(x.mean(axis=1).data, x.data.mean(axis=1))
+
+    def test_max_all(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        x = Tensor(np.array([[1.0, 2.0], [4.0, 3.0]]), requires_grad=True)
+        out = x.max(axis=1)
+        np.testing.assert_allclose(out.data, [2.0, 4.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1], [1, 0]])
+
+
+class TestElementwise:
+    def test_exp(self):
+        check_gradients(lambda a: a.exp(), [rand((3, 3))])
+
+    def test_log(self):
+        a = rand((3, 3))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.log(), [a])
+
+    def test_sqrt(self):
+        a = rand((3, 3))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.sqrt(), [a])
+
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh(), [rand((3, 3))])
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid(), [rand((3, 3))])
+
+    def test_relu_grad(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_clamp_min_hinge(self):
+        x = Tensor(np.array([-0.3, 0.2, 0.0]), requires_grad=True)
+        out = x.clamp_min(0.0)
+        np.testing.assert_allclose(out.data, [0.0, 0.2, 0.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestShape:
+    def test_reshape_gradcheck(self):
+        check_gradients(lambda a: a.reshape(2, 6), [rand((3, 4))])
+
+    def test_reshape_tuple_arg(self):
+        x = rand((2, 6))
+        assert x.reshape((3, 4)).shape == (3, 4)
+
+    def test_transpose_default(self):
+        check_gradients(lambda a: a.transpose(), [rand((3, 4))])
+
+    def test_transpose_axes(self):
+        check_gradients(lambda a: a.transpose((1, 0, 2)), [rand((2, 3, 4))])
+
+    def test_T_property(self):
+        x = rand((3, 5))
+        assert x.T.shape == (5, 3)
+
+    def test_getitem_slice(self):
+        check_gradients(lambda a: a[1:3], [rand((5, 2))])
+
+    def test_getitem_fancy_rows(self):
+        idx = np.array([0, 2, 2])
+
+        def pick(a):
+            return a[idx]
+
+        x = rand((4, 3))
+        out = pick(x)
+        out.sum().backward()
+        # row 2 selected twice -> gradient 2
+        np.testing.assert_allclose(x.grad.sum(axis=1), [3.0, 0.0, 6.0, 0.0])
+
+    def test_getitem_2d_fancy(self):
+        rows = np.array([[0], [1]])
+        cols = np.array([[0, 1], [1, 0]])
+        x = rand((2, 3))
+        out = x[rows, cols]
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        assert x.grad.sum() == pytest.approx(4.0)
+
+
+class TestBackwardSemantics:
+    def test_backward_nonscalar_requires_seed(self):
+        with pytest.raises(ValueError):
+            rand((3,)).backward()
+
+    def test_backward_seed_shape_checked(self):
+        with pytest.raises(ValueError):
+            rand((3,)).backward(np.ones((4,)))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = rand((2,))
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x (shared subexpression)
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * x
+        (a + a).backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_reused_tensor_two_paths(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y + y * y
+        z.backward(np.ones(1))
+        # z = 3x + 9x^2, dz/dx = 3 + 18x = 39
+        np.testing.assert_allclose(x.grad, [39.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = rand((2,))
+        (x * 1.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        x = rand((2,))
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_detach(self):
+        x = rand((2,))
+        d = x.detach()
+        assert not d.requires_grad
+        np.testing.assert_allclose(d.data, x.data)
+
+    def test_comparison_returns_numpy(self):
+        x = rand((3,))
+        assert isinstance(x > 0, np.ndarray)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+def test_property_add_commutes(n, m):
+    rng = np.random.default_rng(n * 10 + m)
+    a = Tensor(rng.normal(size=(n, m)))
+    b = Tensor(rng.normal(size=(n, m)))
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4))
+def test_property_matmul_matches_numpy(n, k, m):
+    rng = np.random.default_rng(n + 7 * k + 13 * m)
+    a, b = rng.normal(size=(n, k)), rng.normal(size=(k, m))
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=1, max_size=8))
+def test_property_sum_linear_in_inputs(values):
+    x = Tensor(np.array(values), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(len(values)))

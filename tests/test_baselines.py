@@ -1,0 +1,126 @@
+"""Unit tests for the CCA and random baselines + fixed features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CCA, RandomEmbedder, corpus_features,
+                             image_features, recipe_features)
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+from repro.retrieval import evaluate_embeddings
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestCCA:
+    def test_recovers_linear_relation(self):
+        """Two views of the same latent signal must correlate ~1."""
+        rng = RNG(0)
+        latent = rng.normal(size=(300, 4))
+        x = latent @ rng.normal(size=(4, 10)) + 0.01 * rng.normal(
+            size=(300, 10))
+        y = latent @ rng.normal(size=(4, 8)) + 0.01 * rng.normal(
+            size=(300, 8))
+        cca = CCA(dim=4, reg=1e-4).fit(x, y)
+        assert cca.correlations[0] > 0.95
+
+    def test_projections_correlate(self):
+        rng = RNG(1)
+        latent = rng.normal(size=(200, 3))
+        x = latent @ rng.normal(size=(3, 6))
+        y = latent @ rng.normal(size=(3, 5))
+        cca = CCA(dim=2).fit(x, y)
+        px, py = cca.transform_x(x), cca.transform_y(y)
+        corr = np.corrcoef(px[:, 0], py[:, 0])[0, 1]
+        assert abs(corr) > 0.9
+
+    def test_retrieval_beats_chance_on_related_views(self):
+        rng = RNG(2)
+        latent = rng.normal(size=(150, 5))
+        x = latent @ rng.normal(size=(5, 12)) + 0.1 * rng.normal(
+            size=(150, 12))
+        y = latent @ rng.normal(size=(5, 9)) + 0.1 * rng.normal(
+            size=(150, 9))
+        px, py = CCA(dim=5).fit_transform(x, y)
+        result = evaluate_embeddings(px, py, bag_size=100, num_bags=2)
+        assert result.medr("image_to_recipe") < 15  # chance would be ~50
+
+    def test_dim_capped_by_rank(self):
+        rng = RNG(3)
+        x = rng.normal(size=(50, 3))
+        y = rng.normal(size=(50, 2))
+        cca = CCA(dim=10).fit(x, y)
+        assert cca.w_x.shape[1] == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CCA().transform_x(np.zeros((2, 3)))
+
+    def test_misaligned_views_raise(self):
+        with pytest.raises(ValueError):
+            CCA().fit(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CCA(dim=0)
+        with pytest.raises(ValueError):
+            CCA(reg=-1.0)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            CCA().fit(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestRandomEmbedder:
+    def test_unit_norm(self):
+        emb = RandomEmbedder(dim=8, seed=0).embed(10)
+        np.testing.assert_allclose(np.linalg.norm(emb, axis=1), np.ones(10))
+
+    def test_retrieval_at_chance(self):
+        a, b = RandomEmbedder(dim=16, seed=1).embed_pair(200)
+        result = evaluate_embeddings(a, b, bag_size=100, num_bags=5)
+        medr = result.medr("image_to_recipe")
+        assert 30 <= medr <= 70
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            RandomEmbedder(dim=0)
+
+
+class TestFixedFeatures:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = generate_dataset(DatasetConfig(num_pairs=100, num_classes=6,
+                                            image_size=12, seed=11))
+        feat = RecipeFeaturizer(word_dim=10, sentence_dim=10).fit(ds)
+        corpus = feat.encode_split(ds, "train")
+        return ds, feat, corpus
+
+    def test_image_feature_shape(self, setup):
+        __, __, corpus = setup
+        features = image_features(corpus.images, grid=4)
+        assert features.shape == (len(corpus), 6 + 3 * 16)
+
+    def test_image_feature_grid_mismatch(self, setup):
+        __, __, corpus = setup
+        with pytest.raises(ValueError):
+            image_features(corpus.images, grid=5)
+
+    def test_recipe_feature_shape(self, setup):
+        __, feat, corpus = setup
+        features = recipe_features(corpus, feat)
+        assert features.shape == (len(corpus), 10 + 10)
+
+    def test_corpus_features_aligned(self, setup):
+        __, feat, corpus = setup
+        img, rec = corpus_features(corpus, feat)
+        assert img.shape[0] == rec.shape[0] == len(corpus)
+
+    def test_cca_on_fixed_features_beats_chance(self, setup):
+        __, feat, corpus = setup
+        img, rec = corpus_features(corpus, feat)
+        px, py = CCA(dim=10, reg=1e-2).fit_transform(img, rec)
+        result = evaluate_embeddings(px, py, bag_size=len(corpus),
+                                     num_bags=1)
+        chance = len(corpus) / 2
+        assert result.medr("image_to_recipe") < chance

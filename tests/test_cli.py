@@ -1,0 +1,84 @@
+"""End-to-end tests of the command line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data"
+    code = main(["generate", "--out", str(path), "--pairs", "120",
+                 "--classes", "6", "--image-size", "12", "--seed", "5"])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def run_dir(data_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "run"
+    code = main(["train", "--data", str(data_dir), "--out", str(path),
+                 "--scenario", "adamine", "--epochs", "3",
+                 "--batch-size", "16", "--latent-dim", "16"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x", "--pairs", "50"])
+        assert args.command == "generate"
+        assert args.pairs == 50
+
+    def test_train_backbone_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--data", "d", "--out", "o", "--backbone", "vit"])
+
+
+class TestGenerate:
+    def test_writes_recipe1m_layout(self, data_dir):
+        assert (data_dir / "layer1.json").exists()
+        assert (data_dir / "classes.json").exists()
+        assert (data_dir / "images.npz").exists()
+        with open(data_dir / "layer1.json") as handle:
+            assert len(json.load(handle)) == 120
+
+
+class TestTrain:
+    def test_saves_run_artifacts(self, run_dir):
+        assert (run_dir / "model.npz").exists()
+        assert (run_dir / "featurizer.json").exists()
+        assert (run_dir / "featurizer.npz").exists()
+        with open(run_dir / "run.json") as handle:
+            run = json.load(handle)
+        assert run["scenario"] == "adamine"
+        assert np.isfinite(run["best_val_medr"])
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, data_dir, run_dir, capsys):
+        code = main(["evaluate", "--data", str(data_dir),
+                     "--model", str(run_dir), "--setup", "1k"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MedR" in output
+        assert "im->rec" in output
+
+
+class TestSearch:
+    def test_returns_dishes(self, data_dir, run_dir, capsys):
+        code = main(["search", "--data", str(data_dir),
+                     "--model", str(run_dir),
+                     "--ingredients", "butter", "--top-k", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top 3 dishes" in output

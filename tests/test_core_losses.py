@@ -1,0 +1,230 @@
+"""Unit tests for the double-triplet losses and adaptive mining."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, l2_normalize
+from repro.core import (STRATEGIES, aggregate_triplets, classification_loss,
+                        count_active, instance_triplet_loss, pairwise_loss,
+                        semantic_triplet_loss)
+from repro.nn import Linear
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def unit_embeddings(n, d, seed=0, requires_grad=True):
+    data = RNG(seed).normal(size=(n, d))
+    return l2_normalize(Tensor(data, requires_grad=requires_grad))
+
+
+class TestAggregateTriplets:
+    def test_average_is_mean(self):
+        losses = Tensor(np.array([1.0, 0.0, 3.0]), requires_grad=True)
+        out = aggregate_triplets(losses, "average")
+        assert out.item() == pytest.approx(4.0 / 3.0)
+
+    def test_adaptive_divides_by_active(self):
+        losses = Tensor(np.array([1.0, 0.0, 3.0]), requires_grad=True)
+        out = aggregate_triplets(losses, "adaptive")
+        assert out.item() == pytest.approx(2.0)
+
+    def test_adaptive_equals_average_when_all_active(self):
+        losses = Tensor(np.array([1.0, 2.0, 3.0]))
+        a = aggregate_triplets(losses, "adaptive").item()
+        b = aggregate_triplets(losses, "average").item()
+        assert a == pytest.approx(b)
+
+    def test_adaptive_gradient_does_not_vanish(self):
+        """The paper's core claim: with mostly-inactive triplets the
+        averaged gradient shrinks but the adaptive one does not."""
+        active_value = 2.0
+        for n_inactive in (0, 98):
+            values = np.zeros(n_inactive + 1)
+            values[0] = active_value
+            losses = Tensor(values, requires_grad=True)
+            aggregate_triplets(losses, "adaptive").backward()
+            np.testing.assert_allclose(losses.grad[0], 1.0)
+        # averaging shrinks the same gradient by ~99x
+        losses = Tensor(np.concatenate([[active_value], np.zeros(98)]),
+                        requires_grad=True)
+        aggregate_triplets(losses, "average").backward()
+        assert losses.grad[0] == pytest.approx(1.0 / 99.0)
+
+    def test_all_inactive_returns_zero(self):
+        out = aggregate_triplets(Tensor(np.zeros(5)), "adaptive")
+        assert out.item() == 0.0
+
+    def test_empty_returns_zero(self):
+        out = aggregate_triplets(Tensor(np.zeros(0)), "adaptive")
+        assert out.item() == 0.0
+
+    def test_hard_keeps_max_per_query(self):
+        losses = Tensor(np.array([0.5, 2.0, 1.0, 0.0]), requires_grad=True)
+        ids = np.array([0, 0, 1, 1])
+        out = aggregate_triplets(losses, "hard", query_ids=ids)
+        assert out.item() == pytest.approx((2.0 + 1.0) / 2)
+
+    def test_hard_requires_ids(self):
+        with pytest.raises(ValueError):
+            aggregate_triplets(Tensor(np.ones(3)), "hard")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            aggregate_triplets(Tensor(np.ones(3)), "bogus")
+
+    def test_count_active(self):
+        assert count_active(Tensor(np.array([0.0, 0.1, 0.0, 2.0]))) == 2
+
+    def test_strategies_tuple(self):
+        assert set(STRATEGIES) == {"adaptive", "average", "hard"}
+
+
+class TestInstanceTripletLoss:
+    def test_zero_for_well_separated(self):
+        emb = l2_normalize(Tensor(np.eye(4), requires_grad=True))
+        out = instance_triplet_loss(emb, emb, margin=0.3)
+        # matching distance 0, others sqrt(2)-ish apart: no violations
+        assert out.loss.item() == 0.0
+        assert out.num_active == 0
+
+    def test_counts_triplets_bidirectional(self):
+        emb = unit_embeddings(5, 8)
+        out = instance_triplet_loss(emb, emb, bidirectional=True)
+        assert out.num_triplets == 2 * 5 * 4
+
+    def test_unidirectional_half_count(self):
+        a, b = unit_embeddings(5, 8, 1), unit_embeddings(5, 8, 2)
+        out = instance_triplet_loss(a, b, bidirectional=False)
+        assert out.num_triplets == 5 * 4
+
+    def test_positive_loss_for_random(self):
+        a, b = unit_embeddings(6, 4, 3), unit_embeddings(6, 4, 4)
+        out = instance_triplet_loss(a, b)
+        assert out.loss.item() > 0
+        assert 0 < out.active_fraction <= 1
+
+    def test_gradient_direction_improves_loss(self):
+        rng = RNG(5)
+        a_data = rng.normal(size=(6, 4))
+        b_data = rng.normal(size=(6, 4))
+        a = Tensor(a_data, requires_grad=True)
+        before = instance_triplet_loss(l2_normalize(a), l2_normalize(
+            Tensor(b_data)))
+        before.loss.backward()
+        stepped = Tensor(a_data - 0.5 * a.grad)
+        after = instance_triplet_loss(l2_normalize(stepped),
+                                      l2_normalize(Tensor(b_data)))
+        assert after.loss.item() < before.loss.item()
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            instance_triplet_loss(unit_embeddings(3, 4),
+                                  unit_embeddings(4, 4))
+
+    def test_margin_increases_loss(self):
+        a, b = unit_embeddings(6, 4, 6), unit_embeddings(6, 4, 7)
+        small = instance_triplet_loss(a, b, margin=0.1, strategy="average")
+        large = instance_triplet_loss(a, b, margin=0.9, strategy="average")
+        assert large.loss.item() > small.loss.item()
+
+
+class TestSemanticTripletLoss:
+    def test_needs_labeled_queries(self):
+        emb = unit_embeddings(4, 4)
+        out = semantic_triplet_loss(emb, emb, np.full(4, -1))
+        assert out.loss.item() == 0.0
+        assert out.num_triplets == 0
+
+    def test_needs_two_classes(self):
+        emb = unit_embeddings(4, 4)
+        out = semantic_triplet_loss(emb, emb, np.zeros(4, dtype=int))
+        assert out.num_triplets == 0
+
+    def test_counts_capped_negatives(self):
+        # classes: two of 0, two of 1, one unlabeled
+        labels = np.array([0, 0, 1, 1, -1])
+        emb = unit_embeddings(5, 8, 8)
+        out = semantic_triplet_loss(emb, emb, labels, bidirectional=False)
+        # each of the 4 labeled queries has 1 positive and 2 negatives
+        assert out.num_triplets == 4 * 2
+
+    def test_zero_when_classes_separated(self):
+        # class 0 on +x, class 1 on +y, both modalities identical
+        data = np.array([[1.0, 0.0], [1.0, 0.01], [0.0, 1.0], [0.01, 1.0]])
+        emb = l2_normalize(Tensor(data))
+        out = semantic_triplet_loss(emb, emb, np.array([0, 0, 1, 1]),
+                                    margin=0.3)
+        assert out.loss.item() == 0.0
+
+    def test_violation_when_classes_mixed(self):
+        data = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        emb = l2_normalize(Tensor(data))
+        out = semantic_triplet_loss(emb, emb, np.array([0, 0, 1, 1]),
+                                    margin=0.3)
+        assert out.loss.item() > 0
+
+    def test_unlabeled_never_sampled(self):
+        labels = np.array([0, 0, 1, 1, -1, -1])
+        emb = unit_embeddings(6, 4, 9)
+        rng = RNG(0)
+        from repro.core.losses import _semantic_triplet_indices
+        q, p, n = _semantic_triplet_indices(labels, rng)
+        assert (labels[q] >= 0).all()
+        assert (labels[p] >= 0).all()
+        assert (labels[n] >= 0).all()
+
+    def test_positive_shares_query_class(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        from repro.core.losses import _semantic_triplet_indices
+        q, p, n = _semantic_triplet_indices(labels, RNG(1))
+        np.testing.assert_array_equal(labels[q], labels[p])
+        assert (labels[q] != labels[n]).all()
+        assert (q != p).all()
+
+    def test_misaligned_labels_raise(self):
+        emb = unit_embeddings(4, 4)
+        with pytest.raises(ValueError):
+            semantic_triplet_loss(emb, emb, np.zeros(3))
+
+
+class TestPairwiseLoss:
+    def test_zero_for_ideal_layout(self):
+        # matches identical (distance 0 <= pos margin), others orthogonal
+        emb = l2_normalize(Tensor(np.eye(4)))
+        loss = pairwise_loss(emb, emb, positive_margin=0.3,
+                             negative_margin=0.9)
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_positive_margin_relaxes(self):
+        a = unit_embeddings(5, 4, 10)
+        b = unit_embeddings(5, 4, 11)
+        strict = pairwise_loss(a, b, positive_margin=0.0)
+        relaxed = pairwise_loss(a, b, positive_margin=0.5)
+        assert relaxed.item() <= strict.item()
+
+    def test_gradients_flow(self):
+        a = unit_embeddings(4, 4, 12)
+        loss = pairwise_loss(a, unit_embeddings(4, 4, 13))
+        loss.backward()
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_loss(unit_embeddings(3, 4), unit_embeddings(4, 4))
+
+
+class TestClassificationLoss:
+    def test_ignores_unlabeled(self):
+        head = Linear(4, 3, RNG())
+        emb = unit_embeddings(4, 4, 14)
+        logits = head(emb)
+        labels = np.array([-1, -1, -1, -1])
+        loss = classification_loss(logits, logits, labels)
+        assert loss.item() == 0.0
+
+    def test_positive_for_labeled(self):
+        head = Linear(4, 3, RNG())
+        emb = unit_embeddings(4, 4, 15)
+        logits = head(emb)
+        loss = classification_loss(logits, logits, np.array([0, 1, 2, -1]))
+        assert loss.item() > 0

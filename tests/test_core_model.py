@@ -1,0 +1,245 @@
+"""Unit tests for the branches, joint model, scenarios and trainer."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (SCENARIO_NAMES, JointEmbeddingModel, ImageBranch,
+                        RecipeBranch, Trainer, TrainingConfig, build_model,
+                        build_scenario, scenario_spec)
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+from repro.vision import MLPEncoder
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """A tiny dataset + fitted featurizer + encoded corpora."""
+    ds = generate_dataset(DatasetConfig(num_pairs=120, num_classes=6,
+                                        image_size=12, seed=7))
+    feat = RecipeFeaturizer(word_dim=10, sentence_dim=10,
+                            max_ingredients=8, max_sentences=5).fit(ds)
+    return {
+        "dataset": ds,
+        "featurizer": feat,
+        "train": feat.encode_split(ds, "train"),
+        "val": feat.encode_split(ds, "val"),
+        "test": feat.encode_split(ds, "test"),
+    }
+
+
+def tiny_config(**overrides):
+    base = dict(epochs=2, freeze_epochs=0, batch_size=16,
+                learning_rate=2e-3, augment=False, eval_bag_size=30,
+                eval_num_bags=1)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestBranches:
+    def test_image_branch_shape(self, tiny_setup):
+        rng = RNG()
+        branch = ImageBranch(MLPEncoder(rng, image_size=12, feature_dim=16),
+                             latent_dim=20, rng=rng)
+        out = branch(tiny_setup["train"].images[:4])
+        assert out.shape == (4, 20)
+
+    def test_recipe_branch_shape(self, tiny_setup):
+        feat = tiny_setup["featurizer"]
+        corpus = tiny_setup["train"]
+        branch = RecipeBranch(feat.ingredient_vectors, feat.sentence_dim,
+                              latent_dim=20, rng=RNG())
+        out = branch(corpus.ingredient_ids[:4], corpus.ingredient_lengths[:4],
+                     corpus.sentence_vectors[:4], corpus.sentence_lengths[:4])
+        assert out.shape == (4, 20)
+
+    def test_ingredient_embedding_frozen(self, tiny_setup):
+        feat = tiny_setup["featurizer"]
+        branch = RecipeBranch(feat.ingredient_vectors, feat.sentence_dim,
+                              latent_dim=8, rng=RNG())
+        assert not branch.ingredient_embedding.weight.requires_grad
+
+    def test_ablation_branches(self, tiny_setup):
+        feat = tiny_setup["featurizer"]
+        corpus = tiny_setup["train"]
+        for kwargs in ({"use_instructions": False},
+                       {"use_ingredients": False}):
+            branch = RecipeBranch(feat.ingredient_vectors, feat.sentence_dim,
+                                  latent_dim=8, rng=RNG(), **kwargs)
+            out = branch(corpus.ingredient_ids[:3],
+                         corpus.ingredient_lengths[:3],
+                         corpus.sentence_vectors[:3],
+                         corpus.sentence_lengths[:3])
+            assert out.shape == (3, 8)
+
+    def test_no_text_source_raises(self, tiny_setup):
+        feat = tiny_setup["featurizer"]
+        with pytest.raises(ValueError):
+            RecipeBranch(feat.ingredient_vectors, feat.sentence_dim,
+                         latent_dim=8, rng=RNG(), use_ingredients=False,
+                         use_instructions=False)
+
+
+class TestJointModel:
+    def test_embeddings_unit_norm(self, tiny_setup):
+        model = build_model(tiny_setup["featurizer"], 6, 12, latent_dim=16)
+        model.eval()
+        corpus = tiny_setup["train"]
+        img, rec = model(corpus.images[:5], corpus.ingredient_ids[:5],
+                         corpus.ingredient_lengths[:5],
+                         corpus.sentence_vectors[:5],
+                         corpus.sentence_lengths[:5])
+        np.testing.assert_allclose(np.linalg.norm(img.data, axis=1),
+                                   np.ones(5))
+        np.testing.assert_allclose(np.linalg.norm(rec.data, axis=1),
+                                   np.ones(5))
+
+    def test_mismatched_latent_dims_raise(self, tiny_setup):
+        feat = tiny_setup["featurizer"]
+        rng = RNG()
+        image_branch = ImageBranch(MLPEncoder(rng, image_size=12),
+                                   latent_dim=8, rng=rng)
+        recipe_branch = RecipeBranch(feat.ingredient_vectors,
+                                     feat.sentence_dim, latent_dim=16,
+                                     rng=rng)
+        with pytest.raises(ValueError):
+            JointEmbeddingModel(image_branch, recipe_branch)
+
+    def test_classifier_head_optional(self, tiny_setup):
+        plain = build_model(tiny_setup["featurizer"], 6, 12)
+        with pytest.raises(RuntimeError):
+            plain.classify(Tensor(np.zeros((2, 32))))
+        headed = build_model(tiny_setup["featurizer"], 6, 12,
+                             with_classifier=True)
+        logits = headed.classify(Tensor(np.zeros((2, headed.latent_dim))))
+        assert logits.shape == (2, 6)
+
+    def test_classifier_adds_parameters(self, tiny_setup):
+        plain = build_model(tiny_setup["featurizer"], 6, 12, seed=1)
+        headed = build_model(tiny_setup["featurizer"], 6, 12, seed=1,
+                             with_classifier=True)
+        assert headed.num_parameters() > plain.num_parameters()
+
+    def test_encode_corpus_aligned(self, tiny_setup):
+        model = build_model(tiny_setup["featurizer"], 6, 12)
+        corpus = tiny_setup["val"]
+        img, rec = model.encode_corpus(corpus, batch_size=7)
+        assert img.shape == rec.shape == (len(corpus), model.latent_dim)
+
+    def test_encode_corpus_batch_invariant(self, tiny_setup):
+        model = build_model(tiny_setup["featurizer"], 6, 12)
+        corpus = tiny_setup["val"]
+        a, __ = model.encode_corpus(corpus, batch_size=4)
+        b, __ = model.encode_corpus(corpus, batch_size=100)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+class TestScenarios:
+    def test_all_scenarios_build(self, tiny_setup):
+        for name in SCENARIO_NAMES:
+            model, config = build_scenario(
+                name, tiny_setup["featurizer"], 6, 12,
+                base_config=tiny_config())
+            assert model.latent_dim == 32
+            assert config.epochs == 2
+
+    def test_unknown_scenario_raises(self, tiny_setup):
+        with pytest.raises(ValueError):
+            build_scenario("bogus", tiny_setup["featurizer"], 6, 12)
+
+    def test_spec_flags(self):
+        assert scenario_spec("adamine_ins").use_semantic_loss is False
+        assert scenario_spec("adamine_avg").strategy == "average"
+        assert scenario_spec("pwc_star").positive_margin == 0.0
+        assert scenario_spec("pwc_pp").positive_margin == 0.3
+        assert scenario_spec("adamine_ingr").use_instructions is False
+        assert scenario_spec("adamine_instr").use_ingredients is False
+
+    def test_classifier_only_when_needed(self, tiny_setup):
+        model, __ = build_scenario("adamine", tiny_setup["featurizer"], 6, 12,
+                                   base_config=tiny_config())
+        assert model.classifier is None
+        model, __ = build_scenario("adamine_ins_cls",
+                                   tiny_setup["featurizer"], 6, 12,
+                                   base_config=tiny_config())
+        assert model.classifier is not None
+
+
+class TestTrainer:
+    def test_training_improves_over_chance(self, tiny_setup):
+        model, config = build_scenario(
+            "adamine", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config(epochs=5))
+        trainer = Trainer(model, config)
+        trainer.fit(tiny_setup["train"], tiny_setup["val"])
+        medr = trainer.evaluate_medr(tiny_setup["test"])
+        chance = len(tiny_setup["test"]) / 2
+        assert medr < 0.8 * chance
+
+    def test_history_recorded(self, tiny_setup):
+        model, config = build_scenario(
+            "adamine", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config())
+        trainer = Trainer(model, config)
+        history = trainer.fit(tiny_setup["train"], tiny_setup["val"])
+        assert len(history) == config.epochs
+        assert all(np.isfinite(h.train_loss) for h in history)
+        assert all(np.isfinite(h.val_medr) for h in history)
+
+    def test_select_best_restores_best_epoch(self, tiny_setup):
+        model, config = build_scenario(
+            "adamine_ins", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config(epochs=4))
+        trainer = Trainer(model, config)
+        history = trainer.fit(tiny_setup["train"], tiny_setup["val"])
+        best = min(h.val_medr for h in history)
+        assert trainer.best_val_medr == best
+        # restored model must reproduce the recorded best (same protocol)
+        assert trainer.evaluate_medr(tiny_setup["val"]) == pytest.approx(
+            best)
+
+    def test_freeze_schedule_tracked(self, tiny_setup):
+        model, config = build_scenario(
+            "adamine_ins", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config(epochs=3, freeze_epochs=2))
+        history = Trainer(model, config).fit(tiny_setup["train"],
+                                             tiny_setup["val"])
+        assert history[0].backbone_frozen
+        assert history[1].backbone_frozen
+        assert not history[2].backbone_frozen
+
+    def test_pairwise_objective_trains(self, tiny_setup):
+        model, config = build_scenario(
+            "pwc_pp", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config())
+        history = Trainer(model, config).fit(tiny_setup["train"],
+                                             tiny_setup["val"])
+        assert all(np.isfinite(h.train_loss) for h in history)
+
+    def test_active_fraction_decreases(self, tiny_setup):
+        model, config = build_scenario(
+            "adamine_ins", tiny_setup["featurizer"], 6, 12,
+            base_config=tiny_config(epochs=6))
+        history = Trainer(model, config).fit(tiny_setup["train"],
+                                             tiny_setup["val"])
+        # adaptive mining's signature: fewer active triplets over time
+        assert (history[-1].instance_active_fraction
+                < history[0].instance_active_fraction)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(objective="bogus")
+        with pytest.raises(ValueError):
+            TrainingConfig(use_instance_loss=False,
+                           use_semantic_loss=False)
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_config_immutable(self):
+        config = TrainingConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.epochs = 3

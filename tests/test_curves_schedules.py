@@ -1,0 +1,115 @@
+"""Unit tests for recall curves / MRR and learning-rate schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Parameter
+from repro.optim import SGD, CosineDecay, StepDecay
+from repro.retrieval import (mean_reciprocal_rank, rank_histogram,
+                             recall_curve)
+
+
+class TestRecallCurve:
+    def test_known_values(self):
+        ranks = np.array([1, 2, 5, 10])
+        ks, recalls = recall_curve(ranks, max_k=10)
+        assert recalls[0] == 25.0     # R@1
+        assert recalls[1] == 50.0     # R@2
+        assert recalls[4] == 75.0     # R@5
+        assert recalls[9] == 100.0    # R@10
+
+    def test_monotone_nondecreasing(self):
+        ranks = np.random.default_rng(0).integers(1, 50, size=100)
+        __, recalls = recall_curve(ranks)
+        assert (np.diff(recalls) >= 0).all()
+
+    def test_defaults_to_max_rank(self):
+        ks, recalls = recall_curve(np.array([3, 7]))
+        assert ks[-1] == 7
+        assert recalls[-1] == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_curve(np.array([]))
+        with pytest.raises(ValueError):
+            recall_curve(np.array([1]), max_k=0)
+
+
+class TestRankHistogram:
+    def test_counts_sum_to_total(self):
+        ranks = np.random.default_rng(1).integers(1, 30, size=80)
+        __, counts = rank_histogram(ranks, num_bins=6)
+        assert counts.sum() == 80
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rank_histogram(np.array([]))
+
+
+class TestMRR:
+    def test_perfect(self):
+        assert mean_reciprocal_rank(np.ones(5)) == 1.0
+
+    def test_known_value(self):
+        assert mean_reciprocal_rank(np.array([1, 2, 4])) == pytest.approx(
+            (1 + 0.5 + 0.25) / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank(np.array([]))
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank(np.array([0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                max_size=50))
+def test_property_mrr_bounded(ranks):
+    value = mean_reciprocal_rank(np.array(ranks))
+    assert 0.0 < value <= 1.0
+
+
+class TestStepDecay:
+    def test_decays_at_boundaries(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = StepDecay(opt, step=2, gamma=0.1)
+        lrs = []
+        for epoch in range(6):
+            schedule.on_epoch_start(epoch)
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepDecay(opt, step=0)
+        with pytest.raises(ValueError):
+            StepDecay(opt, step=1, gamma=0.0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineDecay(opt, total_epochs=11, min_lr=0.1)
+        schedule.on_epoch_start(0)
+        assert opt.lr == pytest.approx(1.0)
+        schedule.on_epoch_start(10)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineDecay(opt, total_epochs=8)
+        lrs = []
+        for epoch in range(8):
+            schedule.on_epoch_start(epoch)
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=5, min_lr=-1.0)

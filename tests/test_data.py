@@ -1,0 +1,342 @@
+"""Unit tests for the synthetic Recipe1M data substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (BASE_INGREDIENTS, ClassTaxonomy, DatasetConfig,
+                        DishRenderer, IngredientLexicon, InstructionGrammar,
+                        PairBatcher, Recipe, RecipeFeaturizer,
+                        SyntheticRecipe1M, generate_dataset)
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_dataset(DatasetConfig(num_pairs=150, num_classes=8,
+                                          image_size=12, seed=3))
+
+
+@pytest.fixture(scope="module")
+def featurizer(small_dataset):
+    return RecipeFeaturizer(word_dim=12, sentence_dim=12,
+                            max_ingredients=10,
+                            max_sentences=6).fit(small_dataset)
+
+
+class TestLexicon:
+    def test_no_duplicate_names(self):
+        lex = IngredientLexicon()
+        assert len(lex) == len(set(lex.names))
+
+    def test_colors_in_range(self):
+        for ing in BASE_INGREDIENTS:
+            assert all(0.0 <= c <= 1.0 for c in ing.color)
+            assert 0.0 <= ing.texture <= 1.0
+
+    def test_lookup(self):
+        lex = IngredientLexicon()
+        assert lex["broccoli"].group == "vegetable"
+        assert "broccoli" in lex
+
+    def test_by_group(self):
+        lex = IngredientLexicon()
+        assert all(i.group == "dairy" for i in lex.by_group("dairy"))
+        assert len(lex.by_group("dairy")) > 3
+
+    def test_sample_distinct_and_excluding(self):
+        lex = IngredientLexicon()
+        picks = lex.sample(RNG(), 10, exclude={"tomato"})
+        names = [p.name for p in picks]
+        assert len(set(names)) == 10
+        assert "tomato" not in names
+
+    def test_sample_too_many_raises(self):
+        lex = IngredientLexicon()
+        with pytest.raises(ValueError):
+            lex.sample(RNG(), len(lex) + 1)
+
+
+class TestTaxonomy:
+    def test_curated_classes_present(self):
+        tax = ClassTaxonomy(16, IngredientLexicon())
+        for name in ("pizza", "cupcake", "hamburger", "green beans",
+                     "pork chops"):
+            assert name in tax
+
+    def test_procedural_extension(self):
+        tax = ClassTaxonomy(40, IngredientLexicon())
+        assert len(tax) == 40
+        assert tax[35].name == "dish-35"
+        assert len(tax[35].core) >= 3
+
+    def test_weights_normalized_and_head_heavy(self):
+        tax = ClassTaxonomy(12, IngredientLexicon())
+        weights = tax.weights
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+
+    def test_core_ingredients_exist_in_lexicon(self):
+        lex = IngredientLexicon()
+        tax = ClassTaxonomy(16, lex)
+        for cls in tax.classes:
+            for name in cls.core + cls.extras:
+                assert name in lex
+
+    def test_sample_class_follows_weights(self):
+        tax = ClassTaxonomy(8, IngredientLexicon())
+        rng = RNG(1)
+        draws = [tax.sample_class(rng).class_id for __ in range(600)]
+        counts = np.bincount(draws, minlength=8)
+        assert counts[0] > counts[-1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ClassTaxonomy(0, IngredientLexicon())
+
+
+class TestInstructionGrammar:
+    def test_generates_sentence_arc(self):
+        grammar = InstructionGrammar()
+        sentences = grammar.generate(["tomato", "garlic", "pasta"], RNG(2))
+        assert 3 <= len(sentences) <= 8
+        assert all(s.endswith((".", "!")) for s in sentences)
+
+    def test_mentions_recipe_ingredients(self):
+        grammar = InstructionGrammar()
+        found = 0
+        for seed in range(10):
+            text = " ".join(grammar.generate(["broccoli", "tofu"], RNG(seed)))
+            if "broccoli" in text or "tofu" in text:
+                found += 1
+        assert found >= 8
+
+    def test_no_unfilled_placeholders(self):
+        grammar = InstructionGrammar()
+        for seed in range(20):
+            for s in grammar.generate(["rice", "salmon", "ginger"],
+                                      RNG(seed)):
+                assert "{" not in s and "}" not in s
+
+    def test_empty_ingredients_raises(self):
+        with pytest.raises(ValueError):
+            InstructionGrammar().generate([], RNG())
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            InstructionGrammar(min_sentences=1)
+        with pytest.raises(ValueError):
+            InstructionGrammar(min_sentences=4, max_sentences=3)
+
+
+class TestRenderer:
+    def test_output_shape_and_range(self):
+        lex = IngredientLexicon()
+        tax = ClassTaxonomy(4, lex)
+        img = DishRenderer(size=16).render(tax[0], [lex["tomato"]], RNG(4))
+        assert img.shape == (3, 16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_ingredient_color_visible(self):
+        """A tomato-heavy dish must be redder than a broccoli-heavy one."""
+        lex = IngredientLexicon()
+        tax = ClassTaxonomy(4, lex)
+        tomato = DishRenderer(size=16).render(
+            tax[0], [lex["tomato"]] * 4, RNG(5))
+        broccoli = DishRenderer(size=16).render(
+            tax[0], [lex["broccoli"]] * 4, RNG(5))
+        red_excess_tomato = tomato[0].mean() - tomato[1].mean()
+        red_excess_broccoli = broccoli[0].mean() - broccoli[1].mean()
+        assert red_excess_tomato > red_excess_broccoli
+
+    def test_noise_makes_images_unique(self):
+        lex = IngredientLexicon()
+        tax = ClassTaxonomy(4, lex)
+        renderer = DishRenderer(size=12)
+        a = renderer.render(tax[0], [lex["corn"]], RNG(6))
+        b = renderer.render(tax[0], [lex["corn"]], RNG(7))
+        assert not np.allclose(a, b)
+
+    def test_layouts_all_render(self):
+        lex = IngredientLexicon()
+        renderer = DishRenderer(size=12)
+        tax = ClassTaxonomy(16, lex)
+        layouts = {c.layout for c in tax.classes}
+        assert layouts == {"disc", "grid", "stack", "bowl"}
+        for cls in tax.classes[:16]:
+            img = renderer.render(cls, [lex[n] for n in cls.core], RNG(8))
+            assert np.isfinite(img).all()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            DishRenderer(size=4)
+
+
+class TestGenerator:
+    def test_splits_partition_dataset(self, small_dataset):
+        ds = small_dataset
+        total = sum(len(ds.split_indices(s)) for s in ("train", "val", "test"))
+        assert total == len(ds)
+
+    def test_roughly_half_labeled(self, small_dataset):
+        frac = small_dataset.labeled_fraction("train")
+        assert 0.3 < frac < 0.7
+
+    def test_labels_match_true_class_when_present(self, small_dataset):
+        for recipe in small_dataset.recipes:
+            if recipe.is_labeled:
+                assert recipe.class_id == recipe.true_class_id
+
+    def test_core_ingredients_always_present(self, small_dataset):
+        ds = small_dataset
+        for recipe in ds.recipes[:40]:
+            cls = ds.taxonomy[recipe.true_class_id]
+            for core in cls.core:
+                assert core in recipe.ingredients
+
+    def test_deterministic_given_seed(self):
+        cfg = DatasetConfig(num_pairs=30, num_classes=4, image_size=12,
+                            seed=9)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert [r.title for r in a.recipes] == [r.title for r in b.recipes]
+        np.testing.assert_allclose(a.recipes[0].image, b.recipes[0].image)
+
+    def test_titles_contain_class_name(self, small_dataset):
+        ds = small_dataset
+        for recipe in ds.recipes[:20]:
+            assert ds.taxonomy[recipe.true_class_id].name in recipe.title
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(num_pairs=5)
+        with pytest.raises(ValueError):
+            DatasetConfig(labeled_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatasetConfig(train_fraction=0.9, val_fraction=0.2)
+
+    def test_summary_mentions_counts(self, small_dataset):
+        text = small_dataset.summary()
+        assert "150 pairs" in text
+        assert "train" in text
+
+
+class TestRecipeSchema:
+    def test_without_ingredient(self):
+        recipe = Recipe(0, "t", None, 1, ["broccoli", "tofu"],
+                        ["Chop the broccoli.", "Fry the tofu."],
+                        np.zeros((3, 8, 8)))
+        edited = recipe.without_ingredient("broccoli")
+        assert edited.ingredients == ["tofu"]
+        assert edited.instructions == ["Fry the tofu."]
+        # original untouched
+        assert "broccoli" in recipe.ingredients
+
+    def test_without_ingredient_missing_raises(self):
+        recipe = Recipe(0, "t", None, 1, ["tofu"], ["Fry."],
+                        np.zeros((3, 8, 8)))
+        with pytest.raises(ValueError):
+            recipe.without_ingredient("broccoli")
+
+    def test_without_only_mentioned_keeps_fallback_sentence(self):
+        recipe = Recipe(0, "t", None, 1, ["tofu", "rice"],
+                        ["Fry the tofu."], np.zeros((3, 8, 8)))
+        edited = recipe.without_ingredient("tofu")
+        assert edited.instructions  # never empty
+
+
+class TestFeaturizer:
+    def test_corpus_shapes(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        n = len(small_dataset.split_indices("train"))
+        assert corpus.ingredient_ids.shape == (n, 10)
+        assert corpus.sentence_vectors.shape == (n, 6, 12)
+        assert corpus.images.shape[0] == n
+        assert len(corpus) == n
+
+    def test_lengths_positive_and_bounded(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        assert (corpus.ingredient_lengths >= 1).all()
+        assert (corpus.ingredient_lengths <= 10).all()
+        assert (corpus.sentence_lengths >= 1).all()
+        assert (corpus.sentence_lengths <= 6).all()
+
+    def test_unlabeled_encoded_as_minus_one(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        recipes = small_dataset.split("train")
+        for row, recipe in enumerate(recipes):
+            expected = recipe.class_id if recipe.is_labeled else -1
+            assert corpus.class_ids[row] == expected
+            assert corpus.true_class_ids[row] == recipe.true_class_id
+
+    def test_subset_selects_rows(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        sub = corpus.subset(np.array([3, 5]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.recipe_indices,
+                                      corpus.recipe_indices[[3, 5]])
+
+    def test_unfitted_raises(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            RecipeFeaturizer().encode_split(small_dataset, "train")
+
+    def test_ingredient_vectors_match_vocab(self, featurizer):
+        vectors = featurizer.ingredient_vectors
+        assert vectors.shape == (len(featurizer.ingredient_vocab), 12)
+
+
+class TestBatcher:
+    def test_batch_composition(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        batcher = PairBatcher(corpus, batch_size=20, seed=0)
+        batch = batcher.sample_batch()
+        labeled = (corpus.class_ids[batch] >= 0).sum()
+        assert len(batch) == 20
+        assert labeled == 10
+
+    def test_epoch_length(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        batcher = PairBatcher(corpus, batch_size=20, seed=0)
+        batches = list(batcher.epoch())
+        assert len(batches) == batcher.batches_per_epoch
+        assert all(len(b) == 20 for b in batches)
+
+    def test_stratified_frequencies_track_distribution(self, small_dataset,
+                                                       featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        batcher = PairBatcher(corpus, batch_size=40, seed=1)
+        counts = np.zeros(16)
+        for __ in range(60):
+            batch = batcher.sample_batch()
+            labels = corpus.class_ids[batch]
+            for label in labels[labels >= 0]:
+                counts[label] += 1
+        observed = counts / counts.sum()
+        pool = corpus.class_ids[corpus.class_ids >= 0]
+        expected = np.bincount(pool, minlength=16) / len(pool)
+        # head class should dominate in both
+        assert abs(observed.argmax() - expected.argmax()) == 0
+
+    def test_all_labeled_corpus_fallback(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        labeled_only = corpus.subset(np.flatnonzero(corpus.class_ids >= 0))
+        batcher = PairBatcher(labeled_only, batch_size=10, seed=0)
+        batch = batcher.sample_batch()
+        assert (labeled_only.class_ids[batch] >= 0).all()
+
+    def test_invalid_batch_size(self, small_dataset, featurizer):
+        corpus = featurizer.encode_split(small_dataset, "train")
+        with pytest.raises(ValueError):
+            PairBatcher(corpus, batch_size=1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=10, max_value=60))
+def test_property_generator_any_size(num_pairs):
+    cfg = DatasetConfig(num_pairs=num_pairs, num_classes=4, image_size=12,
+                        seed=0)
+    ds = generate_dataset(cfg)
+    assert len(ds) == num_pairs

@@ -1,0 +1,71 @@
+"""Unit tests for the PPM image I/O helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DishRenderer, ClassTaxonomy, IngredientLexicon,
+                        load_ppm, save_image_grid, save_ppm)
+
+
+def test_ppm_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    image = rng.uniform(size=(3, 10, 14))
+    path = tmp_path / "dish.ppm"
+    save_ppm(image, path)
+    restored = load_ppm(path)
+    assert restored.shape == (3, 10, 14)
+    # 8-bit quantization error only
+    assert np.abs(restored - image).max() <= 0.5 / 255 + 1e-9
+
+
+def test_ppm_clips_out_of_range(tmp_path):
+    image = np.full((3, 4, 4), 2.0)
+    path = tmp_path / "clipped.ppm"
+    save_ppm(image, path)
+    np.testing.assert_allclose(load_ppm(path), np.ones((3, 4, 4)))
+
+
+def test_save_ppm_rejects_bad_shape(tmp_path):
+    with pytest.raises(ValueError):
+        save_ppm(np.zeros((4, 4)), tmp_path / "bad.ppm")
+
+
+def test_load_ppm_rejects_non_ppm(tmp_path):
+    path = tmp_path / "not.ppm"
+    path.write_bytes(b"JFIF....")
+    with pytest.raises(ValueError):
+        load_ppm(path)
+
+
+def test_load_ppm_handles_comment(tmp_path):
+    path = tmp_path / "comment.ppm"
+    pixels = bytes(range(12))
+    path.write_bytes(b"P6\n# a comment\n2 2\n255\n" + pixels)
+    image = load_ppm(path)
+    assert image.shape == (3, 2, 2)
+
+
+def test_grid_shape(tmp_path):
+    images = np.zeros((7, 3, 8, 8))
+    path = tmp_path / "grid.ppm"
+    save_image_grid(images, path, columns=3, pad=1)
+    sheet = load_ppm(path)
+    # 3 rows x 3 cols of 8px tiles with 1px padding between
+    assert sheet.shape == (3, 3 * 9 - 1, 3 * 9 - 1)
+
+
+def test_grid_rejects_bad_shape(tmp_path):
+    with pytest.raises(ValueError):
+        save_image_grid(np.zeros((2, 8, 8)), tmp_path / "bad.ppm")
+
+
+def test_rendered_dish_roundtrips(tmp_path):
+    lexicon = IngredientLexicon()
+    taxonomy = ClassTaxonomy(4, lexicon)
+    renderer = DishRenderer(size=16)
+    image = renderer.render(taxonomy[0],
+                            [lexicon[n] for n in taxonomy[0].core],
+                            np.random.default_rng(1))
+    path = tmp_path / "pizza.ppm"
+    save_ppm(image, path)
+    assert np.abs(load_ppm(path) - image).max() < 0.01

@@ -1,0 +1,107 @@
+"""Unit tests for latent-space diagnostics and the figure rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (CLASS_PALETTE, LatentSpaceStats, alignment,
+                            line_plot, modality_gap, scatter_plot,
+                            summarize_latent_space, uniformity)
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestAlignment:
+    def test_identical_embeddings_align_perfectly(self):
+        x = RNG(0).normal(size=(20, 8))
+        assert alignment(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_alignment_orders_noise_levels(self):
+        x = RNG(1).normal(size=(50, 8))
+        small = alignment(x, x + 0.05 * RNG(2).normal(size=x.shape))
+        large = alignment(x, x + 0.50 * RNG(3).normal(size=x.shape))
+        assert small < large
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            alignment(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestUniformity:
+    def test_spread_more_uniform_than_collapsed(self):
+        spread = RNG(4).normal(size=(60, 16))
+        collapsed = np.ones((60, 16)) + 0.01 * RNG(5).normal(size=(60, 16))
+        assert uniformity(spread) < uniformity(collapsed)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            uniformity(np.ones((1, 4)))
+
+
+class TestModalityGap:
+    def test_zero_for_identical_modalities(self):
+        x = RNG(6).normal(size=(30, 8))
+        assert modality_gap(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_detects_shifted_modality(self):
+        x = RNG(7).normal(size=(30, 8))
+        y = x + np.array([5.0] + [0.0] * 7)
+        assert modality_gap(x, y) > 0.1
+
+
+class TestSummary:
+    def test_returns_all_fields(self):
+        x = RNG(8).normal(size=(40, 8))
+        y = RNG(9).normal(size=(40, 8))
+        stats = summarize_latent_space(x, y)
+        assert isinstance(stats, LatentSpaceStats)
+        assert np.isfinite(stats.alignment)
+        assert np.isfinite(stats.uniformity_images)
+        assert np.isfinite(stats.modality_gap)
+
+
+class TestScatterPlot:
+    def test_image_shape_and_range(self):
+        points = RNG(10).normal(size=(30, 2))
+        classes = RNG(11).integers(0, 5, size=30)
+        image = scatter_plot(points, classes, size=64)
+        assert image.shape == (3, 64, 64)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_dots_are_drawn(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0],
+                           [1.0, 0.0], [0.5, 0.5]])
+        image = scatter_plot(points, np.zeros(5, dtype=int), size=64)
+        assert (image < 1.0).any()  # background is white
+
+    def test_traces_connect_pairs(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.3, 0.8],
+                           [0.8, 0.3], [0.5, 0.5]])
+        with_traces = scatter_plot(points, np.zeros(5, dtype=int), size=64,
+                                   pair_traces=np.array([[0, 1]]))
+        without = scatter_plot(points, np.zeros(5, dtype=int), size=64)
+        assert (with_traces < 1.0).sum() > (without < 1.0).sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot(np.zeros((4, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            scatter_plot(np.zeros((4, 2)), np.zeros(3))
+
+    def test_palette_colors_valid(self):
+        assert CLASS_PALETTE.shape[1] == 3
+        assert (CLASS_PALETTE >= 0).all() and (CLASS_PALETTE <= 1).all()
+
+
+class TestLinePlot:
+    def test_image_shape(self):
+        image = line_plot(np.array([0.1, 0.3, 0.5, 0.9]),
+                          np.array([12.0, 13.0, 15.0, 22.0]), size=80)
+        assert image.shape == (3, 80, 80)
+        assert (image < 1.0).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            line_plot(np.array([1.0, 2.0]), np.array([1.0]))

@@ -1,0 +1,100 @@
+"""Unit tests for the high-level RecipeSearchEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (RecipeSearchEngine, Trainer, TrainingConfig,
+                        build_scenario)
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def engine():
+    ds = generate_dataset(DatasetConfig(num_pairs=150, num_classes=6,
+                                        image_size=12, seed=51))
+    feat = RecipeFeaturizer(word_dim=10, sentence_dim=10).fit(ds)
+    train = feat.encode_split(ds, "train")
+    val = feat.encode_split(ds, "val")
+    model, config = build_scenario(
+        "adamine", feat, 6, 12,
+        base_config=TrainingConfig(epochs=4, freeze_epochs=0,
+                                   batch_size=24, learning_rate=2e-3,
+                                   augment=False, eval_bag_size=20,
+                                   eval_num_bags=1),
+        latent_dim=20)
+    Trainer(model, config).fit(train, val)
+    test = feat.encode_split(ds, "test")
+    return RecipeSearchEngine(model, feat, ds, test)
+
+
+class TestEmbedding:
+    def test_recipe_embedding_unit_norm(self, engine):
+        recipe = engine.dataset[int(engine.corpus.recipe_indices[0])]
+        vec = engine.embed_recipe(recipe)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_image_embedding_unit_norm(self, engine):
+        vec = engine.embed_image(engine.corpus.images[0])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_image_embedding_rejects_batch(self, engine):
+        with pytest.raises(ValueError):
+            engine.embed_image(engine.corpus.images[:2])
+
+    def test_ingredient_embedding(self, engine):
+        vec = engine.embed_ingredients(["butter", "onion"])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_unknown_ingredients_raise(self, engine):
+        with pytest.raises(ValueError):
+            engine.embed_ingredients(["vibranium"])
+
+    def test_partial_unknown_ok(self, engine):
+        vec = engine.embed_ingredients(["vibranium", "butter"])
+        assert np.isfinite(vec).all()
+
+
+class TestSearch:
+    def test_search_by_recipe_finds_own_image(self, engine):
+        recipe = engine.dataset[int(engine.corpus.recipe_indices[3])]
+        results = engine.search_by_recipe(recipe, k=len(engine))
+        rows = [r.corpus_row for r in results]
+        assert 3 in rows  # own pair somewhere in the full ranking
+
+    def test_search_returns_sorted_distances(self, engine):
+        recipe = engine.dataset[int(engine.corpus.recipe_indices[0])]
+        results = engine.search_by_recipe(recipe, k=6)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_search_by_image_returns_recipes(self, engine):
+        results = engine.search_by_image(engine.corpus.images[5], k=4)
+        assert len(results) == 4
+        assert all(r.recipe.title for r in results)
+
+    def test_class_constrained_search(self, engine):
+        corpus = engine.corpus
+        class_id = int(np.bincount(corpus.true_class_ids).argmax())
+        class_name = engine.dataset.taxonomy[class_id].name
+        recipe = engine.dataset[int(corpus.recipe_indices[0])]
+        results = engine.search_by_recipe(recipe, k=3,
+                                          class_name=class_name)
+        for result in results:
+            assert (corpus.true_class_ids[result.corpus_row] == class_id)
+
+    def test_search_by_ingredients(self, engine):
+        results = engine.search_by_ingredients(["butter"], k=5)
+        assert len(results) == 5
+
+    def test_search_without_ingredient(self, engine):
+        corpus = engine.corpus
+        row = next(r for r in range(len(corpus))
+                   if len(engine.dataset[
+                       int(corpus.recipe_indices[r])].ingredients) > 3)
+        recipe = engine.dataset[int(corpus.recipe_indices[row])]
+        ingredient = recipe.ingredients[-1]
+        results = engine.search_without(recipe, ingredient, k=4)
+        assert len(results) == 4
+
+    def test_len(self, engine):
+        assert len(engine) == len(engine.corpus)

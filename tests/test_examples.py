@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs_and_reports_metrics():
+    output = run_example("quickstart.py")
+    assert "MedR" in output
+    assert "Top-5 images" in output
+
+
+def test_whats_in_my_fridge():
+    output = run_example("whats_in_my_fridge.py",
+                         "--ingredients", "butter", "onion",
+                         "--scale", "test", "--top-k", "3")
+    assert "retrieved for" in output
+
+
+def test_dietary_filter():
+    output = run_example("dietary_filter.py", "--ingredient", "butter",
+                         "--scale", "test", "--top-k", "3")
+    assert "removal effect" in output
+
+
+def test_compare_baselines():
+    output = run_example("compare_baselines.py", "--scale", "test")
+    assert "Paired bootstrap" in output
+    assert "adamine" in output
+
+
+def test_visualize_latent_space(tmp_path):
+    output = run_example("visualize_latent_space.py",
+                         "--out", str(tmp_path), "--scale", "test")
+    assert "figure3_adamine" in output
+    assert (tmp_path / "figure3_adamine.ppm").exists()
+    assert (tmp_path / "figure4_lambda.ppm").exists()

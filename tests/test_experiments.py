@@ -1,0 +1,148 @@
+"""Integration tests: the experiment harness regenerates every
+table/figure end-to-end at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (PAPER_REFERENCE, ExperimentRunner, SCALES,
+                               format_metric, format_results_table,
+                               get_scale, result_row)
+from repro.experiments import (figure3, figure4, table1, table2, table3,
+                               table4, table5)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="test")
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"test", "bench", "full"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("test").name == "test"
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["test"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+
+class TestRunner:
+    def test_corpora_built(self, runner):
+        assert len(runner.train_corpus) > len(runner.val_corpus)
+        assert len(runner.test_corpus) > 0
+        assert runner.num_classes == 6
+
+    def test_scenario_cached(self, runner):
+        first = runner.scenario("adamine_ins")
+        second = runner.scenario("adamine_ins")
+        assert first is second
+
+    def test_trainer_history_available(self, runner):
+        trainer = runner.trainer("adamine_ins")
+        assert len(trainer.history) == runner.scale.training.epochs
+
+    def test_evaluate_returns_both_directions(self, runner):
+        result = runner.evaluate("adamine_ins", setup="1k")
+        assert result.image_to_recipe["MedR"][0] >= 1.0
+        assert result.recipe_to_image["MedR"][0] >= 1.0
+
+    def test_invalid_setup_raises(self, runner):
+        with pytest.raises(ValueError):
+            runner.evaluate("adamine_ins", setup="100k")
+
+    def test_random_baseline_near_chance(self, runner):
+        result = runner.random_result(setup="1k")
+        chance = runner._protocol("1k").bag_size / 2
+        assert result.medr() > 0.4 * chance
+
+    def test_cca_baseline_beats_random(self, runner):
+        cca = runner.cca_result(setup="1k")
+        random = runner.random_result(setup="1k")
+        assert cca.medr() < random.medr()
+
+    def test_trained_model_beats_random(self, runner):
+        trained = runner.evaluate("adamine_ins", setup="10k")
+        random = runner.random_result(setup="10k")
+        assert trained.medr() < random.medr()
+
+
+class TestTableModules:
+    def test_table1(self, runner):
+        results = table1.run(runner)
+        assert set(results) == set(table1.SCENARIOS)
+        for result in results.values():
+            assert np.isfinite(result.medr())
+
+    def test_table2(self, runner):
+        result = table2.run(runner, num_queries=3, k=4)
+        assert len(result.adamine) == 3
+        assert len(result.adamine_ins) == 3
+        assert 0.0 <= result.mean_same_class_fraction("adamine") <= 1.0
+
+    def test_table3_smallest(self, runner):
+        results = table3.run(runner, setups=("1k",))
+        assert "random" in results["1k"]
+        assert "cca" in results["1k"]
+        assert "adamine" in results["1k"]
+        # chance stays far behind the trained full model
+        assert (results["1k"]["adamine"].medr()
+                < results["1k"]["random"].medr())
+
+    def test_table4(self, runner):
+        results = table4.run(runner, ingredients=("mushrooms", "olives"),
+                             class_name="pizza", k=4)
+        for result in results.values():
+            assert len(result.hits) == 4
+
+    def test_table5(self, runner):
+        result = table5.run(runner, ingredient="butter", max_queries=2)
+        assert len(result.comparisons) >= 1
+        assert 0.0 <= result.mean_with_rate <= 1.0
+
+    def test_figure3(self, runner):
+        result = figure3.run(runner, pairs_per_class=6, num_classes=3,
+                             tsne_iterations=40)
+        assert result.adamine.coordinates.shape[1] == 2
+        assert 0.0 <= result.adamine.knn_purity <= 1.0
+        assert result.adamine.separation > 0
+
+    def test_figure4(self, runner):
+        points = figure4.run(runner, lambdas=(0.1, 0.7))
+        assert [p.lambda_sem for p in points] == [0.1, 0.7]
+
+
+class TestFormatting:
+    def test_format_metric(self):
+        assert format_metric(13.24, 0.46) == "13.2±0.5"
+
+    def test_result_row_contains_name(self, runner):
+        result = runner.random_result()
+        assert "random" in result_row("random", result)
+
+    def test_table_has_header_and_rows(self, runner):
+        result = runner.random_result()
+        text = format_results_table([("random", result)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "MedR" in lines[1]
+        assert "random" in lines[-1]
+
+    def test_paper_reference_shape(self):
+        assert PAPER_REFERENCE["1k"]["adamine"] == (1.0, 1.0)
+        assert PAPER_REFERENCE["10k"]["adamine"] == (13.2, 12.2)
+
+
+class TestMainEntrypoints:
+    """Each experiment module is runnable as a CLI (python -m ...)."""
+
+    @pytest.mark.parametrize("module", [table1, table2, table4, figure4])
+    def test_main_runs(self, module, capsys, monkeypatch):
+        module.main(["--scale", "test"])
+        output = capsys.readouterr().out
+        assert len(output) > 0

@@ -1,0 +1,61 @@
+"""Featurizer persistence: encodings must be identical after reload."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    ds = generate_dataset(DatasetConfig(num_pairs=80, num_classes=5,
+                                        image_size=12, seed=71))
+    feat = RecipeFeaturizer(word_dim=10, sentence_dim=10,
+                            max_ingredients=9, max_sentences=5).fit(ds)
+    return ds, feat
+
+
+def test_roundtrip_preserves_encodings(fitted, tmp_path):
+    ds, feat = fitted
+    feat.save(tmp_path)
+    restored = RecipeFeaturizer.load(tmp_path)
+    for recipe in ds.split("test")[:10]:
+        ids_a, n_a, vec_a, s_a = feat.encode_recipe(recipe)
+        ids_b, n_b, vec_b, s_b = restored.encode_recipe(recipe)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        assert n_a == n_b and s_a == s_b
+        np.testing.assert_allclose(vec_a, vec_b, atol=1e-12)
+
+
+def test_roundtrip_preserves_dimensions(fitted, tmp_path):
+    __, feat = fitted
+    feat.save(tmp_path)
+    restored = RecipeFeaturizer.load(tmp_path)
+    assert restored.word_dim == feat.word_dim
+    assert restored.sentence_dim == feat.sentence_dim
+    assert restored.max_ingredients == feat.max_ingredients
+    assert restored.max_sentences == feat.max_sentences
+    np.testing.assert_allclose(restored.ingredient_vectors,
+                               feat.ingredient_vectors)
+
+
+def test_roundtrip_preserves_vocab(fitted, tmp_path):
+    __, feat = fitted
+    feat.save(tmp_path)
+    restored = RecipeFeaturizer.load(tmp_path)
+    assert restored.ingredient_vocab.tokens == feat.ingredient_vocab.tokens
+
+
+def test_unfitted_save_raises(tmp_path):
+    with pytest.raises(RuntimeError):
+        RecipeFeaturizer().save(tmp_path)
+
+
+def test_encoded_corpora_match(fitted, tmp_path):
+    ds, feat = fitted
+    feat.save(tmp_path)
+    restored = RecipeFeaturizer.load(tmp_path)
+    a = feat.encode_split(ds, "val")
+    b = restored.encode_split(ds, "val")
+    np.testing.assert_array_equal(a.ingredient_ids, b.ingredient_ids)
+    np.testing.assert_allclose(a.sentence_vectors, b.sentence_vectors)

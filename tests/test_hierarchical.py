@@ -1,0 +1,120 @@
+"""Unit tests for the hierarchical semantic loss extension."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, l2_normalize
+from repro.core import (Trainer, TrainingConfig, build_scenario,
+                        hierarchical_semantic_loss, map_to_group_labels,
+                        scenario_spec)
+from repro.data import (ClassTaxonomy, DatasetConfig, IngredientLexicon,
+                        RecipeFeaturizer, generate_dataset)
+
+
+def embeddings(n, d, seed):
+    rng = np.random.default_rng(seed)
+    return l2_normalize(Tensor(rng.normal(size=(n, d)), requires_grad=True))
+
+
+class TestGroupMapping:
+    def test_preserves_unlabeled(self):
+        mapping = np.array([0, 0, 1])
+        labels = np.array([2, -1, 0])
+        np.testing.assert_array_equal(
+            map_to_group_labels(labels, mapping), [1, -1, 0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            map_to_group_labels(np.array([5]), np.array([0, 1]))
+
+    def test_taxonomy_mapping_consistent(self):
+        taxonomy = ClassTaxonomy(16, IngredientLexicon())
+        mapping = taxonomy.class_to_group_ids()
+        assert len(mapping) == 16
+        names = taxonomy.group_names
+        for cls in taxonomy.classes:
+            assert names[mapping[cls.class_id]] == cls.group
+
+    def test_curated_groups(self):
+        taxonomy = ClassTaxonomy(16, IngredientLexicon())
+        assert taxonomy["cupcake"].group == "dessert"
+        assert taxonomy["pizza"].group == "main"
+        assert taxonomy["green beans"].group == "side"
+
+
+class TestHierarchicalLoss:
+    def test_combines_both_levels(self):
+        # classes 0,1 -> group 0; classes 2,3 -> group 1
+        mapping = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        img = embeddings(8, 6, 0)
+        rec = embeddings(8, 6, 1)
+        out = hierarchical_semantic_loss(img, rec, labels, mapping)
+        assert out.fine.num_triplets > 0
+        assert out.coarse.num_triplets > 0
+        assert out.loss.item() >= 0
+
+    def test_coarse_level_sees_merged_classes(self):
+        # With two classes in ONE group, the coarse level has a single
+        # label -> no coarse triplets; the fine level still has some.
+        mapping = np.array([0, 0])
+        labels = np.array([0, 0, 1, 1])
+        out = hierarchical_semantic_loss(embeddings(4, 4, 2),
+                                         embeddings(4, 4, 3),
+                                         labels, mapping)
+        assert out.fine.num_triplets > 0
+        assert out.coarse.num_triplets == 0
+
+    def test_zero_group_weight_matches_flat(self):
+        mapping = np.array([0, 1, 0, 1])
+        labels = np.array([0, 1, 2, 3, 0, 1, 2, 3])
+        img, rec = embeddings(8, 5, 4), embeddings(8, 5, 5)
+        from repro.core import semantic_triplet_loss
+        flat = semantic_triplet_loss(img, rec, labels,
+                                     rng=np.random.default_rng(7))
+        hier = hierarchical_semantic_loss(
+            img, rec, labels, mapping, group_weight=0.0,
+            rng=np.random.default_rng(7))
+        assert hier.fine.loss.item() == pytest.approx(flat.loss.item())
+
+    def test_gradients_flow(self):
+        mapping = np.array([0, 1])
+        labels = np.array([0, 0, 1, 1])
+        img = embeddings(4, 4, 6)
+        out = hierarchical_semantic_loss(img, embeddings(4, 4, 7),
+                                         labels, mapping)
+        if out.loss.data > 0:
+            out.loss.backward()
+
+
+class TestHierarchicalScenario:
+    def test_spec_registered(self):
+        spec = scenario_spec("adamine_hier")
+        assert spec.use_hierarchical
+        assert spec.use_semantic_loss
+
+    def test_trainer_requires_mapping(self):
+        ds = generate_dataset(DatasetConfig(num_pairs=40, num_classes=4,
+                                            image_size=12, seed=41))
+        feat = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(ds)
+        model, config = build_scenario(
+            "adamine_hier", feat, 4, 12,
+            base_config=TrainingConfig(epochs=1), latent_dim=12)
+        with pytest.raises(ValueError):
+            Trainer(model, config)
+
+    def test_trains_end_to_end(self):
+        ds = generate_dataset(DatasetConfig(num_pairs=80, num_classes=6,
+                                            image_size=12, seed=42))
+        feat = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(ds)
+        train = feat.encode_split(ds, "train")
+        model, config = build_scenario(
+            "adamine_hier", feat, 6, 12,
+            base_config=TrainingConfig(epochs=2, freeze_epochs=0,
+                                       batch_size=16, augment=False,
+                                       select_best=False),
+            latent_dim=16)
+        trainer = Trainer(model, config,
+                          class_to_group=ds.taxonomy.class_to_group_ids())
+        history = trainer.fit(train)
+        assert all(np.isfinite(h.train_loss) for h in history)

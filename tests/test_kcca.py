@@ -1,0 +1,72 @@
+"""Unit tests for Kernel CCA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CCA, KernelCCA
+from repro.retrieval import evaluate_embeddings
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def nonlinear_views(n=200, seed=0):
+    """Two views nonlinearly driven by a shared 2-D latent signal."""
+    rng = RNG(seed)
+    latent = rng.uniform(-1, 1, size=(n, 2))
+    x = np.column_stack([np.sin(2 * latent[:, 0]), latent[:, 1] ** 3,
+                         latent[:, 0] * latent[:, 1]])
+    x += 0.05 * rng.normal(size=x.shape)
+    y = np.column_stack([np.cos(2 * latent[:, 0]), np.abs(latent[:, 1]),
+                         latent.sum(axis=1)])
+    y += 0.05 * rng.normal(size=y.shape)
+    return x, y
+
+
+class TestKernelCCA:
+    def test_finds_correlation_in_nonlinear_views(self):
+        x, y = nonlinear_views()
+        kcca = KernelCCA(dim=3, reg=1e-2).fit(x, y)
+        assert kcca.correlations[0] > 0.5
+
+    def test_retrieval_beats_chance(self):
+        x, y = nonlinear_views(n=150, seed=1)
+        px, py = KernelCCA(dim=4, reg=1e-2).fit_transform(x, y)
+        result = evaluate_embeddings(px, py, bag_size=150, num_bags=1)
+        assert result.medr() < 40  # chance is 75
+
+    def test_beats_linear_cca_on_nonlinear_data(self):
+        x, y = nonlinear_views(n=150, seed=2)
+        kx, ky = KernelCCA(dim=4, reg=1e-2).fit_transform(x, y)
+        lx, ly = CCA(dim=3, reg=1e-3).fit_transform(x, y)
+        kernel_medr = evaluate_embeddings(kx, ky, bag_size=150,
+                                          num_bags=1).medr()
+        linear_medr = evaluate_embeddings(lx, ly, bag_size=150,
+                                          num_bags=1).medr()
+        assert kernel_medr <= linear_medr
+
+    def test_transform_new_samples(self):
+        x, y = nonlinear_views(n=120, seed=3)
+        kcca = KernelCCA(dim=3, reg=1e-2).fit(x[:100], y[:100])
+        out = kcca.transform_x(x[100:])
+        assert out.shape == (20, 3)
+        assert np.isfinite(out).all()
+
+    def test_median_heuristic_sets_gammas(self):
+        x, y = nonlinear_views(n=60, seed=4)
+        kcca = KernelCCA(dim=2).fit(x, y)
+        assert kcca.gamma_x > 0 and kcca.gamma_y > 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KernelCCA().transform_x(np.zeros((3, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelCCA(dim=0)
+        with pytest.raises(ValueError):
+            KernelCCA(reg=0.0)
+        with pytest.raises(ValueError):
+            KernelCCA().fit(np.zeros((3, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            KernelCCA().fit(np.zeros((2, 2)), np.zeros((2, 2)))

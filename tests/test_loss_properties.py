@@ -1,0 +1,82 @@
+"""Property-based tests of the training objectives (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, l2_normalize
+from repro.core import (aggregate_triplets, instance_triplet_loss,
+                        pairwise_loss, semantic_triplet_loss)
+
+
+def embeddings(n, d, seed):
+    rng = np.random.default_rng(seed)
+    return l2_normalize(Tensor(rng.normal(size=(n, d)), requires_grad=True))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=100))
+def test_instance_loss_nonnegative_and_finite(n, seed):
+    out = instance_triplet_loss(embeddings(n, 6, seed),
+                                embeddings(n, 6, seed + 1))
+    assert out.loss.item() >= 0.0
+    assert np.isfinite(out.loss.item())
+    assert 0 <= out.num_active <= out.num_triplets
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=50))
+def test_instance_loss_bounded_by_margin_plus_diameter(n, seed):
+    """Each hinge is at most d_pos + margin <= 2 + margin on the sphere."""
+    margin = 0.3
+    out = instance_triplet_loss(embeddings(n, 5, seed),
+                                embeddings(n, 5, seed + 7),
+                                margin=margin, strategy="average")
+    assert out.loss.item() <= 2.0 + margin
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=50))
+def test_semantic_loss_ignores_label_permutation_of_unlabeled(n, seed):
+    """Relabeling unlabeled rows as other unlabeled rows changes nothing."""
+    rng = np.random.default_rng(seed)
+    img = embeddings(n, 5, seed)
+    rec = embeddings(n, 5, seed + 1)
+    labels = rng.integers(0, 2, size=n)
+    labels[: n // 2] = -1
+    out1 = semantic_triplet_loss(img, rec, labels,
+                                 rng=np.random.default_rng(3))
+    out2 = semantic_triplet_loss(img, rec, labels.copy(),
+                                 rng=np.random.default_rng(3))
+    assert out1.loss.item() == out2.loss.item()
+    assert out1.num_triplets == out2.num_triplets
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=50))
+def test_pairwise_loss_nonnegative(n, seed):
+    loss = pairwise_loss(embeddings(n, 5, seed), embeddings(n, 5, seed + 3))
+    assert loss.item() >= 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=30))
+def test_adaptive_at_least_average(values):
+    """Adaptive normalization never reports a smaller scalar than
+    averaging: dividing by the (<= total) active count can only grow."""
+    losses = Tensor(np.array(values))
+    adaptive = aggregate_triplets(losses, "adaptive").item()
+    average = aggregate_triplets(losses, "average").item()
+    assert adaptive >= average - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=50))
+def test_perfect_alignment_zero_instance_loss(n, seed):
+    """If both modalities share identical well-separated embeddings on
+    nearly-orthogonal axes, no triplet is violated."""
+    base = np.eye(max(n, 2))[:n] * 1.0
+    emb = l2_normalize(Tensor(base))
+    out = instance_triplet_loss(emb, emb, margin=0.3)
+    assert out.loss.item() == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for convolution and pooling (vs. naive references)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+from repro.nn.conv import col2im, im2col
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Direct-loop convolution used as the ground-truth reference."""
+    n, c, h, wd = x.shape
+    o, _, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (wd + 2 * padding - k) // stride + 1
+    out = np.zeros((n, o, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x[:, :, i * stride:i * stride + k, j * stride:j * stride + k]
+            out[:, :, i, j] = np.einsum("nckl,ockl->no", patch, w)
+    if b is not None:
+        out += b[None, :, None, None]
+    return out
+
+
+class TestIm2Col:
+    def test_roundtrip_shapes(self):
+        x = RNG().normal(size=(2, 3, 8, 8))
+        cols = im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_col2im_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> (they are transposes)
+        x = RNG(1).normal(size=(1, 2, 6, 6))
+        y = RNG(2).normal(size=(1, 2 * 9, 36))
+        lhs = (im2col(x, 3, 1, 1) * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_naive(self, stride, padding):
+        conv = nn.Conv2d(3, 4, 3, RNG(), stride=stride, padding=padding)
+        x = RNG(3).normal(size=(2, 3, 8, 8))
+        expected = naive_conv2d(x, conv.weight.data, conv.bias.data,
+                                stride, padding)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, atol=1e-10)
+
+    def test_wrong_channels_raises(self):
+        conv = nn.Conv2d(3, 4, 3, RNG())
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 2, 8, 8))))
+
+    def test_gradcheck_input(self):
+        conv = nn.Conv2d(2, 3, 3, RNG(), padding=1)
+        x = Tensor(RNG(4).normal(size=(1, 2, 5, 5)), requires_grad=True)
+        check_gradients(lambda x: conv(x), [x], atol=1e-4)
+
+    def test_gradcheck_weight(self):
+        conv = nn.Conv2d(1, 2, 3, RNG(), padding=1)
+        x = Tensor(RNG(5).normal(size=(1, 1, 4, 4)))
+        check_gradients(lambda w: _conv_with_weight(conv, x, w),
+                        [conv.weight], atol=1e-4)
+
+    def test_bias_gradient(self):
+        conv = nn.Conv2d(1, 2, 3, RNG(), padding=1)
+        conv(Tensor(np.ones((1, 1, 4, 4)))).sum().backward()
+        np.testing.assert_allclose(conv.bias.grad, [16.0, 16.0])
+
+    def test_no_bias(self):
+        conv = nn.Conv2d(1, 2, 3, RNG(), bias=False)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+
+def _conv_with_weight(conv, x, weight):
+    conv.weight = weight
+    return conv(x)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_max(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        nn.MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_maxpool_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(3)(Tensor(np.zeros((1, 1, 4, 4))))
+
+    def test_maxpool_gradcheck(self):
+        x = Tensor(RNG(6).normal(size=(2, 2, 4, 4)), requires_grad=True)
+        check_gradients(lambda x: nn.MaxPool2d(2)(x), [x], atol=1e-4)
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.ones((2, 3, 4, 4)) * 5.0)
+        out = nn.GlobalAvgPool2d()(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, np.full((2, 3), 5.0))
+
+    def test_global_avg_pool_gradcheck(self):
+        x = Tensor(RNG(7).normal(size=(1, 2, 3, 3)), requires_grad=True)
+        check_gradients(lambda x: nn.GlobalAvgPool2d()(x), [x])

@@ -1,0 +1,159 @@
+"""Unit tests for dense layers, embeddings, activations and normalization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(4, 7, RNG())
+        out = layer(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(3, 2, RNG())
+        x = RNG(1).normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, RNG(), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck(self):
+        layer = nn.Linear(3, 2, RNG())
+        x = Tensor(RNG(2).normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x])
+
+    def test_weight_gradients_flow(self):
+        layer = nn.Linear(3, 2, RNG())
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4, RNG())
+        out = emb(np.array([[1, 2], [3, 0]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_zeroed(self):
+        emb = nn.Embedding(10, 4, RNG())
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(4))
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 4, RNG())
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_for_repeated_tokens(self):
+        emb = nn.Embedding(5, 3, RNG())
+        out = emb(np.array([2, 2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 3 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[1], np.zeros(3))
+
+    def test_from_pretrained_frozen(self):
+        vectors = RNG(3).normal(size=(6, 4))
+        emb = nn.Embedding.from_pretrained(vectors, freeze=True)
+        assert not emb.weight.requires_grad
+        np.testing.assert_allclose(emb.weight.data[1:], vectors[1:])
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(4))
+
+
+class TestActivationsDropout:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh_sigmoid_modules(self):
+        x = Tensor(np.array([0.0]))
+        assert nn.Tanh()(x).item() == pytest.approx(0.0)
+        assert nn.Sigmoid()(x).item() == pytest.approx(0.5)
+
+    def test_dropout_eval_identity(self):
+        drop = nn.Dropout(0.5, RNG())
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_preserves_mean(self):
+        drop = nn.Dropout(0.3, RNG())
+        x = Tensor(np.ones((200, 200)))
+        out = drop(x)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_zero_p_identity(self):
+        drop = nn.Dropout(0.0, RNG())
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0, RNG())
+
+
+class TestNormalization:
+    def test_layernorm_zero_mean_unit_var(self):
+        ln = nn.LayerNorm(16)
+        out = ln(Tensor(RNG(4).normal(2.0, 3.0, size=(8, 16))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(8),
+                                   atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(8),
+                                   atol=1e-3)
+
+    def test_layernorm_gradcheck(self):
+        ln = nn.LayerNorm(5)
+        x = Tensor(RNG(5).normal(size=(3, 5)), requires_grad=True)
+        check_gradients(lambda x: ln(x), [x], atol=1e-4)
+
+    def test_batchnorm_train_normalizes(self):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(RNG(6).normal(5.0, 2.0, size=(64, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(4),
+                                   atol=1e-8)
+
+    def test_batchnorm_updates_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        before = bn.running_mean.copy()
+        bn(Tensor(RNG(7).normal(3.0, 1.0, size=(32, 2))))
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        batch = RNG(8).normal(3.0, 1.0, size=(64, 2))
+        for __ in range(60):
+            bn(Tensor(batch))
+        bn.eval()
+        # At the batch mean, a converged BN must output ~zero.
+        out = bn(Tensor(np.tile(batch.mean(axis=0), (4, 1))))
+        np.testing.assert_allclose(out.data, np.zeros((4, 2)), atol=0.05)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        model = nn.Sequential(nn.Linear(3, 5, RNG()), nn.ReLU(),
+                              nn.Linear(5, 2, RNG(1)))
+        out = model(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+        assert len(model) == 3
+
+    def test_sequential_parameters_collected(self):
+        model = nn.Sequential(nn.Linear(3, 5, RNG()), nn.Linear(5, 2, RNG(1)))
+        assert len(model.parameters()) == 4
+
+    def test_modulelist_tracks_parameters(self):
+        mlist = nn.ModuleList([nn.Linear(2, 2, RNG(i)) for i in range(3)])
+        assert len(mlist.parameters()) == 6
+        mlist.append(nn.Linear(2, 2, RNG(9)))
+        assert len(mlist) == 4

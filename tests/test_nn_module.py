@@ -1,0 +1,154 @@
+"""Unit tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(3, 4, RNG(0))
+        self.second = nn.Linear(4, 2, RNG(1))
+        self.drop = nn.Dropout(0.5, RNG(2))
+
+    def forward(self, x):
+        return self.second(self.drop(self.first(x).relu()))
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_qualified(self):
+        names = {name for name, __ in TinyNet().named_parameters()}
+        assert names == {"first.weight", "first.bias",
+                         "second.weight", "second.bias"}
+
+    def test_parameters_deduplicated(self):
+        net = TinyNet()
+        net.alias = net.first  # shared module
+        assert len(net.parameters()) == 4
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_list_attribute_children_found(self):
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [nn.Linear(2, 2, RNG(i)) for i in range(2)]
+
+        assert len(Holder().parameters()) == 4
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.eval()
+        assert not net.drop.training
+        net.train()
+        assert net.drop.training
+
+    def test_eval_changes_dropout_behaviour(self):
+        net = TinyNet()
+        x = Tensor(np.ones((4, 3)))
+        net.eval()
+        a = net(x).data
+        b = net(x).data
+        np.testing.assert_allclose(a, b)  # deterministic in eval
+
+
+class TestFreeze:
+    def test_freeze_unfreeze(self):
+        net = TinyNet()
+        net.freeze()
+        assert all(not p.requires_grad for p in net.parameters())
+        net.unfreeze()
+        assert all(p.requires_grad for p in net.parameters())
+
+    def test_frozen_parameters_get_no_grad(self):
+        net = TinyNet()
+        net.eval()
+        net.first.freeze()
+        net(Tensor(np.ones((2, 3)))).sum().backward()
+        assert net.first.weight.grad is None
+        assert net.second.weight.grad is not None
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        net.eval()
+        net(Tensor(np.ones((2, 3)))).sum().backward()
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source, target = TinyNet(), TinyNet()
+        target.load_state_dict(source.state_dict())
+        for (na, pa), (nb, pb) in zip(source.named_parameters(),
+                                      target.named_parameters()):
+            assert na == nb
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.allclose(net.first.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["first.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path):
+        source, target = TinyNet(), TinyNet()
+        path = tmp_path / "model.npz"
+        source.save(path)
+        target.load(path)
+        np.testing.assert_allclose(source.first.weight.data,
+                                   target.first.weight.data)
+
+
+class TestInit:
+    def test_xavier_bound(self):
+        w = nn.init.xavier_uniform((100, 100), RNG())
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_he_normal_scale(self):
+        w = nn.init.he_normal((2000, 50), RNG())
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_orthogonal_is_orthogonal(self):
+        w = nn.init.orthogonal((6, 6), RNG())
+        np.testing.assert_allclose(w @ w.T, np.eye(6), atol=1e-10)
+
+    def test_orthogonal_rectangular(self):
+        w = nn.init.orthogonal((4, 8), RNG())
+        np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
+
+    def test_conv_fans(self):
+        w = nn.init.he_normal((8, 4, 3, 3), RNG())
+        assert w.shape == (8, 4, 3, 3)

@@ -1,0 +1,107 @@
+"""Property-based invariants of the neural network substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+def test_conv_is_linear_without_bias(scale):
+    conv = nn.Conv2d(2, 3, 3, RNG(0), padding=1, bias=False)
+    x = RNG(1).normal(size=(1, 2, 6, 6))
+    direct = conv(Tensor(x * scale)).data
+    scaled = conv(Tensor(x)).data * scale
+    np.testing.assert_allclose(direct, scaled, atol=1e-10)
+
+
+def test_conv_translation_equivariance_interior():
+    conv = nn.Conv2d(1, 2, 3, RNG(2), padding=1)
+    x = np.zeros((1, 1, 10, 10))
+    x[0, 0, 4, 4] = 1.0
+    shifted = np.roll(x, shift=2, axis=3)
+    out = conv(Tensor(x)).data
+    out_shifted = conv(Tensor(shifted)).data
+    # away from borders the response just translates
+    np.testing.assert_allclose(out[..., 3:6, 3:6],
+                               out_shifted[..., 3:6, 5:8], atol=1e-10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=6))
+def test_lstm_batch_independence(batch):
+    """Each sequence's encoding must not depend on its batch neighbours."""
+    lstm = nn.LSTM(3, 4, RNG(3))
+    rng = RNG(4)
+    x = rng.normal(size=(batch, 5, 3))
+    lengths = rng.integers(1, 6, size=batch)
+    __, together = lstm(Tensor(x), lengths)
+    for i in range(batch):
+        __, alone = lstm(Tensor(x[i:i + 1]), lengths[i:i + 1])
+        np.testing.assert_allclose(together.data[i], alone.data[0],
+                                   atol=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_linear_batch_permutation_equivariance(seed):
+    layer = nn.Linear(4, 3, RNG(5))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(6, 4))
+    order = rng.permutation(6)
+    np.testing.assert_allclose(layer(Tensor(x[order])).data,
+                               layer(Tensor(x)).data[order])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=9), min_size=1,
+                max_size=8))
+def test_embedding_gather_property(ids):
+    emb = nn.Embedding(10, 5, RNG(6))
+    out = emb(np.array(ids))
+    for row, token in enumerate(ids):
+        np.testing.assert_allclose(out.data[row], emb.weight.data[token])
+
+
+def test_bilstm_batch_independence():
+    bilstm = nn.BiLSTM(3, 4, RNG(7))
+    rng = RNG(8)
+    x = rng.normal(size=(4, 6, 3))
+    lengths = np.array([6, 3, 1, 5])
+    together = bilstm(Tensor(x), lengths)
+    for i in range(4):
+        alone = bilstm(Tensor(x[i:i + 1]), lengths[i:i + 1])
+        np.testing.assert_allclose(together.data[i], alone.data[0],
+                                   atol=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=4))
+def test_maxpool_idempotent_on_constant(channels):
+    x = Tensor(np.full((1, channels, 4, 4), 2.5))
+    out = nn.MaxPool2d(2)(x)
+    np.testing.assert_allclose(out.data, np.full((1, channels, 2, 2), 2.5))
+
+
+def test_layernorm_scale_invariance():
+    ln = nn.LayerNorm(8)
+    x = RNG(9).normal(size=(3, 8))
+    a = ln(Tensor(x)).data
+    b = ln(Tensor(x * 100.0)).data
+    # invariance holds up to the eps regularizer's relative weight
+    np.testing.assert_allclose(a, b, atol=1e-3)
+
+
+def test_dropout_mask_independent_across_calls():
+    drop = nn.Dropout(0.5, RNG(10))
+    x = Tensor(np.ones((1, 1000)))
+    a = drop(x).data
+    b = drop(x).data
+    assert not np.allclose(a, b)

@@ -1,0 +1,149 @@
+"""Unit tests for LSTM, BiLSTM and padded-sequence handling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+from repro.nn import reverse_padded
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestLSTMCell:
+    def test_shapes(self):
+        cell = nn.LSTMCell(4, 6, RNG())
+        h = c = Tensor(np.zeros((3, 6)))
+        h2, c2 = cell(Tensor(np.zeros((3, 4))), h, c)
+        assert h2.shape == (3, 6)
+        assert c2.shape == (3, 6)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(4, 6, RNG())
+        np.testing.assert_allclose(cell.bias.data[6:12], np.ones(6))
+
+    def test_bounded_hidden_state(self):
+        cell = nn.LSTMCell(2, 3, RNG())
+        h = c = Tensor(np.zeros((1, 3)))
+        for __ in range(50):
+            h, c = cell(Tensor(RNG(1).normal(size=(1, 2)) * 10), h, c)
+        assert np.abs(h.data).max() <= 1.0 + 1e-9
+
+    def test_gradcheck(self):
+        cell = nn.LSTMCell(3, 2, RNG())
+        x = Tensor(RNG(2).normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(RNG(3).normal(size=(2, 2)), requires_grad=True)
+        c = Tensor(RNG(4).normal(size=(2, 2)), requires_grad=True)
+        check_gradients(lambda x, h, c: cell(x, h, c)[0], [x, h, c],
+                        atol=1e-4)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = nn.LSTM(4, 6, RNG())
+        x = Tensor(RNG(1).normal(size=(3, 5, 4)))
+        outputs, final = lstm(x, np.array([5, 3, 1]))
+        assert outputs.shape == (3, 5, 6)
+        assert final.shape == (3, 6)
+
+    def test_final_state_respects_lengths(self):
+        lstm = nn.LSTM(2, 3, RNG())
+        x = Tensor(RNG(2).normal(size=(1, 6, 2)))
+        outputs, final = lstm(x, np.array([4]))
+        # final hidden must equal the output at the last valid step
+        np.testing.assert_allclose(final.data, outputs.data[:, 3, :])
+
+    def test_padding_does_not_change_final_state(self):
+        lstm = nn.LSTM(2, 3, RNG())
+        rng = RNG(3)
+        seq = rng.normal(size=(1, 4, 2))
+        padded = np.concatenate([seq, rng.normal(size=(1, 3, 2))], axis=1)
+        _, final_short = lstm(Tensor(seq), np.array([4]))
+        _, final_padded = lstm(Tensor(padded), np.array([4]))
+        np.testing.assert_allclose(final_short.data, final_padded.data)
+
+    def test_length_exceeding_time_raises(self):
+        lstm = nn.LSTM(2, 3, RNG())
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((1, 3, 2))), np.array([4]))
+
+    def test_wrong_lengths_shape_raises(self):
+        lstm = nn.LSTM(2, 3, RNG())
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.zeros((2, 3, 2))), np.array([3]))
+
+    def test_gradients_flow_to_input(self):
+        lstm = nn.LSTM(2, 3, RNG())
+        x = Tensor(RNG(4).normal(size=(2, 4, 2)), requires_grad=True)
+        _, final = lstm(x, np.array([4, 2]))
+        final.sum().backward()
+        assert x.grad is not None
+        # padded positions of the short sequence receive zero gradient
+        np.testing.assert_allclose(x.grad[1, 2:], np.zeros((2, 2)))
+        assert np.abs(x.grad[1, :2]).sum() > 0
+
+    def test_gradcheck_small(self):
+        lstm = nn.LSTM(2, 2, RNG())
+        x = Tensor(RNG(5).normal(size=(2, 3, 2)), requires_grad=True)
+        check_gradients(lambda x: lstm(x, np.array([3, 2]))[1], [x],
+                        atol=1e-4)
+
+
+class TestReversePadded:
+    def test_reverses_valid_prefix(self):
+        x = Tensor(np.arange(8.0).reshape(1, 4, 2))
+        out = reverse_padded(x, np.array([3]))
+        np.testing.assert_allclose(out.data[0, 0], [4.0, 5.0])
+        np.testing.assert_allclose(out.data[0, 2], [0.0, 1.0])
+        # padding stays in place
+        np.testing.assert_allclose(out.data[0, 3], [6.0, 7.0])
+
+    def test_involution_on_valid_part(self):
+        rng = RNG(6)
+        x = Tensor(rng.normal(size=(3, 5, 2)))
+        lengths = np.array([5, 3, 1])
+        twice = reverse_padded(reverse_padded(x, lengths), lengths)
+        np.testing.assert_allclose(twice.data, x.data)
+
+    def test_gradcheck(self):
+        x = Tensor(RNG(7).normal(size=(2, 4, 3)), requires_grad=True)
+        check_gradients(lambda x: reverse_padded(x, np.array([4, 2])), [x])
+
+
+class TestBiLSTM:
+    def test_output_dim(self):
+        bilstm = nn.BiLSTM(4, 5, RNG())
+        assert bilstm.output_dim == 10
+        out = bilstm(Tensor(RNG(8).normal(size=(2, 6, 4))), np.array([6, 3]))
+        assert out.shape == (2, 10)
+
+    def test_direction_symmetry(self):
+        """Swapping the two directions' weights and reversing the input
+        swaps the two halves of the output."""
+        bilstm = nn.BiLSTM(2, 3, RNG())
+        x = Tensor(RNG(9).normal(size=(1, 4, 2)))
+        lengths = np.array([4])
+        out = bilstm(x, lengths).data
+        swapped = nn.BiLSTM(2, 3, RNG())
+        swapped.forward_lstm.load_state_dict(bilstm.backward_lstm.state_dict())
+        swapped.backward_lstm.load_state_dict(bilstm.forward_lstm.state_dict())
+        out_swapped = swapped(reverse_padded(x, lengths), lengths).data
+        np.testing.assert_allclose(out[:, :3], out_swapped[:, 3:], atol=1e-10)
+        np.testing.assert_allclose(out[:, 3:], out_swapped[:, :3], atol=1e-10)
+
+    def test_padding_invariance(self):
+        bilstm = nn.BiLSTM(2, 3, RNG())
+        rng = RNG(10)
+        seq = rng.normal(size=(1, 3, 2))
+        padded = np.concatenate([seq, rng.normal(size=(1, 2, 2))], axis=1)
+        a = bilstm(Tensor(seq), np.array([3])).data
+        b = bilstm(Tensor(padded), np.array([3])).data
+        np.testing.assert_allclose(a, b)
+
+    def test_gradients_reach_all_parameters(self):
+        bilstm = nn.BiLSTM(2, 2, RNG())
+        x = Tensor(RNG(11).normal(size=(2, 3, 2)), requires_grad=True)
+        bilstm(x, np.array([3, 2])).sum().backward()
+        for param in bilstm.parameters():
+            assert param.grad is not None

@@ -1,0 +1,142 @@
+"""Unit tests for optimizers and the two-phase schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim
+from repro.autograd import Tensor
+from repro.nn import Parameter
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+def quadratic_loss(param):
+    """(p - 3)^2 summed — minimized at p == 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = optim.SGD([p], lr=0.1)
+        for __ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = optim.SGD([p], lr=0.01, momentum=momentum)
+            for __ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(2) * 10.0)
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(2)
+        opt.step()
+        assert (np.abs(p.data) < 10.0).all()
+
+    def test_skips_frozen_parameters(self):
+        p = Parameter(np.zeros(2))
+        opt = optim.SGD([p], lr=0.1)
+        p.grad = np.ones(2)
+        p.requires_grad = False
+        opt.step()
+        np.testing.assert_allclose(p.data, np.zeros(2))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=-0.1)
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = optim.Adam([p], lr=0.1)
+        for __ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_step_size_bounded_by_lr(self):
+        # Adam's first bias-corrected step is ~lr regardless of grad scale.
+        p = Parameter(np.zeros(1))
+        opt = optim.Adam([p], lr=0.01)
+        p.grad = np.array([1e6])
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_skips_missing_grads(self):
+        p = Parameter(np.zeros(2))
+        optim.Adam([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, np.zeros(2))
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            optim.Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_trains_a_small_network(self):
+        rng = RNG(1)
+        net = nn.Sequential(nn.Linear(2, 8, RNG(0)), nn.Tanh(),
+                            nn.Linear(8, 1, RNG(1)))
+        opt = optim.Adam(net.parameters(), lr=0.05)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] * 2.0 - x[:, 1:] * 0.5)
+        first = None
+        for step in range(150):
+            opt.zero_grad()
+            pred = net(Tensor(x))
+            err = pred - Tensor(y)
+            loss = (err * err).mean()
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05 * first
+
+
+class TestTwoPhaseSchedule:
+    def test_backbone_starts_frozen(self):
+        backbone = nn.Linear(2, 2, RNG())
+        schedule = optim.TwoPhaseSchedule(backbone, freeze_epochs=2,
+                                          total_epochs=5)
+        assert schedule.backbone_frozen
+        assert not backbone.weight.requires_grad
+
+    def test_unfreezes_at_boundary(self):
+        backbone = nn.Linear(2, 2, RNG())
+        schedule = optim.TwoPhaseSchedule(backbone, freeze_epochs=2,
+                                          total_epochs=5)
+        schedule.on_epoch_start(0)
+        schedule.on_epoch_start(1)
+        assert schedule.backbone_frozen
+        schedule.on_epoch_start(2)
+        assert not schedule.backbone_frozen
+        assert backbone.weight.requires_grad
+
+    def test_zero_freeze_epochs_never_freezes(self):
+        backbone = nn.Linear(2, 2, RNG())
+        schedule = optim.TwoPhaseSchedule(backbone, freeze_epochs=0,
+                                          total_epochs=3)
+        assert not schedule.backbone_frozen
+        assert backbone.weight.requires_grad
+
+    def test_invalid_schedule(self):
+        with pytest.raises(ValueError):
+            optim.TwoPhaseSchedule(nn.Linear(2, 2, RNG()),
+                                   freeze_epochs=5, total_epochs=3)

@@ -1,0 +1,95 @@
+"""Unit tests for Recipe1M JSON import/export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (DatasetConfig, export_recipe1m, generate_dataset,
+                        import_recipe1m)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(DatasetConfig(num_pairs=60, num_classes=5,
+                                          image_size=12, seed=61))
+
+
+def test_export_writes_all_artifacts(dataset, tmp_path):
+    paths = export_recipe1m(dataset, tmp_path)
+    assert set(paths) == {"layer1", "classes", "images"}
+    with open(paths["layer1"]) as handle:
+        layer1 = json.load(handle)
+    assert len(layer1) == len(dataset)
+    entry = layer1[0]
+    assert set(entry) == {"id", "title", "ingredients", "instructions",
+                          "partition"}
+    assert all("text" in item for item in entry["ingredients"])
+
+
+def test_partitions_match_splits(dataset, tmp_path):
+    paths = export_recipe1m(dataset, tmp_path)
+    with open(paths["layer1"]) as handle:
+        layer1 = json.load(handle)
+    counts = {"train": 0, "val": 0, "test": 0}
+    for entry in layer1:
+        counts[entry["partition"]] += 1
+    for name in counts:
+        assert counts[name] == len(dataset.split_indices(name))
+
+
+def test_roundtrip_preserves_content(dataset, tmp_path):
+    export_recipe1m(dataset, tmp_path)
+    restored = import_recipe1m(tmp_path)
+    assert len(restored) == len(dataset)
+    for original, loaded in zip(dataset.recipes, restored.recipes):
+        assert loaded.title == original.title
+        assert loaded.ingredients == original.ingredients
+        assert loaded.instructions == original.instructions
+        assert loaded.class_id == original.class_id
+        np.testing.assert_allclose(loaded.image, original.image)
+
+
+def test_roundtrip_preserves_splits(dataset, tmp_path):
+    export_recipe1m(dataset, tmp_path)
+    restored = import_recipe1m(tmp_path)
+    for name in ("train", "val", "test"):
+        np.testing.assert_array_equal(restored.split_indices(name),
+                                      dataset.split_indices(name))
+
+
+def test_unlabeled_pairs_stay_unlabeled(dataset, tmp_path):
+    export_recipe1m(dataset, tmp_path)
+    restored = import_recipe1m(tmp_path)
+    for original, loaded in zip(dataset.recipes, restored.recipes):
+        assert loaded.is_labeled == original.is_labeled
+
+
+def test_import_rejects_bad_partition(dataset, tmp_path):
+    paths = export_recipe1m(dataset, tmp_path)
+    with open(paths["layer1"]) as handle:
+        layer1 = json.load(handle)
+    layer1[0]["partition"] = "holdout"
+    with open(paths["layer1"], "w") as handle:
+        json.dump(layer1, handle)
+    with pytest.raises(ValueError):
+        import_recipe1m(tmp_path)
+
+
+def test_imported_dataset_trains(dataset, tmp_path):
+    """An imported dataset feeds the normal pipeline end to end."""
+    from repro.core import Trainer, TrainingConfig, build_scenario
+    from repro.data import RecipeFeaturizer
+
+    export_recipe1m(dataset, tmp_path)
+    restored = import_recipe1m(tmp_path, taxonomy=dataset.taxonomy)
+    feat = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(restored)
+    train = feat.encode_split(restored, "train")
+    model, config = build_scenario(
+        "adamine_ins", feat, 5, 12,
+        base_config=TrainingConfig(epochs=1, freeze_epochs=0,
+                                   batch_size=12, augment=False,
+                                   select_best=False),
+        latent_dim=12)
+    history = Trainer(model, config).fit(train)
+    assert np.isfinite(history[0].train_loss)

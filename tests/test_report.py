@@ -1,0 +1,33 @@
+"""Integration test of the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(ExperimentRunner(scale="test"))
+
+
+def test_report_has_all_sections(report):
+    for heading in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+                    "Figure 3", "Figure 4", "Latent-space diagnostics"):
+        assert heading in report
+
+
+def test_report_includes_paper_reference_numbers(report):
+    assert "15.4 / 15.8" in report   # paper's AdaMine_ins 10k row
+    assert "499.0" in report         # paper's random 1k row
+
+
+def test_report_is_valid_markdown_tables(report):
+    lines = [l for l in report.splitlines() if l.startswith("|")]
+    assert lines, "no tables rendered"
+    for line in lines:
+        assert line.count("|") >= 3
+
+
+def test_report_mentions_scale(report):
+    assert "scale `test`" in report

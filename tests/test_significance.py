@@ -1,0 +1,75 @@
+"""Unit tests for the paired bootstrap significance test."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import (BootstrapComparison, compare_models,
+                             paired_bootstrap)
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        ranks_a = RNG(0).integers(1, 5, size=200)     # strong model
+        ranks_b = RNG(1).integers(20, 100, size=200)  # weak model
+        result = paired_bootstrap(ranks_a, ranks_b, metric="MedR",
+                                  num_samples=500)
+        assert result.p_value < 0.01
+        assert result.significant
+        assert result.value_a < result.value_b
+
+    def test_identical_models_not_significant(self):
+        ranks = RNG(2).integers(1, 50, size=100)
+        result = paired_bootstrap(ranks, ranks, metric="MedR",
+                                  num_samples=300)
+        assert not result.significant
+        assert result.p_value == 1.0
+
+    def test_recall_metric_direction(self):
+        ranks_a = np.ones(100, dtype=int)        # R@1 = 100
+        ranks_b = np.full(100, 50, dtype=int)    # R@1 = 0
+        result = paired_bootstrap(ranks_a, ranks_b, metric="R@1",
+                                  num_samples=300)
+        assert result.value_a == 100.0
+        assert result.value_b == 0.0
+        assert result.significant
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(5), np.ones(6))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(5), np.ones(5), num_samples=10)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(5), np.ones(5), metric="NDCG",
+                             num_samples=100)
+
+    def test_deterministic_under_seed(self):
+        a = RNG(3).integers(1, 30, size=80)
+        b = RNG(4).integers(1, 30, size=80)
+        r1 = paired_bootstrap(a, b, num_samples=200, seed=7)
+        r2 = paired_bootstrap(a, b, num_samples=200, seed=7)
+        assert r1.p_value == r2.p_value
+
+
+class TestCompareModels:
+    def test_perfect_vs_random(self):
+        rng = RNG(5)
+        n, d = 80, 16
+        base = rng.normal(size=(n, d))
+        result = compare_models(base, base,                    # perfect
+                                rng.normal(size=(n, d)),       # random
+                                rng.normal(size=(n, d)),
+                                metric="MedR", num_samples=300)
+        assert result.value_a == 1.0
+        assert result.significant
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            compare_models(np.zeros((4, 2)), np.zeros((4, 2)),
+                           np.zeros((5, 2)), np.zeros((5, 2)))

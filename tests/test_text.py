@@ -1,0 +1,190 @@
+"""Unit tests for the text substrate (tokenizer, vocab, word2vec, skip-thought)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (PAD_TOKEN, UNK_TOKEN, SkipThoughtLite, Vocabulary,
+                        Word2Vec, split_sentences, tokenize)
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Mix the Flour!") == ["mix", "the", "flour"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("bake at 375 degrees") == ["bake", "at", "375",
+                                                   "degrees"]
+
+    def test_apostrophes(self):
+        assert tokenize("grandma's pie") == ["grandma's", "pie"]
+
+    def test_empty(self):
+        assert tokenize("  ,.!  ") == []
+
+    def test_split_sentences(self):
+        text = "Chop the onion. Fry until golden! Serve warm."
+        assert split_sentences(text) == [
+            "Chop the onion.", "Fry until golden!", "Serve warm."]
+
+    def test_split_sentences_single(self):
+        assert split_sentences("Enjoy!") == ["Enjoy!"]
+
+
+class TestVocabulary:
+    def test_reserved_tokens(self):
+        vocab = Vocabulary()
+        assert vocab[PAD_TOKEN] == 0
+        assert vocab[UNK_TOKEN] == 1
+
+    def test_add_and_lookup(self):
+        vocab = Vocabulary(["salt", "pepper"])
+        assert vocab["salt"] == 2
+        assert "pepper" in vocab
+        assert len(vocab) == 4
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["salt"])
+        assert vocab.encode(["salt", "saffron"]) == [2, 1]
+
+    def test_decode_roundtrip(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        ids = vocab.encode(["c", "a"])
+        assert vocab.decode(ids) == ["c", "a"]
+
+    def test_from_corpus_frequency_order(self):
+        docs = [["x", "y", "y"], ["y", "z"]]
+        vocab = Vocabulary.from_corpus(docs)
+        assert vocab["y"] == 2  # most frequent gets smallest id
+
+    def test_from_corpus_min_count(self):
+        vocab = Vocabulary.from_corpus([["rare", "common", "common"]],
+                                       min_count=2)
+        assert "rare" not in vocab
+        assert "common" in vocab
+
+    def test_from_corpus_max_size(self):
+        docs = [[f"t{i}" for i in range(10)]]
+        vocab = Vocabulary.from_corpus(docs, max_size=5)
+        assert len(vocab) == 5
+
+    def test_encode_padded(self):
+        vocab = Vocabulary(["a", "b"])
+        out = vocab.encode_padded(["a", "b"], 4)
+        np.testing.assert_array_equal(out, [2, 3, 0, 0])
+
+    def test_encode_padded_truncates(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        out = vocab.encode_padded(["a", "b", "c"], 2)
+        np.testing.assert_array_equal(out, [2, 3])
+
+
+@pytest.fixture(scope="module")
+def cooccurrence_corpus():
+    """Corpus where {sugar, flour, butter} and {tomato, garlic, basil}
+    co-occur within their groups but never across."""
+    rng = np.random.default_rng(0)
+    sweet = ["sugar", "flour", "butter", "eggs"]
+    savory = ["tomato", "garlic", "basil", "onion"]
+    docs = []
+    for __ in range(120):
+        group = sweet if rng.random() < 0.5 else savory
+        docs.append(list(rng.permutation(group))[:3])
+    return docs
+
+
+class TestWord2Vec:
+    def test_learns_cooccurrence_structure(self, cooccurrence_corpus):
+        vocab = Vocabulary.from_corpus(cooccurrence_corpus)
+        model = Word2Vec(vocab, dim=12, seed=0).fit(cooccurrence_corpus,
+                                                    epochs=8)
+        within = model.similarity("sugar", "flour")
+        across = model.similarity("sugar", "tomato")
+        assert within > across
+
+    def test_most_similar_prefers_same_group(self, cooccurrence_corpus):
+        vocab = Vocabulary.from_corpus(cooccurrence_corpus)
+        model = Word2Vec(vocab, dim=12, seed=1).fit(cooccurrence_corpus,
+                                                    epochs=8)
+        neighbours = [name for name, __ in model.most_similar("garlic", k=3)]
+        savory = {"tomato", "basil", "onion"}
+        assert len(savory.intersection(neighbours)) >= 2
+
+    def test_vectors_pad_row_zero(self, cooccurrence_corpus):
+        vocab = Vocabulary.from_corpus(cooccurrence_corpus)
+        model = Word2Vec(vocab, dim=8, seed=0).fit(cooccurrence_corpus,
+                                                   epochs=1)
+        np.testing.assert_allclose(model.vectors()[0], np.zeros(8))
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            Word2Vec(Vocabulary(["a"]), dim=4).fit([])
+
+    def test_vector_shape(self, cooccurrence_corpus):
+        vocab = Vocabulary.from_corpus(cooccurrence_corpus)
+        model = Word2Vec(vocab, dim=6, seed=0).fit(cooccurrence_corpus,
+                                                   epochs=1)
+        assert model.vectors().shape == (len(vocab), 6)
+
+
+class TestSkipThoughtLite:
+    @pytest.fixture(scope="class")
+    def encoder(self):
+        docs = [
+            ["Chop the onion.", "Fry the onion.", "Serve the onion warm."],
+            ["Mix sugar and flour.", "Bake the sugar mixture.",
+             "Cool the cake."],
+            ["Boil the pasta.", "Drain the pasta.", "Add sauce to pasta."],
+        ] * 10
+        sentences = [s for doc in docs for s in doc]
+        tokenized = [tokenize(s) for s in sentences]
+        vocab = Vocabulary.from_corpus(tokenized)
+        w2v = Word2Vec(vocab, dim=12, seed=0).fit(tokenized, epochs=3)
+        return SkipThoughtLite(vocab, w2v.vectors(), dim=10,
+                               seed=0).fit(docs, epochs=2)
+
+    def test_encode_unit_norm(self, encoder):
+        vec = encoder.encode("Chop the onion.")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_encode_deterministic(self, encoder):
+        a = encoder.encode("Mix sugar and flour.")
+        b = encoder.encode("Mix sugar and flour.")
+        np.testing.assert_allclose(a, b)
+
+    def test_encode_many_shape(self, encoder):
+        out = encoder.encode_many(["Boil the pasta.", "Drain the pasta."])
+        assert out.shape == (2, 10)
+
+    def test_encode_many_empty(self, encoder):
+        assert encoder.encode_many([]).shape == (0, 10)
+
+    def test_related_sentences_closer_than_unrelated(self, encoder):
+        onion_a = encoder.encode("Chop the onion.")
+        onion_b = encoder.encode("Fry the onion.")
+        cake = encoder.encode("Bake the sugar mixture.")
+        assert onion_a @ onion_b > onion_a @ cake
+
+    def test_unknown_words_give_finite_vector(self, encoder):
+        vec = encoder.encode("xylophone quux")
+        assert np.isfinite(vec).all()
+
+    def test_mismatched_table_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(ValueError):
+            SkipThoughtLite(vocab, np.zeros((99, 4)))
+
+    def test_fit_too_small_raises(self):
+        vocab = Vocabulary(["a"])
+        enc = SkipThoughtLite(vocab, np.zeros((3, 4)), dim=4)
+        with pytest.raises(ValueError):
+            enc.fit([["one sentence."]])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["mix", "bake", "stir", "chop", "385"]),
+                min_size=0, max_size=6))
+def test_property_vocab_encode_decode_identity(tokens):
+    vocab = Vocabulary(["mix", "bake", "stir", "chop", "385"])
+    assert vocab.decode(vocab.encode(tokens)) == tokens

@@ -1,0 +1,191 @@
+"""Unit tests for the vision substrate."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.vision import (Augmenter, HistogramEncoder, MiniResNet, MLPEncoder,
+                          additive_noise, brightness_jitter,
+                          build_image_encoder, color_statistics,
+                          flip_horizontal, pretrain_backbone, random_crop)
+from repro.vision.resnet import BatchNorm2d, ResidualBlock
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestBatchNorm2d:
+    def test_normalizes_channels(self):
+        bn = BatchNorm2d(3)
+        x = RNG(0).normal(5.0, 2.0, size=(8, 3, 4, 4))
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3),
+                                   atol=1e-8)
+
+    def test_gradients_flow(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(RNG(1).normal(size=(4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestResidualBlock:
+    def test_preserves_shape(self):
+        block = ResidualBlock(4, RNG())
+        x = Tensor(RNG(2).normal(size=(2, 4, 6, 6)))
+        assert block(x).shape == (2, 4, 6, 6)
+
+    def test_skip_connection_active(self):
+        """With zeroed convolutions the block must be ReLU(identity)."""
+        block = ResidualBlock(2, RNG())
+        block.conv1.weight.data[:] = 0
+        block.conv2.weight.data[:] = 0
+        x_data = np.abs(RNG(3).normal(size=(1, 2, 4, 4))) + 0.1
+        block.eval()
+        # running stats are (0 mean, 1 var) at init -> bn(0)=0
+        out = block(Tensor(x_data))
+        np.testing.assert_allclose(out.data, x_data, atol=1e-6)
+
+
+class TestMiniResNet:
+    def test_output_shape(self):
+        net = MiniResNet(RNG(), widths=(4, 8, 16), image_size=16)
+        out = net(Tensor(RNG(4).normal(size=(3, 3, 16, 16))))
+        assert out.shape == (3, 16)
+        assert net.feature_dim == 16
+
+    def test_indivisible_image_size_raises(self):
+        with pytest.raises(ValueError):
+            MiniResNet(RNG(), widths=(4, 8, 16), image_size=18)
+
+    def test_freeze_blocks_training(self):
+        net = MiniResNet(RNG(), widths=(4, 8), image_size=8)
+        net.eval()
+        net.freeze()
+        net(Tensor(RNG(5).normal(size=(2, 3, 8, 8)))).sum().backward()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_distinguishes_color(self):
+        """Mean-pooled features must differ between color-dominant images."""
+        net = MiniResNet(RNG(), widths=(4, 8), image_size=8)
+        net.eval()
+        red = np.zeros((1, 3, 8, 8)); red[:, 0] = 1.0
+        green = np.zeros((1, 3, 8, 8)); green[:, 1] = 1.0
+        fr = net(Tensor(red)).data
+        fg = net(Tensor(green)).data
+        assert not np.allclose(fr, fg)
+
+
+class TestMLPEncoder:
+    def test_output_shape(self):
+        enc = MLPEncoder(RNG(), image_size=12, feature_dim=20)
+        out = enc(Tensor(RNG(6).normal(size=(5, 3, 12, 12))))
+        assert out.shape == (5, 20)
+        assert enc.feature_dim == 20
+
+    def test_factory(self):
+        assert isinstance(build_image_encoder("mlp", RNG(), 12), MLPEncoder)
+        assert isinstance(build_image_encoder("resnet", RNG(), 16),
+                          MiniResNet)
+        assert isinstance(build_image_encoder("hist", RNG(), 12),
+                          HistogramEncoder)
+        with pytest.raises(ValueError):
+            build_image_encoder("vit", RNG(), 16)
+
+
+class TestHistogramEncoder:
+    def test_output_shape(self):
+        enc = HistogramEncoder(RNG(), image_size=12, feature_dim=20)
+        from repro.autograd import Tensor
+        out = enc(Tensor(RNG(1).uniform(size=(5, 3, 12, 12))))
+        assert out.shape == (5, 20)
+
+    def test_histogram_is_position_invariant(self):
+        enc = HistogramEncoder(RNG(), image_size=8)
+        image = np.zeros((1, 3, 8, 8))
+        image[0, 0, 0, 0] = 0.9  # one red pixel, top-left
+        shifted = np.zeros((1, 3, 8, 8))
+        shifted[0, 0, 7, 7] = 0.9  # same pixel, bottom-right
+        hist_a = enc.extract(image)[0, 6:6 + 64]
+        hist_b = enc.extract(shifted)[0, 6:6 + 64]
+        np.testing.assert_allclose(hist_a, hist_b)
+
+    def test_histogram_detects_ingredient_color(self):
+        enc = HistogramEncoder(RNG(), image_size=8)
+        plain = np.full((1, 3, 8, 8), 0.5)
+        with_red = plain.copy()
+        with_red[0, 0, 2:5, 2:5] = 0.95  # a red blob
+        assert not np.allclose(enc.extract(plain), enc.extract(with_red))
+
+    def test_histogram_sums_to_one(self):
+        enc = HistogramEncoder(RNG(), image_size=8)
+        features = enc.extract(RNG(2).uniform(size=(3, 3, 8, 8)))
+        hist = features[:, 6:6 + 64] / 4.0  # undo the scale factor
+        np.testing.assert_allclose(hist.sum(axis=1), np.ones(3))
+
+    def test_no_gradient_to_images(self):
+        from repro.autograd import Tensor
+        enc = HistogramEncoder(RNG(), image_size=8)
+        images = Tensor(RNG(3).uniform(size=(2, 3, 8, 8)),
+                        requires_grad=True)
+        enc(images).sum().backward()
+        assert images.grad is None  # frozen feature extractor
+
+    def test_indivisible_grid_raises(self):
+        with pytest.raises(ValueError):
+            HistogramEncoder(RNG(), image_size=10, grid=4)
+
+
+class TestTransforms:
+    @pytest.fixture
+    def images(self):
+        return RNG(7).uniform(0, 1, size=(4, 3, 8, 8))
+
+    def test_flip_is_involution(self, images):
+        np.testing.assert_allclose(flip_horizontal(flip_horizontal(images)),
+                                   images)
+
+    def test_flip_does_not_mutate(self, images):
+        copy = images.copy()
+        flip_horizontal(images)
+        np.testing.assert_allclose(images, copy)
+
+    def test_brightness_stays_in_range(self, images):
+        out = brightness_jitter(images, RNG(8), strength=0.5)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_noise_changes_pixels(self, images):
+        out = additive_noise(images, RNG(9), sigma=0.05)
+        assert not np.allclose(out, images)
+
+    def test_random_crop_shape(self, images):
+        out = random_crop(images, RNG(10), pad=2)
+        assert out.shape == images.shape
+
+    def test_augmenter_shape_and_range(self, images):
+        aug = Augmenter(RNG(11))
+        out = aug(images)
+        assert out.shape == images.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_augmenter_disabled_is_identity(self, images):
+        aug = Augmenter(RNG(12), flip_prob=0.0, brightness=0.0,
+                        noise_sigma=0.0, crop_pad=0)
+        np.testing.assert_allclose(aug(images), images)
+
+
+class TestPretrain:
+    def test_color_statistics_shape(self):
+        stats = color_statistics(RNG(13).uniform(size=(5, 3, 8, 8)))
+        assert stats.shape == (5, 6)
+
+    def test_pretrain_reduces_loss(self):
+        rng = RNG(14)
+        # images with strongly varying color statistics
+        images = np.zeros((48, 3, 8, 8))
+        for i in range(48):
+            images[i] = rng.dirichlet([1, 1, 1])[:, None, None]
+        net = MiniResNet(RNG(15), widths=(4, 8), image_size=8)
+        losses = pretrain_backbone(net, images, epochs=4, batch_size=12,
+                                   lr=5e-3)
+        assert losses[-1] < losses[0]
