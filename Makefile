@@ -1,0 +1,16 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test faults bench quicktest
+
+test:            ## full tier-1 suite (RuntimeWarnings are errors)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+faults:          ## fault-injection recovery suite only
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m faults
+
+quicktest:       ## everything except the fault harness
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m "not faults"
+
+bench:           ## regenerate all paper tables/figures
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

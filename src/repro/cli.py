@@ -47,6 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--backbone", default="hist",
                        choices=("hist", "mlp", "resnet"))
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="write atomic checkpoints here every "
+                            "--checkpoint-every epochs")
+    train.add_argument("--checkpoint-every", type=int, default=1,
+                       help="epochs between checkpoints (default 1)")
+    train.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume from a checkpoint file or directory "
+                            "(picks the latest loadable checkpoint)")
+    train.add_argument("--quarantine", action="store_true",
+                       help="skip + report corrupt corpus records instead "
+                            "of aborting the import")
 
     evaluate = commands.add_parser("evaluate",
                                    help="evaluate a trained scenario")
@@ -64,10 +75,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_dataset(path: str):
+def _load_dataset(path: str, quarantine: bool = False):
     from .data import import_recipe1m
+    from .robustness import QuarantineReport
 
-    return import_recipe1m(path)
+    if not quarantine:
+        return import_recipe1m(path)
+    report = QuarantineReport()
+    dataset = import_recipe1m(path, quarantine=report)
+    if report:
+        print(report.summary())
+    return dataset
 
 
 def _load_run(model_dir: str, dataset):
@@ -108,7 +126,7 @@ def _command_train(args) -> int:
     from .core import Trainer, TrainingConfig, build_scenario
     from .data import RecipeFeaturizer
 
-    dataset = _load_dataset(args.data)
+    dataset = _load_dataset(args.data, quarantine=args.quarantine)
     featurizer = RecipeFeaturizer().fit(dataset)
     train = featurizer.encode_split(dataset, "train")
     val = featurizer.encode_split(dataset, "val")
@@ -117,16 +135,24 @@ def _command_train(args) -> int:
         epochs=args.epochs, freeze_epochs=0, batch_size=args.batch_size,
         learning_rate=args.learning_rate, lambda_sem=args.lambda_sem,
         augment=False, eval_bag_size=min(200, len(val)), eval_num_bags=2,
-        seed=args.seed)
+        seed=args.seed, checkpoint_every=args.checkpoint_every)
     model, config = build_scenario(
         args.scenario, featurizer, len(dataset.taxonomy), image_size,
         base_config=config, latent_dim=args.latent_dim,
         backbone=args.backbone, seed=args.seed)
     trainer = Trainer(model, config,
                       class_to_group=dataset.taxonomy.class_to_group_ids())
-    for stats in trainer.fit(train, val):
+    if args.resume:
+        history = trainer.resume(args.resume, train, val,
+                                 checkpoint_dir=args.checkpoint_dir)
+    else:
+        history = trainer.fit(train, val,
+                              checkpoint_dir=args.checkpoint_dir)
+    for stats in history:
         print(f"epoch {stats.epoch:3d}  loss {stats.train_loss:.4f}  "
               f"val MedR {stats.val_medr:.1f}")
+    if trainer.health.skipped or trainer.health.rollbacks:
+        print(trainer.health.summary())
 
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)

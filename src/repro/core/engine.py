@@ -24,6 +24,7 @@ from ..data.dataset import RecipeDataset
 from ..data.encoding import EncodedCorpus, RecipeFeaturizer
 from ..data.schema import Recipe
 from ..retrieval import NearestNeighborIndex
+from ..robustness.quarantine import validate_image
 from .model import JointEmbeddingModel
 
 __all__ = ["SearchResult", "RecipeSearchEngine"]
@@ -77,6 +78,10 @@ class RecipeSearchEngine:
     # ------------------------------------------------------------------
     def embed_recipe(self, recipe: Recipe) -> np.ndarray:
         """Embed one recipe's text into the latent space."""
+        if not recipe.ingredients and not recipe.instructions:
+            raise ValueError(
+                f"recipe {recipe.recipe_id} has neither ingredients nor "
+                f"instructions — nothing to embed")
         ids, n_ing, vectors, n_sent = self.featurizer.encode_recipe(recipe)
         with no_grad():
             out = self.model.embed_recipes(
@@ -86,10 +91,10 @@ class RecipeSearchEngine:
 
     def embed_image(self, image: np.ndarray) -> np.ndarray:
         """Embed one (3, S, S) image into the latent space."""
+        reason = validate_image(image)
+        if reason is not None:
+            raise ValueError(f"query image rejected: {reason}")
         image = np.asarray(image, dtype=np.float64)
-        if image.ndim != 3:
-            raise ValueError(f"expected one (3, S, S) image, got "
-                             f"{image.shape}")
         with no_grad():
             out = self.model.embed_images(image[None])
         return out.data[0]
@@ -100,11 +105,14 @@ class RecipeSearchEngine:
         The instruction slot is filled with the corpus' mean instruction
         embedding, as in §5.3.
         """
+        if not ingredients:
+            raise ValueError("cannot embed an empty ingredient list")
         known = [name for name in ingredients
                  if name.replace(" ", "_") in self.featurizer.ingredient_vocab]
         if not known:
-            raise ValueError("none of the ingredients are in the trained "
-                             "vocabulary")
+            raise ValueError(
+                f"none of the query ingredients {list(ingredients)!r} are "
+                f"in the trained vocabulary")
         tokens = [name.replace(" ", "_") for name in known]
         ids = self.featurizer.ingredient_vocab.encode_padded(
             tokens, self.featurizer.max_ingredients)
@@ -175,4 +183,10 @@ class RecipeSearchEngine:
     def _resolve_class(self, class_name: str | None) -> int | None:
         if class_name is None:
             return None
-        return self.dataset.taxonomy[class_name].class_id
+        try:
+            return self.dataset.taxonomy[class_name].class_id
+        except KeyError:
+            names = sorted(c.name for c in self.dataset.taxonomy.classes)
+            raise ValueError(
+                f"unknown class {class_name!r}; valid classes: {names}"
+            ) from None

@@ -4,6 +4,20 @@ Reproduces the paper's schedule (§4.4): Adam at lr 1e-4, mini-batches
 with the 50/50 labeled/unlabeled composition, the vision backbone
 frozen for an initial phase then fine-tuned, and model selection by
 the best validation MedR at the end of each epoch.
+
+The loop is fault tolerant (:mod:`repro.robustness`):
+
+* with a ``checkpoint_dir``, :meth:`Trainer.fit` writes an atomic
+  checkpoint every ``config.checkpoint_every`` epochs, and
+  :meth:`Trainer.resume` continues an interrupted run
+  bitwise-deterministically (model, optimizer moments, every RNG
+  state, history, and the best-model snapshot are all restored);
+* a :class:`~repro.robustness.HealthMonitor` clips gradients by global
+  norm and *skips* batches with non-finite losses/gradients or loss
+  spikes, within a configurable skip budget;
+* parameters that still go non-finite (e.g. injected corruption) are
+  *rolled back* to the last good checkpointed state instead of
+  poisoning the rest of the schedule.
 """
 
 from __future__ import annotations
@@ -16,6 +30,10 @@ from ..data.batching import PairBatcher
 from ..data.encoding import EncodedCorpus
 from ..optim import Adam, TwoPhaseSchedule
 from ..retrieval import RetrievalProtocol
+from ..robustness import (CheckpointError, CheckpointManager,
+                          CheckpointState, FaultInjector, HealthMonitor,
+                          NumericalHealthError)
+from ..robustness.checkpoint import epoch_stats_to_dict
 from ..vision import Augmenter
 from .losses import (classification_loss, instance_triplet_loss,
                      pairwise_loss, semantic_triplet_loss)
@@ -31,6 +49,12 @@ class TrainingConfig:
     The defaults mirror the paper where scale allows: margin α = 0.3,
     semantic weight λ = 0.3, Adam lr 1e-4 (scaled up for the much
     smaller CPU models), adaptive mining, bidirectional triplets.
+
+    The robustness knobs (``max_grad_norm``, ``loss_spike_factor``,
+    ``skip_budget``, ``checkpoint_every``) feed the
+    :class:`~repro.robustness.HealthMonitor` and checkpoint cadence;
+    set ``max_grad_norm``/``loss_spike_factor`` to 0 to disable the
+    corresponding guard.
     """
 
     epochs: int = 12
@@ -57,6 +81,12 @@ class TrainingConfig:
     eval_bag_size: int = 500
     eval_num_bags: int = 3
     seed: int = 0
+    # --- robustness ---------------------------------------------------
+    max_grad_norm: float = 100.0        # 0 disables clipping
+    loss_spike_factor: float = 25.0     # 0 disables spike detection
+    skip_budget: int = 8
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 3
 
     def __post_init__(self):
         if self.objective not in ("triplet", "pairwise"):
@@ -66,6 +96,24 @@ class TrainingConfig:
             raise ValueError("triplet objective needs at least one loss")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.batch_size < 2:
+            raise ValueError(
+                f"batch_size must be at least 2, got {self.batch_size}")
+        # freeze_epochs > epochs is allowed (the backbone simply never
+        # unfreezes within this run), but negative values are nonsense.
+        if self.freeze_epochs < 0:
+            raise ValueError(
+                f"freeze_epochs must be >= 0, got {self.freeze_epochs}")
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}")
+        if self.max_grad_norm < 0 or self.loss_spike_factor < 0:
+            raise ValueError("max_grad_norm and loss_spike_factor must be "
+                             ">= 0 (0 disables the guard)")
+        if self.skip_budget < 0:
+            raise ValueError("skip_budget must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass
@@ -78,13 +126,25 @@ class EpochStats:
     instance_active_fraction: float = 0.0
     semantic_active_fraction: float = 0.0
     backbone_frozen: bool = True
+    skipped_batches: int = 0
 
 
 class Trainer:
-    """Train a :class:`JointEmbeddingModel` on an encoded corpus."""
+    """Train a :class:`JointEmbeddingModel` on an encoded corpus.
+
+    Parameters
+    ----------
+    model, config, class_to_group:
+        As before (``class_to_group`` only for the hierarchical loss).
+    fault_injector:
+        Optional :class:`~repro.robustness.FaultInjector` whose hooks
+        fire inside the loop — used by the fault-injection test
+        harness, never in normal training.
+    """
 
     def __init__(self, model: JointEmbeddingModel, config: TrainingConfig,
-                 class_to_group: np.ndarray | None = None):
+                 class_to_group: np.ndarray | None = None,
+                 fault_injector: FaultInjector | None = None):
         if config.use_hierarchical and class_to_group is None:
             raise ValueError("hierarchical loss requires a class_to_group "
                              "mapping (taxonomy.class_to_group_ids())")
@@ -95,34 +155,168 @@ class Trainer:
         self.history: list[EpochStats] = []
         self.best_val_medr: float = float("inf")
         self._best_state = None
+        self.health = HealthMonitor(
+            max_grad_norm=config.max_grad_norm,
+            spike_factor=config.loss_spike_factor,
+            skip_budget=config.skip_budget)
+        self.fault_injector = fault_injector or FaultInjector()
+        self._global_step = 0
+        # Loop machinery, built by _setup(); kept on self so resume()
+        # can restore into it.
+        self._batcher: PairBatcher | None = None
+        self._optimizer: Adam | None = None
+        self._augmenter: Augmenter | None = None
+        self._schedule: TwoPhaseSchedule | None = None
+        self._manager: CheckpointManager | None = None
+        # Last known-good (model, optimizer) snapshot for rollback.
+        self._last_good: tuple[dict, dict] | None = None
 
     # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
     def fit(self, train_corpus: EncodedCorpus,
-            val_corpus: EncodedCorpus | None = None) -> list[EpochStats]:
+            val_corpus: EncodedCorpus | None = None,
+            checkpoint_dir=None) -> list[EpochStats]:
         """Run the full schedule; returns per-epoch statistics.
 
         With ``select_best`` (default), the model ends loaded with the
         parameters of its best validation-MedR epoch, mirroring the
-        paper's model selection.
+        paper's model selection. With ``checkpoint_dir``, an atomic
+        checkpoint is written every ``config.checkpoint_every`` epochs.
         """
-        config = self.config
-        batcher = PairBatcher(train_corpus, batch_size=config.batch_size,
-                              seed=config.seed,
-                              stratify=config.stratify_batches)
-        schedule = TwoPhaseSchedule(self.model.image_branch.backbone,
-                                    config.freeze_epochs, config.epochs)
-        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
-        augmenter = (Augmenter(np.random.default_rng(config.seed + 1))
-                     if config.augment else None)
+        self._setup(train_corpus, checkpoint_dir)
+        self._snapshot_last_good()
+        return self._run(train_corpus, val_corpus, start_epoch=0)
 
-        for epoch in range(config.epochs):
-            schedule.on_epoch_start(epoch)
+    def resume(self, source, train_corpus: EncodedCorpus,
+               val_corpus: EncodedCorpus | None = None,
+               checkpoint_dir=None) -> list[EpochStats]:
+        """Continue an interrupted run from a checkpoint.
+
+        ``source`` is either a checkpoint file or a checkpoint
+        directory (the most recent *loadable* checkpoint is used, so a
+        file truncated by a crash mid-write falls back to the previous
+        good epoch). The remaining epochs reproduce an uninterrupted
+        run with the same seed bitwise: model parameters, Adam moments,
+        all RNG streams, the epoch history and the best-model snapshot
+        are restored exactly.
+
+        New checkpoints keep being written to ``checkpoint_dir``
+        (default: the directory the run is resumed from).
+        """
+        import pathlib
+
+        source = pathlib.Path(source)
+        if source.is_dir():
+            manager = CheckpointManager(source,
+                                        keep=self.config.keep_checkpoints)
+            state = manager.load_latest()
+            if state is None:
+                raise CheckpointError(
+                    f"no loadable checkpoint under {source}")
+        else:
+            state = CheckpointManager(
+                source.parent, keep=self.config.keep_checkpoints).load(source)
+
+        if checkpoint_dir is None:
+            checkpoint_dir = source if source.is_dir() else source.parent
+        self._setup(train_corpus, checkpoint_dir)
+        self._restore(state)
+        self._snapshot_last_good()
+        return self._run(train_corpus, val_corpus,
+                         start_epoch=state.epoch + 1)
+
+    # ------------------------------------------------------------------
+    # Setup / restore
+    # ------------------------------------------------------------------
+    def _setup(self, train_corpus: EncodedCorpus, checkpoint_dir) -> None:
+        config = self.config
+        if len(train_corpus) == 0:
+            raise ValueError("training corpus is empty")
+        self._batcher = PairBatcher(train_corpus,
+                                    batch_size=config.batch_size,
+                                    seed=config.seed,
+                                    stratify=config.stratify_batches)
+        self._schedule = TwoPhaseSchedule(self.model.image_branch.backbone,
+                                          config.freeze_epochs,
+                                          config.epochs)
+        self._optimizer = Adam(self.model.parameters(),
+                               lr=config.learning_rate)
+        self._augmenter = (Augmenter(np.random.default_rng(config.seed + 1))
+                           if config.augment else None)
+        self._manager = (CheckpointManager(checkpoint_dir,
+                                           keep=config.keep_checkpoints)
+                         if checkpoint_dir is not None else None)
+
+    def _restore(self, state: CheckpointState) -> None:
+        """Load a :class:`CheckpointState` into the live loop objects."""
+        self.model.load_state_dict(state.model_state)
+        self._optimizer.load_state_dict(state.optimizer_state)
+        rng = state.rng_states
+        self._rng.bit_generator.state = rng["trainer"]
+        self._batcher._rng.bit_generator.state = rng["batcher"]
+        if self._augmenter is not None and rng.get("augmenter") is not None:
+            self._augmenter.rng.bit_generator.state = rng["augmenter"]
+        self.history = [EpochStats(**stats) for stats in state.history]
+        self.best_val_medr = state.best_val_medr
+        self._best_state = ({name: np.array(values, dtype=np.float64)
+                             for name, values in state.best_state.items()}
+                            if state.best_state is not None else None)
+        self._global_step = int(state.extra.get(
+            "global_step",
+            (state.epoch + 1) * self._batcher.batches_per_epoch))
+        health = state.extra.get("health")
+        if health:
+            self.health.skipped = int(health["skipped"])
+            self.health.rollbacks = int(health["rollbacks"])
+            self.health._loss_mean = float(health["loss_mean"])
+            self.health._loss_count = int(health["loss_count"])
+
+    def _snapshot_last_good(self) -> None:
+        """Cache (model, optimizer) for non-finite-parameter rollback."""
+        self._last_good = (self.model.state_dict(),
+                           self._optimizer.state_dict())
+
+    def _checkpoint_state(self, epoch: int) -> CheckpointState:
+        rng_states = {
+            "trainer": self._rng.bit_generator.state,
+            "batcher": self._batcher._rng.bit_generator.state,
+            "augmenter": (self._augmenter.rng.bit_generator.state
+                          if self._augmenter is not None else None),
+        }
+        return CheckpointState(
+            epoch=epoch,
+            model_state=dict(self.model.state_dict()),
+            optimizer_state=self._optimizer.state_dict(),
+            rng_states=rng_states,
+            history=[epoch_stats_to_dict(stats) for stats in self.history],
+            best_val_medr=self.best_val_medr,
+            best_state=self._best_state,
+            extra={"global_step": self._global_step,
+                   "health": {"skipped": self.health.skipped,
+                              "rollbacks": self.health.rollbacks,
+                              "loss_mean": self.health._loss_mean,
+                              "loss_count": self.health._loss_count}},
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch loop
+    # ------------------------------------------------------------------
+    def _run(self, train_corpus: EncodedCorpus,
+             val_corpus: EncodedCorpus | None,
+             start_epoch: int) -> list[EpochStats]:
+        config = self.config
+        for epoch in range(start_epoch, config.epochs):
+            self._schedule.on_epoch_start(epoch)
             self.model.train()
-            epoch_loss, n_batches = 0.0, 0
+            epoch_loss, n_batches, n_skipped = 0.0, 0, 0
             ins_active, sem_active = [], []
-            for rows in batcher.epoch():
-                loss, stats = self._train_step(train_corpus, rows,
-                                               optimizer, augmenter)
+            for rows in self._batcher.epoch():
+                outcome = self._train_step(train_corpus, rows)
+                if outcome is None:
+                    n_skipped += 1
+                    continue
+                loss, stats = outcome
                 epoch_loss += loss
                 n_batches += 1
                 if "ins_active" in stats:
@@ -140,26 +334,42 @@ class Trainer:
                 if ins_active else 0.0,
                 semantic_active_fraction=float(np.mean(sem_active))
                 if sem_active else 0.0,
-                backbone_frozen=schedule.backbone_frozen,
+                backbone_frozen=self._schedule.backbone_frozen,
+                skipped_batches=n_skipped,
             ))
             if (config.select_best and val_corpus is not None
                     and val_medr < self.best_val_medr):
                 self.best_val_medr = val_medr
-                self._best_state = self.model.state_dict()
+                # Deep-copy: later epochs keep training these same
+                # parameter arrays, and the restored "best" model must
+                # not drift with them.
+                self._best_state = {
+                    name: np.array(values, dtype=np.float64, copy=True)
+                    for name, values in self.model.state_dict().items()}
+
+            if self._manager is not None and (
+                    (epoch + 1) % config.checkpoint_every == 0
+                    or epoch == config.epochs - 1):
+                self._manager.save(self._checkpoint_state(epoch))
+                self._snapshot_last_good()
+            self.fault_injector.on_epoch_end(epoch)
 
         if config.select_best and self._best_state is not None:
             self.model.load_state_dict(self._best_state)
         return self.history
 
     # ------------------------------------------------------------------
-    def _train_step(self, corpus: EncodedCorpus, rows: np.ndarray,
-                    optimizer: Adam, augmenter: Augmenter | None
-                    ) -> tuple[float, dict]:
+    def _train_step(self, corpus: EncodedCorpus, rows: np.ndarray
+                    ) -> tuple[float, dict] | None:
+        """One optimization step; returns ``None`` for a skipped batch."""
         config = self.config
+        step = self._global_step
+        self._global_step += 1
         images = corpus.images[rows]
-        if augmenter is not None:
-            images = augmenter(images)
+        if self._augmenter is not None:
+            images = self._augmenter(images)
 
+        optimizer = self._optimizer
         optimizer.zero_grad()
         image_emb, recipe_emb = self.model(
             images,
@@ -213,8 +423,34 @@ class Trainer:
             total = total + cls * config.classification_weight
 
         total.backward()
+        self.fault_injector.on_gradients(step, optimizer.params)
+
+        verdict = self.health.inspect_step(total.item(), optimizer.params)
+        if not verdict.healthy:
+            optimizer.zero_grad()
+            return None
+
         optimizer.step()
+        self.fault_injector.on_step_end(step, optimizer.params)
+        if not self.health.params_healthy(optimizer.params):
+            self._rollback(f"non-finite parameters after step {step}")
+            return None
         return total.item(), stats
+
+    def _rollback(self, reason: str) -> None:
+        """Restore the last good (model, optimizer) state.
+
+        Charged against the skip budget like any other unhealthy batch,
+        so a run stuck in a corrupt-rollback loop still hard-fails.
+        """
+        if self._last_good is None:
+            raise NumericalHealthError(
+                f"{reason}, and no known-good state to roll back to")
+        self.health.record_unhealthy(reason)
+        self.health.note_rollback()
+        model_state, optimizer_state = self._last_good
+        self.model.load_state_dict(model_state)
+        self._optimizer.load_state_dict(optimizer_state)
 
     # ------------------------------------------------------------------
     def evaluate_medr(self, corpus: EncodedCorpus) -> float:

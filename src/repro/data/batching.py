@@ -39,6 +39,14 @@ class PairBatcher:
                  seed: int = 0, stratify: bool = True):
         if batch_size < 2:
             raise ValueError("batch_size must be at least 2")
+        if len(corpus) == 0:
+            raise ValueError(
+                "cannot batch an empty corpus — check that the split you "
+                "encoded actually contains recipes")
+        if batch_size > len(corpus):
+            raise ValueError(
+                f"batch_size ({batch_size}) exceeds the corpus size "
+                f"({len(corpus)}); lower batch_size or use a larger split")
         self.corpus = corpus
         self.batch_size = batch_size
         self.stratify = stratify

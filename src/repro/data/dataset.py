@@ -60,6 +60,36 @@ class RecipeDataset:
     def split_indices(self, name: str) -> np.ndarray:
         return self.splits[name]
 
+    def quarantine_corrupt(self, report=None):
+        """Drop corrupt records, returning ``(clean_dataset, report)``.
+
+        Each recipe is validated (non-empty text fields, label inside
+        the taxonomy, finite channel-first image); failures are recorded
+        in the :class:`~repro.robustness.quarantine.QuarantineReport`
+        and removed, with split indices remapped accordingly. When every
+        record is healthy the dataset is returned unchanged (no copy).
+        """
+        from ..robustness.quarantine import QuarantineReport, validate_recipe
+
+        report = report if report is not None else QuarantineReport()
+        keep: list[int] = []
+        for index, recipe in enumerate(self.recipes):
+            reason = validate_recipe(recipe, num_classes=len(self.taxonomy))
+            if reason is None:
+                keep.append(index)
+            else:
+                report.add(recipe.recipe_id, reason)
+        if len(keep) == len(self.recipes):
+            return self, report
+        remap = {old: new for new, old in enumerate(keep)}
+        cleaned = RecipeDataset(
+            [self.recipes[i] for i in keep],
+            {name: np.array([remap[int(i)] for i in rows
+                             if int(i) in remap], dtype=np.int64)
+             for name, rows in self.splits.items()},
+            self.taxonomy, self.lexicon)
+        return cleaned, report
+
     def class_distribution(self, split: str = "train") -> dict[int, int]:
         """Observed label counts over the labeled half of a split."""
         counts = Counter(

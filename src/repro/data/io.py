@@ -28,10 +28,16 @@ def save_ppm(image: np.ndarray, path) -> None:
 
 
 def load_ppm(path) -> np.ndarray:
-    """Read a binary PPM back into a channel-first float array in [0,1]."""
-    data = pathlib.Path(path).read_bytes()
+    """Read a binary PPM back into a channel-first float array in [0,1].
+
+    Truncated or corrupt files raise :class:`ValueError` naming the
+    offending path, so a damaged image on disk is diagnosable instead of
+    surfacing as a cryptic buffer/reshape error deep inside numpy.
+    """
+    path = pathlib.Path(path)
+    data = path.read_bytes()
     if not data.startswith(b"P6"):
-        raise ValueError("not a binary PPM (P6) file")
+        raise ValueError(f"{path}: not a binary PPM (P6) file")
     # header: magic, width, height, maxval — whitespace separated, with
     # possible comment lines.
     fields: list[bytes] = []
@@ -39,6 +45,10 @@ def load_ppm(path) -> np.ndarray:
     while len(fields) < 3:
         while position < len(data) and data[position:position + 1].isspace():
             position += 1
+        if position >= len(data):
+            raise ValueError(
+                f"{path}: truncated PPM header (found {len(fields)} of 3 "
+                f"header fields before end of file)")
         if data[position:position + 1] == b"#":
             while data[position:position + 1] not in (b"\n", b""):
                 position += 1
@@ -47,10 +57,25 @@ def load_ppm(path) -> np.ndarray:
         while position < len(data) and not data[position:position + 1].isspace():
             position += 1
         fields.append(data[start:position])
-    width, height, maxval = (int(f) for f in fields)
+    try:
+        width, height, maxval = (int(f) for f in fields)
+    except ValueError:
+        raise ValueError(
+            f"{path}: malformed PPM header fields "
+            f"{[f.decode('ascii', 'replace') for f in fields]}") from None
+    if width < 1 or height < 1 or maxval < 1:
+        raise ValueError(
+            f"{path}: invalid PPM geometry {width}x{height} "
+            f"(maxval {maxval})")
     position += 1  # single whitespace after maxval
+    expected = width * height * 3
+    available = len(data) - position
+    if available < expected:
+        raise ValueError(
+            f"{path}: truncated pixel data ({available} of {expected} "
+            f"bytes for a {width}x{height} image)")
     pixels = np.frombuffer(data, dtype=np.uint8, offset=position,
-                           count=width * height * 3)
+                           count=expected)
     image = pixels.reshape(height, width, 3).transpose(2, 0, 1)
     return image.astype(np.float64) / maxval
 

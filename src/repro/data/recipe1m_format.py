@@ -18,6 +18,8 @@ import pathlib
 
 import numpy as np
 
+from ..robustness.quarantine import (QuarantineReport, validate_image,
+                                     validate_recipe_entry)
 from .classes import ClassTaxonomy
 from .dataset import RecipeDataset
 from .ingredients import IngredientLexicon
@@ -76,14 +78,22 @@ def export_recipe1m(dataset: RecipeDataset, directory) -> dict[str, str]:
     return paths
 
 
-def import_recipe1m(directory,
-                    taxonomy: ClassTaxonomy | None = None) -> RecipeDataset:
+def import_recipe1m(directory, taxonomy: ClassTaxonomy | None = None,
+                    quarantine: QuarantineReport | None = None
+                    ) -> RecipeDataset:
     """Load a directory written by :func:`export_recipe1m`.
 
     ``taxonomy`` may be supplied to attach a richer taxonomy; otherwise
     a minimal one is rebuilt from ``classes.json`` (procedural
     signatures, which only affects *new* generation, not the loaded
     data).
+
+    ``quarantine`` opts into fault-tolerant loading: records that are
+    malformed (missing fields, empty ingredients, labels outside the
+    taxonomy, unknown partitions, missing/NaN/mis-shaped images) are
+    routed into the report and *skipped* instead of aborting the whole
+    import. Without a report (the default) the first bad record raises,
+    preserving strict behaviour for trusted corpora.
     """
     directory = pathlib.Path(directory)
     with open(directory / "layer1.json") as handle:
@@ -96,12 +106,29 @@ def import_recipe1m(directory,
     with np.load(directory / "images.npz") as archive:
         images = {key: archive[key] for key in archive.files}
 
+    num_classes = len(class_names) or None
     recipes: list[Recipe] = []
     splits: dict[str, list[int]] = {name: [] for name in _PARTITIONS}
-    for index, entry in enumerate(layer1):
-        rid = entry["id"]
-        class_id = assignments.get(rid)
-        recipes.append(Recipe(
+    for position, entry in enumerate(layer1):
+        rid = (entry.get("id", f"<entry {position}>")
+               if isinstance(entry, dict) else f"<entry {position}>")
+        class_id = assignments.get(rid) if isinstance(entry, dict) else None
+        if quarantine is not None:
+            reason = validate_recipe_entry(entry, num_classes=num_classes,
+                                           class_id=class_id)
+            if reason is None and not str(rid).lstrip("r").isdigit():
+                reason = f"id {rid!r} is not of the form r<digits>"
+            if reason is None and rid not in images:
+                reason = "entry has no image"
+            if reason is None:
+                reason = validate_image(images[rid])
+            if reason is None and \
+                    entry.get("partition", "train") not in splits:
+                reason = f"unknown partition {entry['partition']!r}"
+            if reason is not None:
+                quarantine.add(rid, reason)
+                continue
+        recipe = Recipe(
             recipe_id=int(rid.lstrip("r")),
             title=entry["title"],
             class_id=class_id,
@@ -111,11 +138,12 @@ def import_recipe1m(directory,
             ingredients=[i["text"] for i in entry["ingredients"]],
             instructions=[s["text"] for s in entry["instructions"]],
             image=images[rid],
-        ))
+        )
         partition = entry.get("partition", "train")
         if partition not in splits:
             raise ValueError(f"unknown partition {partition!r} for {rid}")
-        splits[partition].append(index)
+        recipes.append(recipe)
+        splits[partition].append(len(recipes) - 1)
 
     if taxonomy is None:
         lexicon = IngredientLexicon()

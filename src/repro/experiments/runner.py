@@ -8,6 +8,7 @@ tables trains every model exactly once).
 
 from __future__ import annotations
 
+import pathlib
 import time
 
 import numpy as np
@@ -18,6 +19,7 @@ from ..core.trainer import Trainer
 from ..data.encoding import RecipeFeaturizer
 from ..data.generator import generate_dataset
 from ..retrieval import ProtocolResult, RetrievalProtocol
+from ..robustness import CheckpointManager
 from .configs import ExperimentScale, get_scale
 
 __all__ = ["ExperimentRunner"]
@@ -27,9 +29,13 @@ class ExperimentRunner:
     """Build the corpus once; train/evaluate scenarios on demand."""
 
     def __init__(self, scale: str | ExperimentScale = "bench",
-                 verbose: bool = False):
+                 verbose: bool = False, checkpoint_dir=None):
         self.scale = get_scale(scale)
         self.verbose = verbose
+        # one sub-directory per scenario, so a killed benchmark session
+        # resumes instead of retraining from scratch
+        self.checkpoint_dir = (pathlib.Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
         self._log(f"generating dataset ({self.scale.dataset.num_pairs} pairs)")
         self.dataset = generate_dataset(self.scale.dataset)
         self.featurizer = RecipeFeaturizer(
@@ -71,7 +77,16 @@ class ExperimentRunner:
             trainer = Trainer(
                 model, config,
                 class_to_group=self.dataset.taxonomy.class_to_group_ids())
-            trainer.fit(self.train_corpus, self.val_corpus)
+            scenario_dir = (self.checkpoint_dir / name
+                            if self.checkpoint_dir is not None else None)
+            if scenario_dir is not None and \
+                    CheckpointManager(scenario_dir).latest() is not None:
+                self._log(f"resuming {name} from {scenario_dir}")
+                trainer.resume(scenario_dir, self.train_corpus,
+                               self.val_corpus)
+            else:
+                trainer.fit(self.train_corpus, self.val_corpus,
+                            checkpoint_dir=scenario_dir)
             self._models[name] = model
             self._trainers[name] = trainer
             self._log(f"{name} trained in {time.time() - started:.1f}s "

@@ -140,7 +140,11 @@ class Module:
                     f"shape mismatch for '{name}': "
                     f"{values.shape} vs {param.data.shape}"
                 )
-            param.data = values.copy()
+            # In-place copy, NOT ``param.data = values.copy()``: rebinding
+            # would hand BLAS a differently-aligned buffer, whose small-GEMM
+            # kernels are alignment-sensitive at the last ulp — enough to
+            # break bitwise-deterministic checkpoint resume.
+            np.copyto(param.data, values)
 
     def save(self, path) -> None:
         """Persist parameters to an ``.npz`` file."""

@@ -30,6 +30,38 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Moments + step count + lr, for checkpoint/resume."""
+        return {"t": self._t, "lr": self.lr,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (validates moment shapes)."""
+        moments_m, moments_v = state["m"], state["v"]
+        if len(moments_m) != len(self.params) or \
+                len(moments_v) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(moments_m)} moment pairs for "
+                f"{len(self.params)} parameters")
+        for i, (m, v) in enumerate(zip(moments_m, moments_v)):
+            m = np.asarray(m, dtype=np.float64)
+            v = np.asarray(v, dtype=np.float64)
+            if m.shape != self._m[i].shape or v.shape != self._v[i].shape:
+                raise ValueError(
+                    f"optimizer moment {i} shape mismatch: "
+                    f"{m.shape}/{v.shape} vs {self._m[i].shape}")
+            # Copy into the existing moment buffers (same rationale as
+            # Module.load_state_dict: rebinding changes buffer alignment
+            # and with it the last ulp of subsequent BLAS results).
+            np.copyto(self._m[i], m)
+            np.copyto(self._v[i], v)
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+
     def step(self) -> None:
         self._t += 1
         correction1 = 1.0 - self.beta1 ** self._t

@@ -1,0 +1,35 @@
+"""Fault tolerance for training and serving.
+
+Four pillars, each with its own module:
+
+* :mod:`~repro.robustness.checkpoint` — atomic, versioned
+  checkpoint/resume for bitwise-deterministic recovery;
+* :mod:`~repro.robustness.health` — NaN/Inf guards, gradient clipping,
+  loss-spike detection, and the skip budget;
+* :mod:`~repro.robustness.quarantine` — corrupt-record validation and
+  reporting for the data pipeline;
+* :mod:`~repro.robustness.faults` — deterministic fault injection so
+  all of the above is testable.
+"""
+
+from .checkpoint import (FORMAT_VERSION, CheckpointError, CheckpointManager,
+                         CheckpointState)
+from .faults import (ChainedFaults, CrashFault, FaultInjector,
+                     NaNGradientFault, ParamCorruptionFault, SimulatedCrash,
+                     corrupt_file, truncate_file)
+from .health import (HealthMonitor, NumericalHealthError, StepVerdict,
+                     clip_grad_norm, global_grad_norm)
+from .quarantine import (QuarantinedRecord, QuarantineReport, validate_image,
+                         validate_recipe, validate_recipe_entry)
+
+__all__ = [
+    "FORMAT_VERSION", "CheckpointError", "CheckpointManager",
+    "CheckpointState",
+    "HealthMonitor", "NumericalHealthError", "StepVerdict",
+    "clip_grad_norm", "global_grad_norm",
+    "QuarantinedRecord", "QuarantineReport",
+    "validate_image", "validate_recipe", "validate_recipe_entry",
+    "FaultInjector", "ChainedFaults", "NaNGradientFault",
+    "ParamCorruptionFault", "CrashFault", "SimulatedCrash",
+    "truncate_file", "corrupt_file",
+]

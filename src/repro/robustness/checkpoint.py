@@ -1,0 +1,253 @@
+"""Atomic, versioned training checkpoints.
+
+A checkpoint captures *everything* the trainer needs to continue a run
+bitwise-deterministically after a crash: model parameters, optimizer
+moments, every RNG state that training consumes, the batcher position,
+the epoch history, and the best-model snapshot used for the paper's
+best-MedR model selection.
+
+Format
+------
+One ``checkpoint-EEEEEE.npz`` file per checkpoint (``E`` = 0-based
+epoch index), written atomically (temp file + fsync + ``os.replace``)
+so a crash mid-write can never corrupt an existing checkpoint — at
+worst it leaves a ``*.tmp`` file that is ignored and cleaned up.
+
+Inside the archive:
+
+* ``__meta__``    — UTF-8 JSON (version, epoch, optimizer scalars, RNG
+  states, serialized history, best MedR);
+* ``model/<name>`` — one array per model parameter;
+* ``best/<name>``  — the best-epoch snapshot (when one exists);
+* ``optim/m/<i>``, ``optim/v/<i>`` — Adam moment estimates, in
+  parameter order.
+
+``FORMAT_VERSION`` is embedded in the metadata; loading a checkpoint
+written by an incompatible future format fails with a clear
+:class:`CheckpointError` instead of silently misrestoring state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import re
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FORMAT_VERSION", "CheckpointError", "CheckpointState",
+           "CheckpointManager"]
+
+FORMAT_VERSION = 1
+
+_FILE_RE = re.compile(r"^checkpoint-(\d{6})\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, or incompatible."""
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to resume a training run.
+
+    The trainer produces/consumes this; the manager only (de)serializes
+    it. ``rng_states`` maps a consumer name (``trainer``, ``batcher``,
+    ``augmenter``) to a ``np.random.Generator`` bit-generator state
+    dict; ``history`` holds per-epoch stat dicts.
+    """
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict  # {"t": int, "lr": float, "m": [...], "v": [...]}
+    rng_states: dict[str, dict]
+    history: list[dict] = field(default_factory=list)
+    best_val_medr: float = float("inf")
+    best_state: dict[str, np.ndarray] | None = None
+    extra: dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+
+class CheckpointManager:
+    """Write/read atomic checkpoints under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first save.
+    keep:
+        How many most-recent checkpoints to retain (older ones are
+        pruned after each successful save). ``None`` keeps everything.
+    """
+
+    def __init__(self, directory, keep: int | None = 3):
+        if keep is not None and keep < 1:
+            raise ValueError("keep must be >= 1 (or None)")
+        self.directory = pathlib.Path(directory)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def path_for_epoch(self, epoch: int) -> pathlib.Path:
+        return self.directory / f"checkpoint-{epoch:06d}.npz"
+
+    def save(self, state: CheckpointState) -> pathlib.Path:
+        """Atomically persist ``state``; returns the final path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        for name, values in state.model_state.items():
+            arrays[f"model/{name}"] = np.asarray(values)
+        if state.best_state is not None:
+            for name, values in state.best_state.items():
+                arrays[f"best/{name}"] = np.asarray(values)
+        for i, m in enumerate(state.optimizer_state.get("m", [])):
+            arrays[f"optim/m/{i:04d}"] = np.asarray(m)
+        for i, v in enumerate(state.optimizer_state.get("v", [])):
+            arrays[f"optim/v/{i:04d}"] = np.asarray(v)
+
+        meta = {
+            "version": state.version,
+            "epoch": int(state.epoch),
+            "optimizer": {"t": int(state.optimizer_state.get("t", 0)),
+                          "lr": float(state.optimizer_state.get("lr", 0.0))},
+            "rng_states": state.rng_states,
+            "history": state.history,
+            "best_val_medr": state.best_val_medr,
+            "has_best": state.best_state is not None,
+            "extra": state.extra,
+        }
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+
+        final = self.path_for_epoch(state.epoch)
+        tmp = final.with_name(final.name + ".tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        if self.keep is None:
+            return
+        paths = self.checkpoints()
+        for path in paths[:-self.keep]:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def checkpoints(self) -> list[pathlib.Path]:
+        """All checkpoint files, oldest first (``*.tmp`` ignored)."""
+        if not self.directory.is_dir():
+            return []
+        found = [p for p in self.directory.iterdir()
+                 if _FILE_RE.match(p.name)]
+        return sorted(found)
+
+    def latest(self, verify: bool = True) -> pathlib.Path | None:
+        """Most recent *loadable* checkpoint, or ``None``.
+
+        With ``verify`` (default), checkpoints that fail to load — the
+        typical leftover of a crash that truncated the file mid-write —
+        are skipped, so resume falls back to the last good epoch.
+        """
+        for path in reversed(self.checkpoints()):
+            if not verify:
+                return path
+            try:
+                self.load(path)
+            except CheckpointError:
+                continue
+            return path
+        return None
+
+    def load(self, path) -> CheckpointState:
+        """Read one checkpoint; raises :class:`CheckpointError` on any
+        truncation, corruption, or format-version mismatch."""
+        path = pathlib.Path(path)
+        if not path.is_file():
+            raise CheckpointError(f"no checkpoint at {path}")
+        try:
+            with np.load(path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError,
+                KeyError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} is corrupt or truncated: {error}"
+            ) from error
+
+        if "__meta__" not in arrays:
+            raise CheckpointError(f"checkpoint {path} has no metadata")
+        try:
+            meta = json.loads(arrays.pop("__meta__").tobytes().decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} metadata is unreadable: {error}"
+            ) from error
+        version = meta.get("version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}")
+
+        model_state: dict[str, np.ndarray] = {}
+        best_state: dict[str, np.ndarray] = {}
+        moments_m: dict[int, np.ndarray] = {}
+        moments_v: dict[int, np.ndarray] = {}
+        for key, values in arrays.items():
+            kind, __, name = key.partition("/")
+            if kind == "model":
+                model_state[name] = values
+            elif kind == "best":
+                best_state[name] = values
+            elif kind == "optim":
+                which, __, index = name.partition("/")
+                target = moments_m if which == "m" else moments_v
+                target[int(index)] = values
+        if not model_state:
+            raise CheckpointError(f"checkpoint {path} holds no model state")
+        if meta.get("has_best") and not best_state:
+            raise CheckpointError(
+                f"checkpoint {path} advertises a best-model snapshot but "
+                f"none is present")
+
+        optimizer = {
+            "t": meta["optimizer"]["t"],
+            "lr": meta["optimizer"]["lr"],
+            "m": [moments_m[i] for i in sorted(moments_m)],
+            "v": [moments_v[i] for i in sorted(moments_v)],
+        }
+        return CheckpointState(
+            epoch=meta["epoch"],
+            model_state=model_state,
+            optimizer_state=optimizer,
+            rng_states=meta["rng_states"],
+            history=meta["history"],
+            best_val_medr=meta["best_val_medr"],
+            best_state=best_state or None,
+            extra=meta.get("extra", {}),
+        )
+
+    def load_latest(self) -> CheckpointState | None:
+        """Load the most recent valid checkpoint, or ``None``."""
+        path = self.latest(verify=True)
+        return self.load(path) if path is not None else None
+
+
+def epoch_stats_to_dict(stats) -> dict:
+    """Serialize an ``EpochStats``-like dataclass to plain JSON types."""
+    return {key: (bool(value) if isinstance(value, (bool, np.bool_))
+                  else value)
+            for key, value in dataclasses.asdict(stats).items()}

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for testing the robustness layer.
+
+Every guard in this package exists because some failure happens in
+production; this module makes those failures *reproducible on demand*
+so the guards themselves are testable:
+
+* :class:`NaNGradientFault` — poison gradients at chosen global steps
+  (exercises the health monitor's skip path);
+* :class:`ParamCorruptionFault` — poison a parameter *after* a step
+  (exercises checkpoint rollback: skipping cannot undo this);
+* :class:`CrashFault` — raise :class:`SimulatedCrash` at a chosen
+  epoch boundary (exercises checkpoint/resume);
+* :func:`truncate_file` / :func:`corrupt_file` — damage files on disk
+  the way an interrupted writer or failing disk would (exercises
+  checkpoint verification and the PPM loader guards).
+
+All injectors are deterministic: faults fire at explicit step/epoch
+indices, never at random, so a failing test replays exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["SimulatedCrash", "FaultInjector", "ChainedFaults",
+           "NaNGradientFault", "ParamCorruptionFault", "CrashFault",
+           "truncate_file", "corrupt_file"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Stands in for SIGKILL / OOM / power loss in tests."""
+
+
+class FaultInjector:
+    """Hook points the trainer calls; the no-op base injects nothing.
+
+    Subclasses override any subset. ``step`` is the 0-based *global*
+    batch counter (monotone across epochs); ``epoch`` is 0-based.
+    """
+
+    def on_gradients(self, step: int, params: list) -> None:
+        """Called after backward, before the health check (may mutate
+        ``param.grad`` in place)."""
+
+    def on_step_end(self, step: int, params: list) -> None:
+        """Called after the optimizer step (may mutate ``param.data``)."""
+
+    def on_epoch_end(self, epoch: int) -> None:
+        """Called after an epoch's stats (and checkpoint, if any) are
+        written; may raise :class:`SimulatedCrash`."""
+
+
+class ChainedFaults(FaultInjector):
+    """Compose several injectors; each hook runs them in order."""
+
+    def __init__(self, injectors: Iterable[FaultInjector]):
+        self.injectors = list(injectors)
+
+    def on_gradients(self, step: int, params: list) -> None:
+        for injector in self.injectors:
+            injector.on_gradients(step, params)
+
+    def on_step_end(self, step: int, params: list) -> None:
+        for injector in self.injectors:
+            injector.on_step_end(step, params)
+
+    def on_epoch_end(self, epoch: int) -> None:
+        for injector in self.injectors:
+            injector.on_epoch_end(epoch)
+
+
+class NaNGradientFault(FaultInjector):
+    """Overwrite one parameter's gradient with NaN at given steps."""
+
+    def __init__(self, steps: Iterable[int], param_index: int = 0,
+                 value: float = float("nan")):
+        self.steps = set(int(s) for s in steps)
+        self.param_index = param_index
+        self.value = value
+        self.fired: list[int] = []
+
+    def on_gradients(self, step: int, params: list) -> None:
+        if step not in self.steps:
+            return
+        param = params[self.param_index % len(params)]
+        if param.grad is None:
+            param.grad = np.zeros_like(param.data)
+        param.grad.fill(self.value)
+        self.fired.append(step)
+
+
+class ParamCorruptionFault(FaultInjector):
+    """Poison a parameter value itself right after a step.
+
+    The health monitor's skip policy cannot repair this — only a
+    rollback to the last good checkpoint can, which is exactly the
+    path this fault exists to exercise.
+    """
+
+    def __init__(self, step: int, param_index: int = 0,
+                 value: float = float("nan")):
+        self.step = int(step)
+        self.param_index = param_index
+        self.value = value
+        self.fired: list[int] = []
+
+    def on_step_end(self, step: int, params: list) -> None:
+        if step != self.step:
+            return
+        param = params[self.param_index % len(params)]
+        param.data.reshape(-1)[0] = self.value
+        self.fired.append(step)
+
+
+class CrashFault(FaultInjector):
+    """Kill the process (by exception) at the end of one epoch."""
+
+    def __init__(self, epoch: int):
+        self.epoch = int(epoch)
+
+    def on_epoch_end(self, epoch: int) -> None:
+        if epoch == self.epoch:
+            raise SimulatedCrash(f"simulated kill after epoch {epoch}")
+
+
+# ----------------------------------------------------------------------
+# On-disk damage
+# ----------------------------------------------------------------------
+def truncate_file(path, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` as an interrupted writer would; returns the
+    resulting size in bytes."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = pathlib.Path(path)
+    size = path.stat().st_size
+    kept = int(size * keep_fraction)
+    with open(path, "rb+") as handle:
+        handle.truncate(kept)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return kept
+
+
+def corrupt_file(path, offset: int = 0, length: int = 64,
+                 value: int = 0xFF) -> None:
+    """Overwrite a byte range in place (bit-rot / bad-sector stand-in)."""
+    path = pathlib.Path(path)
+    size = path.stat().st_size
+    offset = min(max(offset, 0), max(size - 1, 0))
+    with open(path, "rb+") as handle:
+        handle.seek(offset)
+        handle.write(bytes([value]) * min(length, size - offset))

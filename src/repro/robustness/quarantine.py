@@ -1,0 +1,120 @@
+"""Corrupt-record quarantine for the data pipeline.
+
+Production corpora contain damage — truncated images, NaN pixels,
+entries missing fields, labels outside the taxonomy. Crashing the whole
+import (or worse, silently training on garbage) are both wrong; the
+loaders instead *validate* each record and route failures into a
+:class:`QuarantineReport` that counts and explains every rejection.
+
+The validators are dependency-free (plain numpy + duck typing) so this
+module sits below :mod:`repro.data` without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QuarantinedRecord", "QuarantineReport", "validate_image",
+           "validate_recipe_entry", "validate_recipe"]
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected record and why it was rejected."""
+
+    record_id: str
+    reason: str
+
+
+@dataclass
+class QuarantineReport:
+    """Accumulates rejected records across a load/encode pass."""
+
+    records: list[QuarantinedRecord] = field(default_factory=list)
+
+    def add(self, record_id, reason: str) -> None:
+        self.records.append(QuarantinedRecord(str(record_id), reason))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def counts_by_reason(self) -> dict[str, int]:
+        return dict(Counter(record.reason for record in self.records))
+
+    def ids(self) -> list[str]:
+        return [record.record_id for record in self.records]
+
+    def summary(self) -> str:
+        if not self.records:
+            return "quarantine: 0 records"
+        lines = [f"quarantine: {len(self.records)} record(s)"]
+        for reason, count in sorted(self.counts_by_reason().items()):
+            lines.append(f"  {count} x {reason}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Validators — each returns a rejection reason, or None when valid.
+# ----------------------------------------------------------------------
+def validate_image(image, channels: int = 3,
+                   value_range: tuple[float, float] = (0.0, 1.0),
+                   tolerance: float = 1e-6) -> str | None:
+    """Check an image array: shape, dtype, finiteness, value range."""
+    try:
+        image = np.asarray(image, dtype=np.float64)
+    except (TypeError, ValueError):
+        return "image not convertible to a float array"
+    if image.ndim != 3 or image.shape[0] != channels:
+        return (f"image shape {image.shape} is not "
+                f"({channels}, H, W) channel-first")
+    if image.shape[1] < 1 or image.shape[2] < 1:
+        return f"image has an empty spatial axis {image.shape}"
+    if not np.isfinite(image).all():
+        return "image contains NaN/Inf pixels"
+    low, high = value_range
+    if image.min() < low - tolerance or image.max() > high + tolerance:
+        return (f"image values outside [{low}, {high}] "
+                f"(observed [{image.min():.3g}, {image.max():.3g}])")
+    return None
+
+
+def validate_recipe_entry(entry, num_classes: int | None = None,
+                          class_id=None) -> str | None:
+    """Check one Recipe1M ``layer1.json`` entry (a plain dict)."""
+    if not isinstance(entry, dict):
+        return f"entry is {type(entry).__name__}, not an object"
+    for key in ("id", "title", "ingredients", "instructions"):
+        if key not in entry:
+            return f"entry missing field {key!r}"
+    if not isinstance(entry["ingredients"], list) or not entry["ingredients"]:
+        return "entry has an empty or malformed ingredient list"
+    if not isinstance(entry["instructions"], list):
+        return "entry has a malformed instruction list"
+    for item in entry["ingredients"] + entry["instructions"]:
+        if not isinstance(item, dict) or "text" not in item:
+            return "ingredient/instruction item missing 'text'"
+    if class_id is not None and num_classes is not None:
+        if not isinstance(class_id, int) or not (0 <= class_id < num_classes):
+            return (f"class id {class_id!r} outside taxonomy "
+                    f"[0, {num_classes})")
+    return None
+
+
+def validate_recipe(recipe, num_classes: int | None = None) -> str | None:
+    """Check a constructed :class:`~repro.data.schema.Recipe`-like
+    object (duck-typed to avoid importing :mod:`repro.data` here)."""
+    if not recipe.ingredients:
+        return "recipe has no ingredients"
+    if not recipe.instructions:
+        return "recipe has no instructions"
+    if recipe.class_id is not None and num_classes is not None:
+        if not (0 <= recipe.class_id < num_classes):
+            return (f"class id {recipe.class_id} outside taxonomy "
+                    f"[0, {num_classes})")
+    return validate_image(recipe.image)

@@ -1,0 +1,194 @@
+"""Fault-injection harness: end-to-end recovery tests.
+
+Run just this suite with ``pytest -m faults`` (or ``make faults``).
+Each test injects a deterministic fault — NaN gradients, parameter
+corruption, a mid-schedule kill, on-disk truncation, corrupt corpus
+records — and asserts the robustness layer recovers the way the design
+doc promises.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainingConfig, build_scenario
+from repro.data import (DatasetConfig, RecipeFeaturizer, export_recipe1m,
+                        generate_dataset, import_recipe1m)
+from repro.robustness import (CheckpointManager, CrashFault,
+                              NaNGradientFault, NumericalHealthError,
+                              ParamCorruptionFault, QuarantineReport,
+                              SimulatedCrash, truncate_file)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    ds = generate_dataset(DatasetConfig(num_pairs=90, num_classes=5,
+                                        image_size=12, seed=7))
+    feat = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(ds)
+    return {"dataset": ds, "featurizer": feat,
+            "train": feat.encode_split(ds, "train"),
+            "val": feat.encode_split(ds, "val")}
+
+
+def make_trainer(corpora, fault=None, **overrides):
+    base = dict(epochs=4, freeze_epochs=1, batch_size=16,
+                learning_rate=2e-3, augment=True, eval_bag_size=13,
+                eval_num_bags=1, seed=3, keep_checkpoints=99)
+    base.update(overrides)
+    model, config = build_scenario(
+        "adamine", corpora["featurizer"], 5, 12,
+        base_config=TrainingConfig(**base), latent_dim=12)
+    return Trainer(model, config, fault_injector=fault)
+
+
+class TestCrashResume:
+    def test_resume_is_bitwise_identical(self, corpora, tmp_path):
+        """The headline guarantee: kill mid-schedule, resume, and every
+        remaining EpochStats matches the uninterrupted run exactly."""
+        reference = make_trainer(corpora)
+        ref_history = reference.fit(corpora["train"], corpora["val"],
+                                    checkpoint_dir=tmp_path / "ref")
+
+        crashed = make_trainer(corpora, fault=CrashFault(epoch=1))
+        with pytest.raises(SimulatedCrash):
+            crashed.fit(corpora["train"], corpora["val"],
+                        checkpoint_dir=tmp_path / "run")
+
+        resumed = make_trainer(corpora)
+        history = resumed.resume(tmp_path / "run", corpora["train"],
+                                 corpora["val"])
+        assert [s.epoch for s in history] == [s.epoch for s in ref_history]
+        for ours, reference_stats in zip(history, ref_history):
+            assert ours == reference_stats  # dataclass equality: bitwise
+        assert resumed.best_val_medr == reference.best_val_medr
+        for (name, param), reference_param in zip(
+                resumed.model.named_parameters(),
+                dict(reference.model.named_parameters()).values()):
+            np.testing.assert_array_equal(param.data, reference_param.data)
+
+    def test_resume_falls_back_past_truncated_checkpoint(self, corpora,
+                                                         tmp_path):
+        """A checkpoint truncated by the crash itself must be skipped;
+        resume restarts from the previous good epoch and still converges
+        to the identical history."""
+        reference = make_trainer(corpora)
+        ref_history = reference.fit(corpora["train"], corpora["val"])
+
+        crashed = make_trainer(corpora, fault=CrashFault(epoch=2))
+        with pytest.raises(SimulatedCrash):
+            crashed.fit(corpora["train"], corpora["val"],
+                        checkpoint_dir=tmp_path)
+        manager = CheckpointManager(tmp_path)
+        truncate_file(manager.path_for_epoch(2), keep_fraction=0.3)
+
+        resumed = make_trainer(corpora)
+        history = resumed.resume(tmp_path, corpora["train"], corpora["val"])
+        assert manager.latest(verify=False).name == "checkpoint-000003.npz"
+        for ours, reference_stats in zip(history, ref_history):
+            assert ours == reference_stats
+
+    def test_resume_requires_a_loadable_checkpoint(self, corpora, tmp_path):
+        from repro.robustness import CheckpointError
+
+        trainer = make_trainer(corpora)
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            trainer.resume(tmp_path, corpora["train"], corpora["val"])
+
+
+class TestNumericalFaults:
+    def test_nan_gradients_are_skipped_not_fatal(self, corpora):
+        fault = NaNGradientFault(steps=(7, 8))
+        trainer = make_trainer(corpora, fault=fault)
+        history = trainer.fit(corpora["train"], corpora["val"])
+        assert fault.fired == [7, 8]
+        assert trainer.health.skipped == 2
+        assert sum(s.skipped_batches for s in history) == 2
+        assert np.isfinite(history[-1].val_medr)
+        assert trainer.health.params_healthy(
+            trainer._optimizer.params)
+
+    def test_nan_gradient_run_matches_clean_run_elsewhere(self, corpora):
+        """Skipping a poisoned batch must not disturb the batches around
+        it beyond the missing update itself (loss stays finite)."""
+        trainer = make_trainer(corpora, fault=NaNGradientFault(steps=(6,)))
+        history = trainer.fit(corpora["train"], corpora["val"])
+        assert all(np.isfinite(s.train_loss) for s in history)
+
+    def test_skip_budget_exhaustion_fails_loudly(self, corpora):
+        fault = NaNGradientFault(steps=range(0, 50))
+        trainer = make_trainer(corpora, fault=fault, skip_budget=3,
+                               epochs=3)
+        with pytest.raises(NumericalHealthError, match="skip budget"):
+            trainer.fit(corpora["train"], corpora["val"])
+
+    def test_param_corruption_triggers_rollback(self, corpora):
+        fault = ParamCorruptionFault(step=6)
+        trainer = make_trainer(corpora, fault=fault)
+        history = trainer.fit(corpora["train"], corpora["val"])
+        assert fault.fired == [6]
+        assert trainer.health.rollbacks == 1
+        assert np.isfinite(history[-1].val_medr)
+        # the poisoned value must be gone from the live parameters
+        assert trainer.health.params_healthy(trainer._optimizer.params)
+
+
+class TestRunnerCheckpointing:
+    def test_runner_resumes_completed_scenario(self, tmp_path):
+        """A killed benchmark session picks its scenarios back up from
+        disk instead of retraining from scratch."""
+        from repro.experiments import ExperimentRunner
+
+        first = ExperimentRunner(scale="test", checkpoint_dir=tmp_path)
+        first.scenario("adamine")
+        manager = CheckpointManager(tmp_path / "adamine")
+        assert manager.latest() is not None
+
+        second = ExperimentRunner(scale="test", checkpoint_dir=tmp_path)
+        second.scenario("adamine")  # resumes (here: already complete)
+        assert (second.trainer("adamine").history
+                == first.trainer("adamine").history)
+        assert (second.trainer("adamine").best_val_medr
+                == first.trainer("adamine").best_val_medr)
+
+
+class TestCorruptCorpus:
+    def _export_with_damage(self, corpora, directory):
+        paths = export_recipe1m(corpora["dataset"], directory)
+        with open(paths["layer1"]) as handle:
+            layer1 = json.load(handle)
+        layer1[0]["ingredients"] = []            # empty ingredient list
+        del layer1[1]["title"]                   # missing field
+        layer1[2]["partition"] = "staging"       # unknown partition
+        with open(paths["layer1"], "w") as handle:
+            json.dump(layer1, handle)
+        # NaN image for a fourth record
+        images = dict(np.load(paths["images"]))
+        rid = layer1[3]["id"]
+        images[rid] = np.full_like(images[rid], np.nan)
+        np.savez_compressed(paths["images"], **images)
+        return [entry["id"] for entry in layer1[:4]]
+
+    def test_strict_import_still_raises(self, corpora, tmp_path):
+        self._export_with_damage(corpora, tmp_path)
+        with pytest.raises((ValueError, KeyError)):
+            import_recipe1m(tmp_path)
+
+    def test_quarantine_import_skips_and_reports(self, corpora, tmp_path):
+        damaged_ids = self._export_with_damage(corpora, tmp_path)
+        report = QuarantineReport()
+        dataset = import_recipe1m(tmp_path, quarantine=report)
+        assert len(report) == 4
+        assert sorted(report.ids()) == sorted(damaged_ids)
+        assert len(dataset) == len(corpora["dataset"]) - 4
+        reasons = " ".join(r.reason for r in report.records)
+        assert "empty" in reasons
+        assert "missing field" in reasons
+        assert "partition" in reasons
+        assert "NaN" in reasons
+        # the surviving corpus is fully usable
+        for name in ("train", "val", "test"):
+            rows = dataset.split_indices(name)
+            assert rows.max(initial=-1) < len(dataset)

@@ -1,0 +1,306 @@
+"""Unit tests for the robustness layer: checkpoints, health guards,
+quarantine validators, and the data-pipeline hardening they plug into."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainingConfig, build_scenario
+from repro.data import (DatasetConfig, PairBatcher, RecipeFeaturizer,
+                        generate_dataset)
+from repro.data.io import load_ppm, save_ppm
+from repro.nn import Linear, Module, Parameter
+from repro.robustness import (FORMAT_VERSION, CheckpointError,
+                              CheckpointManager, CheckpointState,
+                              HealthMonitor, NumericalHealthError,
+                              QuarantineReport, clip_grad_norm,
+                              global_grad_norm, truncate_file,
+                              validate_image, validate_recipe_entry)
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    ds = generate_dataset(DatasetConfig(num_pairs=90, num_classes=5,
+                                        image_size=12, seed=7))
+    feat = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(ds)
+    return {"dataset": ds, "featurizer": feat,
+            "train": feat.encode_split(ds, "train"),
+            "val": feat.encode_split(ds, "val")}
+
+
+def small_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return CheckpointState(
+        epoch=3,
+        model_state={"layer.weight": rng.normal(size=(4, 3)),
+                     "layer.bias": rng.normal(size=3)},
+        optimizer_state={"t": 7, "lr": 1e-3,
+                         "m": [rng.normal(size=(4, 3)), rng.normal(size=3)],
+                         "v": [rng.normal(size=(4, 3)) ** 2,
+                               rng.normal(size=3) ** 2]},
+        rng_states={"trainer": rng.bit_generator.state, "batcher": None},
+        history=[{"epoch": 0, "train_loss": 1.0}],
+        best_val_medr=4.5,
+        extra={"global_step": 21},
+    )
+
+
+class TestCheckpointManager:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        state = small_state()
+        path = manager.save(state)
+        assert path.name == "checkpoint-000003.npz"
+        loaded = manager.load(path)
+        assert loaded.epoch == 3
+        assert loaded.version == FORMAT_VERSION
+        for name, values in state.model_state.items():
+            np.testing.assert_array_equal(loaded.model_state[name], values)
+        for key in ("m", "v"):
+            for got, want in zip(loaded.optimizer_state[key],
+                                 state.optimizer_state[key]):
+                np.testing.assert_array_equal(got, want)
+        assert loaded.optimizer_state["t"] == 7
+        assert loaded.rng_states["trainer"] == state.rng_states["trainer"]
+        assert loaded.history == state.history
+        assert loaded.best_val_medr == 4.5
+        assert loaded.extra["global_step"] == 21
+
+    def test_prune_keeps_most_recent(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for epoch in range(4):
+            state = small_state()
+            state.epoch = epoch
+            manager.save(state)
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["checkpoint-000002.npz", "checkpoint-000003.npz"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            CheckpointManager(tmp_path).load(tmp_path / "nope.npz")
+
+    def test_truncated_file_raises_and_latest_skips(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=None)
+        first = small_state()
+        first.epoch = 0
+        manager.save(first)
+        second = small_state()
+        second.epoch = 1
+        broken = manager.save(second)
+        truncate_file(broken, keep_fraction=0.4)
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            manager.load(broken)
+        # latest() must fall back to the older, loadable checkpoint.
+        assert manager.latest().name == "checkpoint-000000.npz"
+        assert manager.load_latest().epoch == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        state = small_state()
+        state.version = FORMAT_VERSION + 1
+        path = manager.save(state)
+        with pytest.raises(CheckpointError, match="format version"):
+            manager.load(path)
+
+
+class TestHealthMonitor:
+    def _params(self, *values):
+        return [Parameter(np.array(v, dtype=np.float64)) for v in values]
+
+    def test_grad_norm_and_clip(self):
+        params = self._params([3.0], [4.0])
+        for p in params:
+            p.grad = p.data.copy()
+        assert global_grad_norm(params) == pytest.approx(5.0)
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert global_grad_norm(params) == pytest.approx(1.0)
+
+    def test_non_finite_loss_skipped(self):
+        monitor = HealthMonitor(skip_budget=2)
+        verdict = monitor.inspect_step(float("nan"), [])
+        assert not verdict.healthy
+        assert "non-finite loss" in verdict.reason
+        assert monitor.skipped == 1
+
+    def test_non_finite_gradient_skipped(self):
+        monitor = HealthMonitor(skip_budget=2)
+        params = self._params([1.0])
+        params[0].grad = np.array([np.inf])
+        verdict = monitor.inspect_step(0.5, params)
+        assert not verdict.healthy
+        assert verdict.reason == "non-finite gradient"
+
+    def test_loss_spike_detected_after_warmup(self):
+        monitor = HealthMonitor(spike_factor=10.0, warmup_steps=3,
+                                skip_budget=2)
+        params = self._params([1.0])
+        for _ in range(3):
+            params[0].grad = np.array([0.1])
+            assert monitor.inspect_step(1.0, params).healthy
+        params[0].grad = np.array([0.1])
+        verdict = monitor.inspect_step(100.0, params)
+        assert not verdict.healthy
+        assert "loss spike" in verdict.reason
+
+    def test_skip_budget_exhaustion_raises(self):
+        monitor = HealthMonitor(skip_budget=1)
+        monitor.inspect_step(float("inf"), [])
+        with pytest.raises(NumericalHealthError, match="skip budget"):
+            monitor.inspect_step(float("inf"), [])
+
+    def test_params_healthy(self):
+        params = self._params([1.0], [2.0])
+        assert HealthMonitor.params_healthy(params)
+        params[0].data[0] = np.nan
+        assert not HealthMonitor.params_healthy(params)
+
+
+class TestQuarantineValidators:
+    def test_validate_image(self):
+        good = np.zeros((3, 4, 4))
+        assert validate_image(good) is None
+        assert "shape" in validate_image(np.zeros((4, 4)))
+        bad = good.copy()
+        bad[0, 0, 0] = np.nan
+        assert "NaN" in validate_image(bad)
+        assert "outside" in validate_image(good + 7.0)
+
+    def test_validate_recipe_entry(self):
+        entry = {"id": "r00000001", "title": "t",
+                 "ingredients": [{"text": "salt"}],
+                 "instructions": [{"text": "mix"}]}
+        assert validate_recipe_entry(entry) is None
+        assert "missing field" in validate_recipe_entry({"id": "x"})
+        empty = dict(entry, ingredients=[])
+        assert "empty" in validate_recipe_entry(empty)
+        assert "outside taxonomy" in validate_recipe_entry(
+            entry, num_classes=4, class_id=9)
+
+    def test_report_summary(self):
+        report = QuarantineReport()
+        assert not report
+        report.add("r1", "bad image")
+        report.add("r2", "bad image")
+        assert len(report) == 2
+        assert report.counts_by_reason() == {"bad image": 2}
+        assert "2 x bad image" in report.summary()
+
+
+class TestDatasetQuarantine:
+    def test_clean_dataset_untouched(self, tiny_setup):
+        ds = tiny_setup["dataset"]
+        cleaned, report = ds.quarantine_corrupt()
+        assert cleaned is ds
+        assert not report
+
+    def test_corrupt_records_dropped_and_reported(self, tiny_setup):
+        import copy
+
+        ds = copy.deepcopy(tiny_setup["dataset"])
+        victim = ds.recipes[ds.split_indices("train")[0]]
+        victim.image[0, 0, 0] = np.nan
+        cleaned, report = ds.quarantine_corrupt()
+        assert len(cleaned) == len(ds) - 1
+        assert report.ids() == [str(victim.recipe_id)]
+        assert "NaN" in report.records[0].reason
+        # splits stay consistent (remapped, no out-of-range indices)
+        for name in ("train", "val", "test"):
+            rows = cleaned.split_indices(name)
+            assert rows.max(initial=-1) < len(cleaned)
+
+
+class TestDataGuards:
+    def test_batcher_rejects_empty_corpus(self, tiny_setup):
+        corpus = tiny_setup["train"].subset(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError, match="empty corpus"):
+            PairBatcher(corpus, batch_size=4)
+
+    def test_batcher_rejects_oversized_batch(self, tiny_setup):
+        corpus = tiny_setup["train"]
+        with pytest.raises(ValueError, match="exceeds the corpus size"):
+            PairBatcher(corpus, batch_size=len(corpus) + 1)
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainingConfig(batch_size=1)
+        with pytest.raises(ValueError, match="freeze_epochs"):
+            TrainingConfig(freeze_epochs=-1)
+        with pytest.raises(ValueError, match="learning_rate"):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            TrainingConfig(checkpoint_every=0)
+        # freeze_epochs beyond the schedule is allowed (never unfreezes)
+        TrainingConfig(epochs=1, freeze_epochs=3)
+
+
+class TestLoadPpmGuards:
+    def _image(self):
+        rng = np.random.default_rng(0)
+        return rng.uniform(size=(3, 6, 5))
+
+    def test_round_trip_still_works(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        image = self._image()
+        save_ppm(image, path)
+        loaded = load_ppm(path)
+        assert loaded.shape == image.shape
+        assert np.abs(loaded - image).max() < 1 / 255
+
+    def test_truncated_pixels(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        save_ppm(self._image(), path)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(ValueError, match="truncated pixel data") as info:
+            load_ppm(path)
+        assert "img.ppm" in str(info.value)  # error names the file
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        path.write_bytes(b"P6\n6 ")
+        with pytest.raises(ValueError, match="truncated PPM header"):
+            load_ppm(path)
+
+    def test_not_a_ppm(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        path.write_bytes(b"JFIF....")
+        with pytest.raises(ValueError, match="not a binary PPM"):
+            load_ppm(path)
+
+    def test_malformed_header_fields(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        path.write_bytes(b"P6\nsix 4 255\n" + b"\0" * 80)
+        with pytest.raises(ValueError, match="malformed PPM header"):
+            load_ppm(path)
+
+
+class TestStateRestoreSemantics:
+    def test_load_state_dict_is_in_place(self):
+        """Restoring must keep the original parameter buffers (rebinding
+        changes BLAS buffer alignment and breaks bitwise resume)."""
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        buffers = {name: param.data
+                   for name, param in layer.named_parameters()}
+        state = {name: values + 1.0
+                 for name, values in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        for name, param in layer.named_parameters():
+            assert param.data is buffers[name]
+            np.testing.assert_array_equal(param.data, state[name])
+
+    def test_best_state_is_a_deep_copy(self, tiny_setup):
+        """Regression: the best-epoch snapshot must not alias live
+        parameters, or later epochs silently corrupt model selection."""
+        feat = tiny_setup["featurizer"]
+        model, config = build_scenario(
+            "adamine", feat, 5, 12,
+            base_config=TrainingConfig(epochs=1, freeze_epochs=0,
+                                       batch_size=8, augment=False,
+                                       eval_bag_size=10, eval_num_bags=1),
+            latent_dim=8)
+        trainer = Trainer(model, config)
+        trainer.fit(tiny_setup["train"], tiny_setup["val"])
+        assert trainer._best_state is not None
+        for name, param in model.named_parameters():
+            snapshot = trainer._best_state[name]
+            assert snapshot is not param.data
+            assert not np.shares_memory(snapshot, param.data)
