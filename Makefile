@@ -1,13 +1,16 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults bench quicktest
+.PHONY: test faults chaos bench quicktest
 
-test:            ## full tier-1 suite (RuntimeWarnings are errors)
+test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 faults:          ## fault-injection recovery suite only
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m faults
+
+chaos:           ## serving chaos suite (fault schedules, breakers, hot-swap)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m chaos
 
 quicktest:       ## everything except the fault harness
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m "not faults"

@@ -7,11 +7,16 @@
     python -m repro evaluate --data data/ --model run/ --setup 1k
     python -m repro search   --data data/ --model run/ \
                              --ingredients broccoli chicken
+    python -m repro serve    --data data/ --model run/ \
+                             --ingredients broccoli chicken --deadline 0.5
 
 ``generate`` writes a synthetic Recipe1M in the Recipe1M JSON layout;
 ``train`` fits the featurizer + a scenario and saves both; ``evaluate``
 runs the paper's bag protocol on the test split; ``search`` answers
-fridge queries with the trained engine.
+fridge queries with the trained engine; ``serve`` answers the same
+query through the fault-contained resilient service (deadline,
+circuit breakers, degraded fallback) and reports the structured
+request outcome.
 """
 
 from __future__ import annotations
@@ -72,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--model", required=True)
     search.add_argument("--ingredients", nargs="+", required=True)
     search.add_argument("--top-k", type=int, default=5)
+
+    serve = commands.add_parser(
+        "serve", help="fridge search through the resilient service "
+                      "(deadline, breakers, degraded fallback)")
+    serve.add_argument("--data", required=True)
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--ingredients", nargs="+", required=True)
+    serve.add_argument("--top-k", type=int, default=5)
+    serve.add_argument("--class-name", default=None,
+                       help="restrict results to one semantic class")
+    serve.add_argument("--deadline", type=float, default=1.0,
+                       help="per-request time budget in seconds")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="admission bound; excess requests are shed")
+    serve.add_argument("--no-degraded", action="store_true",
+                       help="disable the model-free degraded fallback")
     return parser
 
 
@@ -206,11 +227,37 @@ def _command_search(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .core import RecipeSearchEngine
+    from .serving import ResilientSearchService, ServiceConfig
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    service = ResilientSearchService(engine, ServiceConfig(
+        deadline=args.deadline, max_inflight=args.max_inflight,
+        degraded_enabled=not args.no_degraded))
+    response = service.search_by_ingredients(
+        args.ingredients, k=args.top_k, class_name=args.class_name)
+    outcome = response.outcome
+    line = (f"status {outcome.status}  generation {response.generation}  "
+            f"attempts {outcome.attempts}  "
+            f"latency {outcome.latency * 1000:.1f}ms")
+    if outcome.error:
+        line += f"  [{outcome.error}]"
+    print(line)
+    for result in response.results:
+        print(f"  {result.recipe.title:<30} distance {result.distance:.3f}")
+    return 0 if response.ok else 1
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "train": _command_train,
     "evaluate": _command_evaluate,
     "search": _command_search,
+    "serve": _command_serve,
 }
 
 

@@ -62,6 +62,7 @@ class RecipeSearchEngine:
         self.featurizer = featurizer
         self.dataset = dataset
         self.corpus = corpus
+        self._mean_instruction_cache: np.ndarray | None = None
         image_embeddings, recipe_embeddings = model.encode_corpus(corpus)
         self._image_index = NearestNeighborIndex(
             image_embeddings, ids=np.arange(len(corpus)),
@@ -72,6 +73,16 @@ class RecipeSearchEngine:
 
     def __len__(self) -> int:
         return len(self.corpus)
+
+    @property
+    def image_index(self) -> NearestNeighborIndex:
+        """The corpus image-embedding index (read-only handle)."""
+        return self._image_index
+
+    @property
+    def recipe_index(self) -> NearestNeighborIndex:
+        """The corpus recipe-embedding index (read-only handle)."""
+        return self._recipe_index
 
     # ------------------------------------------------------------------
     # Query embedding helpers
@@ -126,19 +137,32 @@ class RecipeSearchEngine:
         return out.data[0]
 
     def _mean_instruction_vector(self) -> np.ndarray:
-        total = np.zeros(self.corpus.sentence_vectors.shape[2])
-        count = 0
-        for row in range(len(self.corpus)):
-            length = self.corpus.sentence_lengths[row]
-            total += self.corpus.sentence_vectors[row, :length].sum(axis=0)
-            count += int(length)
-        return total / max(count, 1)
+        """Corpus-mean sentence vector, masked to real sentences.
+
+        The corpus is immutable for the lifetime of the engine, so the
+        mean is computed once (vectorized) and cached; every ingredient
+        query reuses it.
+        """
+        if self._mean_instruction_cache is None:
+            vectors = self.corpus.sentence_vectors
+            lengths = self.corpus.sentence_lengths
+            mask = (np.arange(vectors.shape[1])[None, :]
+                    < lengths[:, None])
+            total = np.einsum("rsd,rs->d", vectors, mask.astype(float))
+            self._mean_instruction_cache = total / max(int(lengths.sum()),
+                                                       1)
+        return self._mean_instruction_cache
 
     # ------------------------------------------------------------------
     # Searches
     # ------------------------------------------------------------------
-    def _materialize(self, rows: np.ndarray,
-                     distances: np.ndarray) -> list[SearchResult]:
+    def materialize(self, rows: np.ndarray,
+                    distances: np.ndarray) -> list[SearchResult]:
+        """Resolve ``(corpus_row, distance)`` pairs into results.
+
+        Public so alternative rankers (e.g. the degraded-mode serving
+        path) can reuse the engine's row → recipe payload mapping.
+        """
         return [SearchResult(
             recipe=self.dataset[int(self.corpus.recipe_indices[row])],
             distance=float(distance),
@@ -155,10 +179,10 @@ class RecipeSearchEngine:
                         class_name: str | None = None) -> list[SearchResult]:
         """Dish image → closest recipes."""
         query = self.embed_image(image)
-        class_id = self._resolve_class(class_name)
+        class_id = self.resolve_class(class_name)
         rows, distances = self._recipe_index.query(query, k=k,
                                                    class_id=class_id)
-        return self._materialize(rows, distances)
+        return self.materialize(rows, distances)
 
     def search_by_ingredients(self, ingredients: list[str], k: int = 5,
                               class_name: str | None = None
@@ -168,19 +192,21 @@ class RecipeSearchEngine:
                                    class_name)
 
     def search_without(self, recipe: Recipe, ingredient: str,
-                       k: int = 5) -> list[SearchResult]:
+                       k: int = 5, class_name: str | None = None
+                       ) -> list[SearchResult]:
         """Dietary filter: search with ``ingredient`` edited out."""
         return self.search_by_recipe(recipe.without_ingredient(ingredient),
-                                     k=k)
+                                     k=k, class_name=class_name)
 
     def _search_images(self, query: np.ndarray, k: int,
                        class_name: str | None) -> list[SearchResult]:
-        class_id = self._resolve_class(class_name)
+        class_id = self.resolve_class(class_name)
         rows, distances = self._image_index.query(query, k=k,
                                                   class_id=class_id)
-        return self._materialize(rows, distances)
+        return self.materialize(rows, distances)
 
-    def _resolve_class(self, class_name: str | None) -> int | None:
+    def resolve_class(self, class_name: str | None) -> int | None:
+        """Taxonomy name → class id (``None`` passes through)."""
         if class_name is None:
             return None
         try:

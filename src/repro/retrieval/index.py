@@ -34,12 +34,33 @@ class NearestNeighborIndex:
     def __len__(self) -> int:
         return len(self.embeddings)
 
+    def pool_size(self, class_id: int | None = None) -> int:
+        """Number of candidates a query with this ``class_id`` ranks.
+
+        This is the upper bound on how many results :meth:`query` can
+        return for that constraint; callers needing exactly ``k``
+        results should check it (or pass ``strict=True``).
+        """
+        if class_id is None:
+            return len(self.embeddings)
+        if self.class_ids is None:
+            raise ValueError("index built without class metadata")
+        return int(np.count_nonzero(self.class_ids == class_id))
+
     def query(self, vector: np.ndarray, k: int = 5,
-              class_id: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+              class_id: int | None = None, strict: bool = False
+              ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` ``(ids, distances)`` for one query vector.
 
         ``class_id`` restricts candidates to one class (requires the
         index to have been built with ``class_ids``).
+
+        Contract: returns ``min(k, pool)`` pairs, where ``pool`` is
+        the candidate count for the constraint (see
+        :meth:`pool_size`) — a class-filtered pool smaller than ``k``
+        yields fewer results rather than padding with junk.  Pass
+        ``strict=True`` to raise :class:`ValueError` instead when
+        ``k`` exceeds the pool.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -51,6 +72,10 @@ class NearestNeighborIndex:
             candidates = np.flatnonzero(self.class_ids == class_id)
             if candidates.size == 0:
                 raise ValueError(f"no items of class {class_id} in index")
+        if strict and candidates.size < k:
+            raise ValueError(
+                f"k={k} exceeds the candidate pool of {candidates.size}"
+                + ("" if class_id is None else f" for class {class_id}"))
         distances = cosine_distance_matrix(
             vector, self.embeddings[candidates])[0]
         order = np.argsort(distances, kind="stable")[:k]

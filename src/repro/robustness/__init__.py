@@ -9,13 +9,17 @@ Four pillars, each with its own module:
 * :mod:`~repro.robustness.quarantine` — corrupt-record validation and
   reporting for the data pipeline;
 * :mod:`~repro.robustness.faults` — deterministic fault injection so
-  all of the above is testable.
+  all of the above is testable, including the serving-side injectors
+  (slow/NaN embeds, index corruption, swap-mid-query) that drive the
+  :mod:`repro.serving` chaos suite.
 """
 
 from .checkpoint import (FORMAT_VERSION, CheckpointError, CheckpointManager,
                          CheckpointState)
-from .faults import (ChainedFaults, CrashFault, FaultInjector,
-                     NaNGradientFault, ParamCorruptionFault, SimulatedCrash,
+from .faults import (ChainedFaults, ChainedServingFaults, CrashFault,
+                     FaultInjector, IndexCorruptionFault, NaNEmbedFault,
+                     NaNGradientFault, ParamCorruptionFault, ServingFault,
+                     SimulatedCrash, SlowEmbedFault, SwapMidQueryFault,
                      corrupt_file, truncate_file)
 from .health import (HealthMonitor, NumericalHealthError, StepVerdict,
                      clip_grad_norm, global_grad_norm)
@@ -32,4 +36,6 @@ __all__ = [
     "FaultInjector", "ChainedFaults", "NaNGradientFault",
     "ParamCorruptionFault", "CrashFault", "SimulatedCrash",
     "truncate_file", "corrupt_file",
+    "ServingFault", "ChainedServingFaults", "SlowEmbedFault",
+    "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault",
 ]

@@ -12,23 +12,30 @@ so the guards themselves are testable:
   epoch boundary (exercises checkpoint/resume);
 * :func:`truncate_file` / :func:`corrupt_file` — damage files on disk
   the way an interrupted writer or failing disk would (exercises
-  checkpoint verification and the PPM loader guards).
+  checkpoint verification and the PPM loader guards);
+* :class:`ServingFault` subclasses — query-side failures hooked into
+  the resilient service's embed/index stages: slow embeds
+  (:class:`SlowEmbedFault`), NaN embeddings (:class:`NaNEmbedFault`),
+  in-place index corruption (:class:`IndexCorruptionFault`), and a
+  corpus swap fired mid-request (:class:`SwapMidQueryFault`).
 
-All injectors are deterministic: faults fire at explicit step/epoch
-indices, never at random, so a failing test replays exactly.
+All injectors are deterministic: faults fire at explicit step/epoch/
+request indices, never at random, so a failing test replays exactly.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
 __all__ = ["SimulatedCrash", "FaultInjector", "ChainedFaults",
            "NaNGradientFault", "ParamCorruptionFault", "CrashFault",
-           "truncate_file", "corrupt_file"]
+           "truncate_file", "corrupt_file",
+           "ServingFault", "ChainedServingFaults", "SlowEmbedFault",
+           "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault"]
 
 
 class SimulatedCrash(RuntimeError):
@@ -125,6 +132,135 @@ class CrashFault(FaultInjector):
     def on_epoch_end(self, epoch: int) -> None:
         if epoch == self.epoch:
             raise SimulatedCrash(f"simulated kill after epoch {epoch}")
+
+
+# ----------------------------------------------------------------------
+# Serving-side faults
+# ----------------------------------------------------------------------
+class ServingFault:
+    """Hook points the resilient search service calls per request.
+
+    ``request_id`` is the service's monotone request counter, so a
+    scripted schedule pins faults to exact requests.  The embed hooks
+    fire once per *attempt*, which lets one request exhaust a whole
+    retry budget against a persistent fault.  The no-op base injects
+    nothing.
+    """
+
+    def on_embed_start(self, request_id: int) -> None:
+        """Called before each embed attempt (may sleep or raise)."""
+
+    def on_embed_result(self, request_id: int,
+                        vector: np.ndarray) -> np.ndarray:
+        """Called with each embed attempt's output; the return value
+        replaces it (poison it here)."""
+        return vector
+
+    def on_index_start(self, request_id: int, index) -> None:
+        """Called before the index query with the generation's live
+        :class:`~repro.retrieval.index.NearestNeighborIndex` (may
+        mutate it in place, or trigger out-of-band actions such as a
+        hot-swap)."""
+
+
+class ChainedServingFaults(ServingFault):
+    """Compose several serving faults; each hook runs them in order."""
+
+    def __init__(self, faults: Iterable[ServingFault]):
+        self.faults = list(faults)
+
+    def on_embed_start(self, request_id: int) -> None:
+        for fault in self.faults:
+            fault.on_embed_start(request_id)
+
+    def on_embed_result(self, request_id: int,
+                        vector: np.ndarray) -> np.ndarray:
+        for fault in self.faults:
+            vector = fault.on_embed_result(request_id, vector)
+        return vector
+
+    def on_index_start(self, request_id: int, index) -> None:
+        for fault in self.faults:
+            fault.on_index_start(request_id, index)
+
+
+class SlowEmbedFault(ServingFault):
+    """Stall the embed stage of chosen requests by ``delay`` seconds.
+
+    ``sleep`` is the same injectable the service uses (a fake clock's
+    ``sleep`` under test), so the stall consumes deadline budget
+    without any real waiting.
+    """
+
+    def __init__(self, requests: Iterable[int], delay: float,
+                 sleep: Callable[[float], None]):
+        self.requests = {int(r) for r in requests}
+        self.delay = float(delay)
+        self.sleep = sleep
+        self.fired: list[int] = []
+
+    def on_embed_start(self, request_id: int) -> None:
+        if request_id in self.requests:
+            self.sleep(self.delay)
+            self.fired.append(request_id)
+
+
+class NaNEmbedFault(ServingFault):
+    """Poison the embed output of chosen requests with NaNs.
+
+    Fires on every attempt of a targeted request, so retries cannot
+    save it — the request must fall through to the breaker/degraded
+    path.
+    """
+
+    def __init__(self, requests: Iterable[int]):
+        self.requests = {int(r) for r in requests}
+        self.fired: list[int] = []
+
+    def on_embed_result(self, request_id: int,
+                        vector: np.ndarray) -> np.ndarray:
+        if request_id not in self.requests:
+            return vector
+        self.fired.append(request_id)
+        return np.full_like(np.asarray(vector, dtype=np.float64),
+                            np.nan)
+
+
+class IndexCorruptionFault(ServingFault):
+    """Overwrite a live index's embeddings with NaN, in place.
+
+    The damage is persistent — exactly what a bad memory page or a
+    botched refresh looks like — so recovery requires a hot-swap, not
+    a retry.
+    """
+
+    def __init__(self, requests: Iterable[int]):
+        self.requests = {int(r) for r in requests}
+        self.fired: list[int] = []
+
+    def on_index_start(self, request_id: int, index) -> None:
+        if request_id in self.requests:
+            index.embeddings.fill(np.nan)
+            self.fired.append(request_id)
+
+
+class SwapMidQueryFault(ServingFault):
+    """Run ``trigger`` (typically a corpus hot-swap) between one
+    request's embed and index stages — the worst possible moment.
+
+    The service must still answer that request entirely from the
+    generation it snapshotted at admission.
+    """
+
+    def __init__(self, request: int, trigger: Callable[[], None]):
+        self.request = int(request)
+        self.trigger = trigger
+        self.fired = False
+
+    def on_index_start(self, request_id: int, index) -> None:
+        if request_id == self.request and not self.fired:
+            self.fired = True
+            self.trigger()
 
 
 # ----------------------------------------------------------------------

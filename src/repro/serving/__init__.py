@@ -1,0 +1,32 @@
+"""Resilient serving layer for the recipe search engine.
+
+Production containment around :class:`~repro.core.engine.RecipeSearchEngine`:
+
+* :mod:`~repro.serving.deadline` — cooperative per-request time
+  budgets threaded through every stage;
+* :mod:`~repro.serving.retry` — backoff-with-jitter retries and
+  per-dependency circuit breakers;
+* :mod:`~repro.serving.degraded` — model-free lexical fallback
+  ranking when the embed/index stages are unavailable;
+* :mod:`~repro.serving.hotswap` — canary-validated, atomic
+  corpus+index generation swaps;
+* :mod:`~repro.serving.service` — the
+  :class:`~repro.serving.service.ResilientSearchService` tying it all
+  together with admission control and structured outcome records.
+"""
+
+from .deadline import Deadline, DeadlineExceeded
+from .degraded import DegradedRanker
+from .hotswap import EngineGeneration, SwapReport, run_canaries
+from .retry import CircuitBreaker, CircuitState, RetryPolicy
+from .service import (STATUSES, RequestOutcome, ResilientSearchService,
+                      ServiceConfig, ServiceResponse)
+
+__all__ = [
+    "Deadline", "DeadlineExceeded",
+    "DegradedRanker",
+    "EngineGeneration", "SwapReport", "run_canaries",
+    "CircuitBreaker", "CircuitState", "RetryPolicy",
+    "STATUSES", "RequestOutcome", "ResilientSearchService",
+    "ServiceConfig", "ServiceResponse",
+]

@@ -1,0 +1,81 @@
+"""Cooperative per-request deadlines.
+
+A :class:`Deadline` is created at admission time and threaded through
+every stage of a request (embed → index → materialize).  Stages call
+:meth:`Deadline.check` at their boundaries; a blown budget raises
+:class:`DeadlineExceeded`, which the service maps to a structured
+``timeout`` outcome rather than an unhandled exception.
+
+Timeouts are *cooperative*: a stage is never preempted mid-computation.
+The budget is checked between units of work, so a single slow stage
+overruns by at most its own duration — acceptable for in-process
+serving, and it keeps every code path single-threaded and
+deterministic.
+
+The clock is injectable so tests drive time with a fake clock instead
+of real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran out of budget at ``stage``."""
+
+    def __init__(self, stage: str, budget: float, elapsed: float):
+        super().__init__(
+            f"deadline of {budget:.3f}s exceeded at stage {stage!r} "
+            f"(elapsed {elapsed:.3f}s)")
+        self.stage = stage
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class Deadline:
+    """A monotonically draining time budget for one request."""
+
+    def __init__(self, budget: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if budget <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget = float(budget)
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        return self.budget - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(stage, self.budget, self.elapsed)
+
+    def clamp(self, seconds: float) -> float:
+        """Bound a proposed sleep so it cannot outlive the budget."""
+        return max(0.0, min(seconds, self.remaining()))
+
+    def sub(self, fraction: float) -> "Deadline":
+        """A child deadline over ``fraction`` of the remaining budget.
+
+        Used to give the embed stage a bounded slice of the request
+        budget: when the slice drains, the service stops retrying the
+        model and falls back to degraded mode while the parent budget
+        still has room to answer.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return Deadline(max(self.remaining() * fraction, 1e-9),
+                        clock=self._clock)

@@ -1,0 +1,104 @@
+"""Model-free degraded-mode ranking.
+
+When the embed stage is broken (circuit open, retries exhausted) or
+over its deadline slice, the service still answers: this ranker scores
+corpus rows by lexical overlap with the query, using nothing but the
+raw recipe payloads — no model forward pass, no index, no floating
+point that can be poisoned by a sick model.
+
+* ingredient queries (fridge search) rank by Jaccard overlap between
+  the query ingredient set and each recipe's ingredient set;
+* recipe queries rank by Jaccard overlap over the union of
+  ingredients and title/instruction tokens;
+* image queries carry no text, so degraded mode returns a
+  deterministic class-filtered slate in corpus order (documented
+  best-effort: availability over relevance).
+
+Distances are ``1 - overlap`` so results sort ascending exactly like
+the cosine distances of the healthy path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import RecipeDataset
+from ..data.encoding import EncodedCorpus
+from ..data.schema import Recipe
+from ..text import tokenize
+
+__all__ = ["DegradedRanker"]
+
+
+class DegradedRanker:
+    """Lexical fallback ranker over one corpus generation.
+
+    Built eagerly alongside each engine generation (at service start
+    and on every hot-swap) so the fallback path never has to touch the
+    model even to warm up.
+    """
+
+    def __init__(self, dataset: RecipeDataset, corpus: EncodedCorpus):
+        self._class_ids = np.asarray(corpus.true_class_ids, dtype=np.int64)
+        self._ingredients: list[set[str]] = []
+        self._tokens: list[set[str]] = []
+        for row in range(len(corpus)):
+            recipe = dataset[int(corpus.recipe_indices[row])]
+            ingredients = {name.lower() for name in recipe.ingredients}
+            tokens = set(tokenize(recipe.title))
+            for sentence in recipe.instructions:
+                tokens.update(tokenize(sentence))
+            self._ingredients.append(ingredients)
+            self._tokens.append(tokens | ingredients)
+
+    def __len__(self) -> int:
+        return len(self._ingredients)
+
+    # -- queries -------------------------------------------------------
+    def rank_ingredients(self, ingredients: list[str], k: int = 5,
+                         class_id: int | None = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Fridge search without a model: ingredient-set overlap."""
+        query = {name.lower() for name in ingredients}
+        return self._rank(query, self._ingredients, k, class_id)
+
+    def rank_recipe(self, recipe: Recipe, k: int = 5,
+                    class_id: int | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Recipe query without a model: ingredient + text overlap."""
+        query = {name.lower() for name in recipe.ingredients}
+        query.update(tokenize(recipe.title))
+        for sentence in recipe.instructions:
+            query.update(tokenize(sentence))
+        return self._rank(query, self._tokens, k, class_id)
+
+    def rank_default(self, k: int = 5, class_id: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Text-free fallback (image queries): class-filtered corpus
+        order with sentinel distance 1.0."""
+        rows = self._candidates(class_id)[:k]
+        return rows, np.ones(len(rows))
+
+    # -- internals -----------------------------------------------------
+    def _candidates(self, class_id: int | None) -> np.ndarray:
+        if class_id is None:
+            return np.arange(len(self._class_ids))
+        rows = np.flatnonzero(self._class_ids == class_id)
+        if rows.size == 0:
+            raise ValueError(f"no items of class {class_id} in corpus")
+        return rows
+
+    def _rank(self, query: set[str], pools: list[set[str]], k: int,
+              class_id: int | None) -> tuple[np.ndarray, np.ndarray]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        rows = self._candidates(class_id)
+        scores = np.zeros(rows.size)
+        for position, row in enumerate(rows):
+            pool = pools[int(row)]
+            if query and pool:
+                overlap = len(query & pool)
+                if overlap:
+                    scores[position] = overlap / len(query | pool)
+        order = np.argsort(-scores, kind="stable")[:k]
+        return rows[order], 1.0 - scores[order]

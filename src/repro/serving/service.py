@@ -1,0 +1,470 @@
+"""Fault-contained serving layer over :class:`RecipeSearchEngine`.
+
+The engine itself is a bare library: a slow or NaN-poisoned embed, an
+oversized burst of queries, or a corpus refresh mid-flight all fail
+hard.  :class:`ResilientSearchService` wraps it in the containment a
+production deployment needs:
+
+* **admission control** — a bounded in-flight counter sheds excess
+  load up front with a structured ``shed`` outcome instead of queueing
+  unboundedly;
+* **deadlines** — every request carries a cooperative time budget
+  threaded through embed → index → materialize
+  (:mod:`~repro.serving.deadline`);
+* **retries + circuit breakers** — transient stage faults retry with
+  exponential backoff and jitter; persistent faults trip a
+  per-dependency breaker (:mod:`~repro.serving.retry`) so a broken
+  model stops burning everyone's budget;
+* **graceful degradation** — with the embed or index stage
+  unavailable, requests are answered by the model-free
+  :class:`~repro.serving.degraded.DegradedRanker` and marked
+  ``degraded=True``;
+* **hot-swap** — :meth:`ResilientSearchService.swap_corpus` builds a
+  new corpus+index generation aside, canary-validates it, and swaps a
+  single reference under the lock (:mod:`~repro.serving.hotswap`);
+* **outcome records** — every request, including shed and timed-out
+  ones, produces a :class:`RequestOutcome`; the public search methods
+  never raise for operational faults.
+
+All time and randomness are injected (``clock``, ``sleep``, ``rng``)
+so chaos tests run on a fake clock with zero real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.engine import RecipeSearchEngine, SearchResult
+from ..data.schema import Recipe
+from .deadline import Deadline, DeadlineExceeded
+from .degraded import DegradedRanker
+from .hotswap import EngineGeneration, SwapReport, run_canaries
+from .retry import CircuitBreaker, RetryPolicy
+
+__all__ = ["ServiceConfig", "RequestOutcome", "ServiceResponse",
+           "ResilientSearchService", "STATUSES"]
+
+#: Every request resolves to exactly one of these.
+STATUSES = ("ok", "degraded", "shed", "timeout", "invalid", "error")
+
+
+class _StageUnavailable(RuntimeError):
+    """Internal: a resilient stage gave up (breaker open, retries
+    exhausted, or its budget slice drained); triggers the degraded
+    fallback rather than failing the request."""
+
+    def __init__(self, stage: str, reason: str):
+        super().__init__(f"{stage} unavailable: {reason}")
+        self.stage = stage
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Resilience knobs; the defaults suit interactive serving."""
+
+    deadline: float = 1.0              # seconds per request
+    embed_budget_fraction: float = 0.5  # embed's slice of the budget
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 3
+    breaker_reset_after: float = 5.0   # seconds open before half-open
+    breaker_half_open_successes: int = 2
+    max_inflight: int = 8              # admission bound; excess is shed
+    canary_queries: int = 3            # per hot-swap validation
+    outcome_log_size: int = 512        # ring buffer of RequestOutcomes
+    degraded_enabled: bool = True
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Structured record of one request, whatever its fate."""
+
+    request_id: int
+    kind: str                 # ingredients | recipe | image | without
+    status: str               # one of STATUSES
+    degraded: bool
+    attempts: int             # embed-stage attempts actually made
+    generation: int           # engine generation that served it
+    latency: float            # seconds, admission to response
+    stage: str | None = None  # stage the request fell over at, if any
+    error: str | None = None  # human-readable fault description
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """What callers get back — results plus the outcome record."""
+
+    results: tuple[SearchResult, ...]
+    degraded: bool
+    generation: int
+    outcome: RequestOutcome
+
+    @property
+    def ok(self) -> bool:
+        """Did the request produce an answer (possibly degraded)?"""
+        return self.outcome.status in ("ok", "degraded")
+
+
+class _RequestTrace:
+    """Mutable per-request bookkeeping shared across stages."""
+
+    __slots__ = ("attempts",)
+
+    def __init__(self):
+        self.attempts = 0
+
+
+class ResilientSearchService:
+    """Wrap an engine in deadlines, breakers, shedding, and hot-swap.
+
+    Parameters
+    ----------
+    engine:
+        The initial :class:`RecipeSearchEngine` (generation 0).
+    config:
+        Resilience knobs; defaults are sensible for tests and demos.
+    clock, sleep, rng:
+        Injectable time and jitter sources (fake them under test).
+    faults:
+        Optional :class:`~repro.robustness.faults.ServingFault` hook
+        object; production passes ``None``.
+    """
+
+    def __init__(self, engine: RecipeSearchEngine,
+                 config: ServiceConfig | None = None, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: random.Random | None = None,
+                 faults=None):
+        self._config = config or ServiceConfig()
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng or random.Random(0)
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._next_request_id = 0
+        self._status_counts: Counter[str] = Counter()
+        self._active = EngineGeneration(
+            0, engine, DegradedRanker(engine.dataset, engine.corpus))
+        self.embed_breaker = CircuitBreaker(
+            "embed", self._config.breaker_failure_threshold,
+            self._config.breaker_reset_after,
+            self._config.breaker_half_open_successes, clock=clock)
+        self.index_breaker = CircuitBreaker(
+            "index", self._config.breaker_failure_threshold,
+            self._config.breaker_reset_after,
+            self._config.breaker_half_open_successes, clock=clock)
+        self.outcomes: deque[RequestOutcome] = deque(
+            maxlen=self._config.outcome_log_size)
+        self.swaps: list[SwapReport] = []
+
+    # ------------------------------------------------------------------
+    # Public search API — never raises for operational faults
+    # ------------------------------------------------------------------
+    def search_by_ingredients(self, ingredients: list[str], k: int = 5,
+                              class_name: str | None = None,
+                              deadline: float | None = None
+                              ) -> ServiceResponse:
+        """Resilient fridge search (ingredient list → dishes)."""
+        ingredients = list(ingredients)
+        return self._serve(
+            "ingredients", k, class_name, deadline,
+            embed=lambda engine: engine.embed_ingredients(ingredients),
+            fallback=lambda ranker, class_id: ranker.rank_ingredients(
+                ingredients, k, class_id),
+            which_index="image")
+
+    def search_by_recipe(self, recipe: Recipe, k: int = 5,
+                         class_name: str | None = None,
+                         deadline: float | None = None) -> ServiceResponse:
+        """Resilient recipe → images search."""
+        return self._serve(
+            "recipe", k, class_name, deadline,
+            embed=lambda engine: engine.embed_recipe(recipe),
+            fallback=lambda ranker, class_id: ranker.rank_recipe(
+                recipe, k, class_id),
+            which_index="image")
+
+    def search_by_image(self, image: np.ndarray, k: int = 5,
+                        class_name: str | None = None,
+                        deadline: float | None = None) -> ServiceResponse:
+        """Resilient image → recipes search.
+
+        Degraded mode has no pixels-to-text bridge, so the fallback is
+        a deterministic class-filtered slate (availability over
+        relevance — documented semantics).
+        """
+        return self._serve(
+            "image", k, class_name, deadline,
+            embed=lambda engine: engine.embed_image(image),
+            fallback=lambda ranker, class_id: ranker.rank_default(
+                k, class_id),
+            which_index="recipe")
+
+    def search_without(self, recipe: Recipe, ingredient: str, k: int = 5,
+                       class_name: str | None = None,
+                       deadline: float | None = None) -> ServiceResponse:
+        """Resilient dietary-filter search (§5.3)."""
+        edited = recipe.without_ingredient(ingredient)
+        return self._serve(
+            "without", k, class_name, deadline,
+            embed=lambda engine: engine.embed_recipe(edited),
+            fallback=lambda ranker, class_id: ranker.rank_recipe(
+                edited, k, class_id),
+            which_index="image")
+
+    # ------------------------------------------------------------------
+    # Hot-swap
+    # ------------------------------------------------------------------
+    def swap_corpus(self, corpus, dataset=None,
+                    canary_queries: int | None = None) -> SwapReport:
+        """Atomically replace the serving corpus+indexes.
+
+        Builds the candidate generation aside, canary-validates it,
+        and only then swaps the active-generation reference.  On any
+        failure the old generation keeps serving and the report says
+        ``rolled_back=True``.  Never raises.
+        """
+        old = self._active
+        if dataset is None:
+            dataset = old.engine.dataset
+        canaries = (self._config.canary_queries
+                    if canary_queries is None else canary_queries)
+        try:
+            # A poisoned corpus must surface as a canary veto, not as
+            # FP warnings escaping from the side build.
+            with np.errstate(all="ignore"):
+                engine = RecipeSearchEngine(
+                    old.engine.model, old.engine.featurizer, dataset,
+                    corpus)
+                fallback = DegradedRanker(dataset, corpus)
+        except Exception as exc:
+            report = SwapReport(
+                ok=False, generation=old.generation, canaries_run=0,
+                failures=(f"candidate build failed: "
+                          f"{type(exc).__name__}: {exc}",),
+                rolled_back=True)
+            self.swaps.append(report)
+            return report
+        candidate = EngineGeneration(old.generation + 1, engine, fallback)
+        run, failures = run_canaries(candidate, canaries)
+        if failures:
+            report = SwapReport(ok=False, generation=old.generation,
+                                canaries_run=run,
+                                failures=tuple(failures), rolled_back=True)
+        else:
+            with self._lock:
+                self._active = candidate
+            # The index dependency was replaced wholesale; its breaker
+            # history belongs to the retired generation.
+            self.index_breaker.reset()
+            report = SwapReport(ok=True, generation=candidate.generation,
+                                canaries_run=run, failures=(),
+                                rolled_back=False)
+        self.swaps.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._active.generation
+
+    def stats(self) -> dict:
+        """Operational counters for dashboards and tests."""
+        with self._lock:
+            return {
+                "requests": self._next_request_id,
+                "inflight": self._inflight,
+                "generation": self._active.generation,
+                "statuses": dict(self._status_counts),
+                "embed_breaker": self.embed_breaker.state.value,
+                "index_breaker": self.index_breaker.state.value,
+                "swaps": len(self.swaps),
+            }
+
+    # ------------------------------------------------------------------
+    # Request pipeline
+    # ------------------------------------------------------------------
+    def _serve(self, kind: str, k: int, class_name: str | None,
+               deadline_s: float | None, embed, fallback,
+               which_index: str) -> ServiceResponse:
+        started = self._clock()
+        generation = self._active  # snapshot: the whole request uses it
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            admitted = self._inflight < self._config.max_inflight
+            if admitted:
+                self._inflight += 1
+        if not admitted:
+            return self._finish(
+                request_id, kind, "shed", generation, started,
+                stage="admission",
+                error=f"load shed: {self._config.max_inflight} requests "
+                      f"already in flight")
+        trace = _RequestTrace()
+        try:
+            budget = Deadline(deadline_s or self._config.deadline,
+                              clock=self._clock)
+            try:
+                class_id = generation.engine.resolve_class(class_name)
+                degraded_reason = None
+                try:
+                    vector = self._embed_stage(
+                        generation, request_id, embed, budget, trace)
+                    rows, distances = self._index_stage(
+                        generation, request_id, vector, k, class_id,
+                        which_index, budget)
+                    status = "ok"
+                except _StageUnavailable as exc:
+                    budget.check("degraded-fallback")
+                    if not self._config.degraded_enabled:
+                        return self._finish(
+                            request_id, kind, "error", generation,
+                            started, attempts=trace.attempts,
+                            stage=exc.stage, error=str(exc))
+                    rows, distances = fallback(generation.fallback,
+                                               class_id)
+                    status = "degraded"
+                    degraded_reason = str(exc)
+                budget.check("materialize")
+                results = generation.engine.materialize(rows, distances)
+                return self._finish(
+                    request_id, kind, status, generation, started,
+                    results=results, attempts=trace.attempts,
+                    error=degraded_reason)
+            except DeadlineExceeded as exc:
+                return self._finish(
+                    request_id, kind, "timeout", generation, started,
+                    attempts=trace.attempts, stage=exc.stage,
+                    error=str(exc))
+            except ValueError as exc:
+                return self._finish(
+                    request_id, kind, "invalid", generation, started,
+                    attempts=trace.attempts, error=str(exc))
+            except Exception as exc:  # containment: no fault escapes
+                return self._finish(
+                    request_id, kind, "error", generation, started,
+                    attempts=trace.attempts,
+                    error=f"{type(exc).__name__}: {exc}")
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _embed_stage(self, generation: EngineGeneration, request_id: int,
+                     embed, budget: Deadline,
+                     trace: _RequestTrace) -> np.ndarray:
+        """Embed with retries/backoff behind the embed breaker.
+
+        The stage only consumes ``embed_budget_fraction`` of the
+        remaining request budget for *retrying*: once the slice drains
+        without a usable vector, it gives up so degraded mode can
+        still answer inside the request deadline.  A slow-but-healthy
+        embed that finishes within the overall budget is used as-is.
+        """
+        breaker = self.embed_breaker
+        policy = self._config.retry
+        slice_budget = budget.sub(self._config.embed_budget_fraction)
+        last = "no attempts made"
+        for attempt in range(policy.max_attempts):
+            budget.check("embed")
+            if slice_budget.expired:
+                raise _StageUnavailable(
+                    "embed", f"stage budget drained after "
+                             f"{trace.attempts} attempts ({last})")
+            if not breaker.allow():
+                raise _StageUnavailable("embed", "circuit open")
+            trace.attempts += 1
+            vector = None
+            try:
+                if self._faults is not None:
+                    self._faults.on_embed_start(request_id)
+                candidate = embed(generation.engine)
+                if self._faults is not None:
+                    candidate = self._faults.on_embed_result(
+                        request_id, candidate)
+            except ValueError:
+                raise  # caller error, not a dependency fault
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                breaker.record_failure()
+                last = f"{type(exc).__name__}: {exc}"
+            else:
+                if np.all(np.isfinite(candidate)):
+                    breaker.record_success()
+                    budget.check("embed")  # slow success may blow it
+                    return np.asarray(candidate)
+                breaker.record_failure()
+                last = "non-finite embedding vector"
+            budget.check("embed")
+            if attempt + 1 < policy.max_attempts and not slice_budget.expired:
+                self._sleep(budget.clamp(policy.delay(attempt, self._rng)))
+        raise _StageUnavailable("embed", f"retries exhausted ({last})")
+
+    def _index_stage(self, generation: EngineGeneration, request_id: int,
+                     vector: np.ndarray, k: int, class_id: int | None,
+                     which_index: str, budget: Deadline
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Index query with retries behind the index breaker.
+
+        Non-finite distances (a corrupted index) count as failures;
+        FP warnings are contained here on purpose — the guard *is* the
+        containment.
+        """
+        breaker = self.index_breaker
+        policy = self._config.retry
+        index = (generation.engine.image_index if which_index == "image"
+                 else generation.engine.recipe_index)
+        last = "no attempts made"
+        for attempt in range(policy.max_attempts):
+            budget.check("index")
+            if not breaker.allow():
+                raise _StageUnavailable("index", "circuit open")
+            try:
+                if self._faults is not None:
+                    self._faults.on_index_start(request_id, index)
+                with np.errstate(all="ignore"):
+                    rows, distances = index.query(vector, k=k,
+                                                  class_id=class_id)
+            except ValueError:
+                raise
+            except Exception as exc:
+                breaker.record_failure()
+                last = f"{type(exc).__name__}: {exc}"
+            else:
+                if np.all(np.isfinite(distances)):
+                    breaker.record_success()
+                    return rows, distances
+                breaker.record_failure()
+                last = "non-finite distances from index"
+            budget.check("index")
+            if attempt + 1 < policy.max_attempts:
+                self._sleep(budget.clamp(policy.delay(attempt, self._rng)))
+        raise _StageUnavailable("index", f"retries exhausted ({last})")
+
+    def _finish(self, request_id: int, kind: str, status: str,
+                generation: EngineGeneration, started: float, *,
+                results=(), attempts: int = 0, stage: str | None = None,
+                error: str | None = None) -> ServiceResponse:
+        outcome = RequestOutcome(
+            request_id=request_id, kind=kind, status=status,
+            degraded=(status == "degraded"), attempts=attempts,
+            generation=generation.generation,
+            latency=self._clock() - started, stage=stage, error=error)
+        with self._lock:
+            self.outcomes.append(outcome)
+            self._status_counts[status] += 1
+        return ServiceResponse(
+            results=tuple(results), degraded=outcome.degraded,
+            generation=generation.generation, outcome=outcome)

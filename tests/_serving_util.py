@@ -1,0 +1,106 @@
+"""Shared fixtures for the serving unit suite and the chaos suite.
+
+The resilient service is exercised against a *stub* joint model —
+embeddings are normalized ingredient-id histograms — so no training
+runs and the suites stay fast.  The stub is behaviour-compatible with
+:class:`~repro.core.model.JointEmbeddingModel` for everything the
+engine touches, and its corpus image embeddings deliberately inherit
+NaNs from corrupted images so canary validation has something real to
+catch.
+"""
+
+import numpy as np
+
+from repro.core.engine import RecipeSearchEngine
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+
+
+class FakeClock:
+    """Deterministic monotonic clock; sleeping advances it instantly."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += max(float(seconds), 0.0)
+
+
+class _Embedded:
+    """Minimal stand-in for a Tensor: just carries ``.data``."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+
+class StubJointModel:
+    """Training-free deterministic embedder for serving tests."""
+
+    def __init__(self, dim: int = 16):
+        self.dim = int(dim)
+
+    def _recipe_rows(self, ids, lengths) -> np.ndarray:
+        ids = np.asarray(ids)
+        lengths = np.asarray(lengths)
+        out = np.zeros((len(ids), self.dim))
+        for row in range(len(ids)):
+            n = max(int(lengths[row]), 1)
+            hist = np.bincount(ids[row][:n] % self.dim,
+                               minlength=self.dim).astype(float) + 1e-3
+            out[row] = hist / np.linalg.norm(hist)
+        return out
+
+    def embed_recipes(self, ingredient_ids, ingredient_lengths,
+                      sentence_vectors, sentence_lengths) -> _Embedded:
+        return _Embedded(self._recipe_rows(ingredient_ids,
+                                           ingredient_lengths))
+
+    def embed_images(self, images) -> _Embedded:
+        flat = np.asarray(images).reshape(len(images), -1)
+        hist = np.abs(flat[:, :self.dim]) + 1e-3
+        return _Embedded(hist / np.linalg.norm(hist, axis=1,
+                                               keepdims=True))
+
+    def encode_corpus(self, corpus, batch_size: int = 256
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        recipe = self._recipe_rows(corpus.ingredient_ids,
+                                   corpus.ingredient_lengths)
+        # Pair the image side with the recipe side so self-retrieval
+        # canaries pass, but let NaN pixels poison it — that is the
+        # corruption signal the swap canaries must detect.
+        taint = corpus.images.reshape(len(corpus), -1).mean(axis=1) * 0.0
+        return recipe + taint[:, None], recipe
+
+
+def make_world(num_pairs: int = 80, num_classes: int = 4,
+               image_size: int = 8, seed: int = 7):
+    """One dataset + fitted featurizer shared by a test module."""
+    dataset = generate_dataset(DatasetConfig(
+        num_pairs=num_pairs, num_classes=num_classes,
+        image_size=image_size, seed=seed))
+    featurizer = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(dataset)
+    return dataset, featurizer
+
+
+def make_engine(dataset, featurizer, split: str = "test",
+                dim: int = 16) -> RecipeSearchEngine:
+    corpus = featurizer.encode_split(dataset, split)
+    return RecipeSearchEngine(StubJointModel(dim), featurizer, dataset,
+                              corpus)
+
+
+def known_ingredients(engine, count: int = 2) -> list[str]:
+    """Query ingredients guaranteed to be in the trained vocabulary."""
+    vocab = engine.featurizer.ingredient_vocab
+    names = []
+    for recipe in engine.dataset.split("train"):
+        for name in recipe.ingredients:
+            if name.replace(" ", "_") in vocab and name not in names:
+                names.append(name)
+            if len(names) >= count:
+                return names
+    return names

@@ -100,3 +100,34 @@ class TestSearch:
         assert code == 0
         output = capsys.readouterr().out
         assert "top 3 dishes" in output
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--data", "d", "--model", "m",
+             "--ingredients", "butter"])
+        assert args.command == "serve"
+        assert args.deadline == 1.0
+        assert args.max_inflight == 8
+        assert not args.no_degraded
+
+    def test_resilient_query_reports_outcome(self, data_dir, run_dir,
+                                             capsys):
+        code = main(["serve", "--data", str(data_dir),
+                     "--model", str(run_dir),
+                     "--ingredients", "butter", "--top-k", "3",
+                     "--deadline", "30"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "status ok" in output
+        assert "generation 0" in output
+        assert "distance" in output
+
+    def test_unknown_ingredient_is_contained(self, data_dir, run_dir,
+                                             capsys):
+        code = main(["serve", "--data", str(data_dir),
+                     "--model", str(run_dir),
+                     "--ingredients", "vibranium"])
+        assert code == 1
+        assert "status invalid" in capsys.readouterr().out

@@ -6,6 +6,7 @@ import pytest
 from repro.core import (RecipeSearchEngine, Trainer, TrainingConfig,
                         build_scenario)
 from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+from repro.data.schema import Recipe
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +99,61 @@ class TestSearch:
 
     def test_len(self, engine):
         assert len(engine) == len(engine.corpus)
+
+    def test_search_without_forwards_class_constraint(self, engine):
+        corpus = engine.corpus
+        class_id = int(np.bincount(corpus.true_class_ids).argmax())
+        class_name = engine.dataset.taxonomy[class_id].name
+        row = next(r for r in range(len(corpus))
+                   if len(engine.dataset[
+                       int(corpus.recipe_indices[r])].ingredients) > 3)
+        recipe = engine.dataset[int(corpus.recipe_indices[row])]
+        results = engine.search_without(recipe, recipe.ingredients[-1],
+                                        k=3, class_name=class_name)
+        assert results
+        for result in results:
+            assert corpus.true_class_ids[result.corpus_row] == class_id
+
+
+class TestErrorPaths:
+    def test_empty_recipe_rejected(self, engine):
+        empty = Recipe(recipe_id=-1, title="nothing", class_id=None,
+                       true_class_id=0, ingredients=[], instructions=[],
+                       image=np.zeros((3, 12, 12)))
+        with pytest.raises(ValueError, match="neither ingredients"):
+            engine.embed_recipe(empty)
+
+    def test_non_finite_query_image_rejected(self, engine):
+        with pytest.raises(ValueError, match="rejected"):
+            engine.embed_image(np.full((3, 12, 12), np.nan))
+
+    def test_empty_ingredient_list_rejected(self, engine):
+        with pytest.raises(ValueError, match="empty ingredient"):
+            engine.embed_ingredients([])
+
+    def test_unknown_class_lists_valid_names(self, engine):
+        recipe = engine.dataset[int(engine.corpus.recipe_indices[0])]
+        with pytest.raises(ValueError, match="valid classes"):
+            engine.search_by_recipe(recipe, k=2, class_name="flambé")
+
+    def test_unknown_ingredient_search_rejected(self, engine):
+        with pytest.raises(ValueError, match="vocabulary"):
+            engine.search_by_ingredients(["vibranium"], k=2)
+
+
+class TestMeanInstructionVector:
+    def test_matches_naive_loop(self, engine):
+        corpus = engine.corpus
+        total = np.zeros(corpus.sentence_vectors.shape[2])
+        count = 0
+        for row in range(len(corpus)):
+            length = int(corpus.sentence_lengths[row])
+            total += corpus.sentence_vectors[row, :length].sum(axis=0)
+            count += length
+        expected = total / max(count, 1)
+        np.testing.assert_allclose(engine._mean_instruction_vector(),
+                                   expected)
+
+    def test_cached_across_calls(self, engine):
+        first = engine._mean_instruction_vector()
+        assert engine._mean_instruction_vector() is first

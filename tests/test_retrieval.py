@@ -189,6 +189,40 @@ class TestIndex:
             index.query(np.ones(3), k=0)
 
 
+class TestIndexPoolContract:
+    def make(self):
+        return NearestNeighborIndex(np.eye(5),
+                                    class_ids=np.array([0, 0, 0, 1, 1]))
+
+    def test_pool_size(self):
+        index = self.make()
+        assert index.pool_size() == 5
+        assert index.pool_size(0) == 3
+        assert index.pool_size(1) == 2
+        assert index.pool_size(9) == 0
+
+    def test_pool_size_without_metadata_raises(self):
+        with pytest.raises(ValueError):
+            NearestNeighborIndex(np.eye(3)).pool_size(0)
+
+    def test_underfull_pool_returns_fewer_results(self):
+        index = self.make()
+        ids, dist = index.query(np.ones(5), k=4, class_id=1)
+        assert len(ids) == len(dist) == index.pool_size(1) == 2
+
+    def test_strict_raises_when_k_exceeds_pool(self):
+        index = self.make()
+        with pytest.raises(ValueError, match="candidate pool"):
+            index.query(np.ones(5), k=4, class_id=1, strict=True)
+        with pytest.raises(ValueError, match="candidate pool"):
+            index.query(np.ones(5), k=6, strict=True)
+
+    def test_strict_ok_when_pool_suffices(self):
+        index = self.make()
+        ids, __ = index.query(np.ones(5), k=2, class_id=1, strict=True)
+        assert len(ids) == 2
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.integers(min_value=2, max_value=30))
 def test_property_ranks_bounded(n):
