@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos bench quicktest
+.PHONY: test faults chaos bench quicktest telemetry-test
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -14,6 +14,9 @@ chaos:           ## serving chaos suite (fault schedules, breakers, hot-swap)
 
 quicktest:       ## everything except the fault harness
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m "not faults"
+
+telemetry-test:  ## telemetry layer tests, incl. the chaos-marked ones
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m obs
 
 bench:           ## regenerate all paper tables/figures
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -4,6 +4,10 @@ These time the hot paths of the reproduction — batch embedding, the
 triplet losses + adaptive mining, the retrieval protocol, the dish
 renderer, and the recurrent encoders — so performance regressions in
 the substrate are caught independently of the experiment results.
+
+Each test reports its headline number through ``bench_record`` (see
+``conftest.py``), which exports ``BENCH_components.json`` at session
+end via the obs JSON exposition.
 """
 
 import numpy as np
@@ -19,7 +23,7 @@ from repro.retrieval import RetrievalProtocol
 RNG = lambda seed=0: np.random.default_rng(seed)
 
 
-def test_bench_instance_triplet_loss(benchmark):
+def test_bench_instance_triplet_loss(benchmark, bench_record):
     rng = RNG(0)
     img = l2_normalize(Tensor(rng.normal(size=(100, 32)),
                               requires_grad=True))
@@ -28,12 +32,13 @@ def test_bench_instance_triplet_loss(benchmark):
 
     def step():
         out = instance_triplet_loss(img, rec, strategy="adaptive")
-        return out.loss.item()
+        return out.beta_prime
 
-    benchmark(step)
+    beta_prime = benchmark(step)
+    bench_record(beta_prime, benchmark)
 
 
-def test_bench_semantic_triplet_loss(benchmark):
+def test_bench_semantic_triplet_loss(benchmark, bench_record):
     rng = RNG(1)
     img = l2_normalize(Tensor(rng.normal(size=(100, 32))))
     rec = l2_normalize(Tensor(rng.normal(size=(100, 32))))
@@ -43,10 +48,11 @@ def test_bench_semantic_triplet_loss(benchmark):
         out = semantic_triplet_loss(img, rec, labels, rng=RNG(2))
         return out.num_triplets
 
-    benchmark(step)
+    triplets = benchmark(step)
+    bench_record(triplets, benchmark)
 
 
-def test_bench_loss_backward(benchmark):
+def test_bench_loss_backward(benchmark, bench_record):
     rng = RNG(2)
     raw_img = rng.normal(size=(100, 32))
     raw_rec = rng.normal(size=(100, 32))  # unaligned -> many violations
@@ -58,19 +64,21 @@ def test_bench_loss_backward(benchmark):
         out.loss.backward()
         return float(img.grad.sum())
 
-    benchmark(step)
+    grad_sum = benchmark(step)
+    bench_record(grad_sum, benchmark)
 
 
-def test_bench_retrieval_protocol_1k(benchmark):
+def test_bench_retrieval_protocol_1k(benchmark, bench_record):
     rng = RNG(3)
     img = rng.normal(size=(2000, 32))
     rec = img + rng.normal(0, 0.5, size=img.shape)
     protocol = RetrievalProtocol(bag_size=1000, num_bags=10, seed=0)
     result = benchmark(protocol.evaluate, img, rec)
     assert result.medr() >= 1.0
+    bench_record(result.medr(), benchmark)
 
 
-def test_bench_dish_renderer(benchmark):
+def test_bench_dish_renderer(benchmark, bench_record):
     lexicon = IngredientLexicon()
     taxonomy = ClassTaxonomy(16, lexicon)
     renderer = DishRenderer(size=24)
@@ -78,18 +86,20 @@ def test_bench_dish_renderer(benchmark):
     rng = RNG(4)
     image = benchmark(renderer.render, taxonomy[0], ingredients, rng)
     assert image.shape == (3, 24, 24)
+    bench_record(float(image.mean()), benchmark)
 
 
-def test_bench_bilstm_forward(benchmark):
+def test_bench_bilstm_forward(benchmark, bench_record):
     rng = RNG(5)
     encoder = BiLSTM(16, 16, rng)
     x = Tensor(rng.normal(size=(50, 10, 16)))
     lengths = rng.integers(3, 11, size=50)
     out = benchmark(encoder, x, lengths)
     assert out.shape == (50, 32)
+    bench_record(float(np.abs(out.data).mean()), benchmark)
 
 
-def test_bench_lstm_forward_backward(benchmark):
+def test_bench_lstm_forward_backward(benchmark, bench_record):
     rng = RNG(6)
     encoder = LSTM(16, 16, rng)
     raw = rng.normal(size=(50, 8, 16))
@@ -102,11 +112,13 @@ def test_bench_lstm_forward_backward(benchmark):
         return x.grad is not None
 
     assert benchmark(step)
+    bench_record(1.0, benchmark)
 
 
-def test_bench_conv2d_forward(benchmark):
+def test_bench_conv2d_forward(benchmark, bench_record):
     rng = RNG(7)
     conv = Conv2d(3, 16, 3, rng, padding=1)
     images = Tensor(rng.normal(size=(32, 3, 24, 24)))
     out = benchmark(conv, images)
     assert out.shape == (32, 16, 24, 24)
+    bench_record(float(np.abs(out.data).mean()), benchmark)

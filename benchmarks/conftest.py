@@ -3,19 +3,69 @@
 One :class:`ExperimentRunner` is built per session so every scenario is
 trained exactly once and then reused by all table/figure benchmarks.
 Set ``REPRO_BENCH_SCALE=full`` for the larger configuration.
+
+Component benchmarks report their headline number through the
+``bench_record`` fixture, which lands in an in-process
+:class:`~repro.obs.MetricsRegistry`; at session end the registry is
+exported via the obs JSON exposition to ``BENCH_components.json`` next
+to this file, giving CI a machine-readable {metric -> value, wall_ms}
+artifact.
 """
 
 import os
+import pathlib
+import time
 
 import pytest
 
 from repro.experiments import ExperimentRunner
+from repro.obs import MetricsRegistry
+
+BENCH_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_components.json"
+
+_registry = MetricsRegistry()
+_bench_value = _registry.gauge(
+    "bench_value", "headline value reported by each micro-benchmark",
+    labels=("bench",))
+_bench_wall_ms = _registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
 
 
 def pytest_configure(config):
     # Benchmark runs should keep the regenerated paper tables visible:
     # show captured stdout for passing tests in the summary (-rA).
     config.option.reportchars = "A"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    recorded = any(family.children() for family in _registry.families())
+    if recorded and not getattr(session.config.option,
+                                "collectonly", False):
+        _registry.dump_json(BENCH_ARTIFACT)
+
+
+def _mean_ms(benchmark, fallback_s: float) -> float:
+    """Mean iteration time in ms; falls back to the elapsed wall time
+    when the plugin ran with ``--benchmark-disable`` (stats absent)."""
+    try:
+        return float(benchmark.stats.stats.mean) * 1000.0
+    except AttributeError:
+        return fallback_s * 1000.0
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record ``(value, wall_ms)`` for the current benchmark test."""
+    started = time.perf_counter()
+
+    def record(value: float, benchmark=None, name: str | None = None):
+        name = name or request.node.name.removeprefix("test_bench_")
+        _bench_value.labels(bench=name).set(float(value))
+        _bench_wall_ms.labels(bench=name).set(
+            _mean_ms(benchmark, time.perf_counter() - started))
+
+    return record
 
 
 @pytest.fixture(scope="session")

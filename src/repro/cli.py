@@ -9,6 +9,7 @@
                              --ingredients broccoli chicken
     python -m repro serve    --data data/ --model run/ \
                              --ingredients broccoli chicken --deadline 0.5
+    python -m repro metrics dump --jsonl run/telemetry.jsonl
 
 ``generate`` writes a synthetic Recipe1M in the Recipe1M JSON layout;
 ``train`` fits the featurizer + a scenario and saves both; ``evaluate``
@@ -17,6 +18,10 @@ fridge queries with the trained engine; ``serve`` answers the same
 query through the fault-contained resilient service (deadline,
 circuit breakers, degraded fallback) and reports the structured
 request outcome.
+
+``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
+spans and events to a JSONL trace with a final metrics snapshot;
+``metrics dump`` re-exposes that snapshot as Prometheus text or JSON.
 """
 
 from __future__ import annotations
@@ -63,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--quarantine", action="store_true",
                        help="skip + report corrupt corpus records instead "
                             "of aborting the import")
+    train.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                       help="stream spans/events to this JSONL file and "
+                            "append a final metrics snapshot")
 
     evaluate = commands.add_parser("evaluate",
                                    help="evaluate a trained scenario")
@@ -93,6 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission bound; excess requests are shed")
     serve.add_argument("--no-degraded", action="store_true",
                        help="disable the model-free degraded fallback")
+    serve.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                       help="stream spans/events to this JSONL file and "
+                            "append a final metrics snapshot")
+
+    metrics = commands.add_parser(
+        "metrics", help="inspect telemetry traces written with "
+                        "--telemetry-jsonl")
+    metrics_commands = metrics.add_subparsers(dest="metrics_command",
+                                              required=True)
+    dump = metrics_commands.add_parser(
+        "dump", help="print the last metrics snapshot of a trace")
+    dump.add_argument("--jsonl", required=True, metavar="PATH",
+                      help="telemetry JSONL file to read")
+    dump.add_argument("--format", default="prom",
+                      choices=("prom", "json"),
+                      help="Prometheus text (default) or raw JSON")
     return parser
 
 
@@ -146,6 +170,7 @@ def _command_train(args) -> int:
 
     from .core import Trainer, TrainingConfig, build_scenario
     from .data import RecipeFeaturizer
+    from .obs import Telemetry
 
     dataset = _load_dataset(args.data, quarantine=args.quarantine)
     featurizer = RecipeFeaturizer().fit(dataset)
@@ -161,19 +186,26 @@ def _command_train(args) -> int:
         args.scenario, featurizer, len(dataset.taxonomy), image_size,
         base_config=config, latent_dim=args.latent_dim,
         backbone=args.backbone, seed=args.seed)
+    telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
     trainer = Trainer(model, config,
-                      class_to_group=dataset.taxonomy.class_to_group_ids())
-    if args.resume:
-        history = trainer.resume(args.resume, train, val,
-                                 checkpoint_dir=args.checkpoint_dir)
-    else:
-        history = trainer.fit(train, val,
-                              checkpoint_dir=args.checkpoint_dir)
+                      class_to_group=dataset.taxonomy.class_to_group_ids(),
+                      telemetry=telemetry)
+    try:
+        if args.resume:
+            history = trainer.resume(args.resume, train, val,
+                                     checkpoint_dir=args.checkpoint_dir)
+        else:
+            history = trainer.fit(train, val,
+                                  checkpoint_dir=args.checkpoint_dir)
+    finally:
+        telemetry.close()
     for stats in history:
         print(f"epoch {stats.epoch:3d}  loss {stats.train_loss:.4f}  "
               f"val MedR {stats.val_medr:.1f}")
     if trainer.health.skipped or trainer.health.rollbacks:
         print(trainer.health.summary())
+    if args.telemetry_jsonl:
+        print(f"telemetry trace: {args.telemetry_jsonl}")
 
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -229,17 +261,22 @@ def _command_search(args) -> int:
 
 def _command_serve(args) -> int:
     from .core import RecipeSearchEngine
+    from .obs import Telemetry
     from .serving import ResilientSearchService, ServiceConfig
 
     dataset = _load_dataset(args.data)
     featurizer, model = _load_run(args.model, dataset)
     test = featurizer.encode_split(dataset, "test")
     engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
     service = ResilientSearchService(engine, ServiceConfig(
         deadline=args.deadline, max_inflight=args.max_inflight,
-        degraded_enabled=not args.no_degraded))
-    response = service.search_by_ingredients(
-        args.ingredients, k=args.top_k, class_name=args.class_name)
+        degraded_enabled=not args.no_degraded), telemetry=telemetry)
+    try:
+        response = service.search_by_ingredients(
+            args.ingredients, k=args.top_k, class_name=args.class_name)
+    finally:
+        telemetry.close()
     outcome = response.outcome
     line = (f"status {outcome.status}  generation {response.generation}  "
             f"attempts {outcome.attempts}  "
@@ -247,9 +284,33 @@ def _command_serve(args) -> int:
     if outcome.error:
         line += f"  [{outcome.error}]"
     print(line)
+    if outcome.stage_ms:
+        print("  stages: " + "  ".join(
+            f"{stage} {ms:.1f}ms"
+            for stage, ms in outcome.stage_ms.items()))
     for result in response.results:
         print(f"  {result.recipe.title:<30} distance {result.distance:.3f}")
+    if args.telemetry_jsonl:
+        print(f"telemetry trace: {args.telemetry_jsonl}")
     return 0 if response.ok else 1
+
+
+def _command_metrics(args) -> int:
+    import json
+
+    from .obs import MetricsRegistry, last_metrics_snapshot
+
+    snapshot = last_metrics_snapshot(args.jsonl)
+    if snapshot is None:
+        print(f"no metrics snapshot in {args.jsonl} "
+              f"(crashed run or not a telemetry trace)")
+        return 1
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(MetricsRegistry.from_dict(snapshot).to_prometheus(),
+              end="")
+    return 0
 
 
 _COMMANDS = {
@@ -258,6 +319,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "search": _command_search,
     "serve": _command_serve,
+    "metrics": _command_metrics,
 }
 
 

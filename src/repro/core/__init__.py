@@ -5,7 +5,8 @@ from .model import JointEmbeddingModel
 from .losses import (TripletLossOutput, classification_loss,
                      instance_triplet_loss, pairwise_loss,
                      semantic_triplet_loss)
-from .mining import STRATEGIES, aggregate_triplets, count_active
+from .mining import (STRATEGIES, MiningStats, aggregate_triplets,
+                     count_active, mine_triplets)
 from .trainer import EpochStats, Trainer, TrainingConfig
 from .scenarios import (SCENARIO_NAMES, ScenarioSpec, build_model,
                         build_scenario, scenario_spec)
@@ -17,7 +18,8 @@ __all__ = [
     "ImageBranch", "RecipeBranch", "JointEmbeddingModel",
     "instance_triplet_loss", "semantic_triplet_loss", "pairwise_loss",
     "classification_loss", "TripletLossOutput",
-    "aggregate_triplets", "count_active", "STRATEGIES",
+    "aggregate_triplets", "mine_triplets", "MiningStats",
+    "count_active", "STRATEGIES",
     "Trainer", "TrainingConfig", "EpochStats",
     "SCENARIO_NAMES", "ScenarioSpec", "scenario_spec",
     "build_model", "build_scenario",

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..autograd import Tensor, concat, cross_entropy
-from .mining import aggregate_triplets
+from .mining import mine_triplets
 
 __all__ = ["TripletLossOutput", "instance_triplet_loss",
            "semantic_triplet_loss", "pairwise_loss", "classification_loss"]
@@ -33,11 +33,18 @@ __all__ = ["TripletLossOutput", "instance_triplet_loss",
 
 @dataclass
 class TripletLossOutput:
-    """A scalar loss plus mining statistics for logging."""
+    """A scalar loss plus mining statistics for logging.
+
+    ``beta_prime`` is the normalizer the mining strategy actually
+    divided by (β′ of Eq. 5 under ``"adaptive"``) — the quantity whose
+    trajectory *is* the paper's automatic curriculum, exported to the
+    telemetry layer by the trainer.
+    """
 
     loss: Tensor
     num_triplets: int
     num_active: int
+    beta_prime: int = 0
 
     @property
     def active_fraction(self) -> float:
@@ -86,9 +93,9 @@ def instance_triplet_loss(image_embeddings: Tensor,
         query_ids.append(queries_r2i + n)  # distinct query namespace
     flat = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
     ids = np.concatenate(query_ids)
-    loss = aggregate_triplets(flat, strategy, query_ids=ids)
-    active = int((flat.data > 0).sum())
-    return TripletLossOutput(loss, flat.shape[0], active)
+    loss, mining = mine_triplets(flat, strategy, query_ids=ids)
+    return TripletLossOutput(loss, mining.total, mining.active,
+                             beta_prime=mining.beta_prime)
 
 
 def _semantic_triplet_indices(class_ids: np.ndarray,
@@ -157,9 +164,9 @@ def semantic_triplet_loss(image_embeddings: Tensor,
         ids.append(q_idx + d * class_ids.shape[0])
     flat = concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
     all_ids = np.concatenate(ids)
-    loss = aggregate_triplets(flat, strategy, query_ids=all_ids)
-    active = int((flat.data > 0).sum())
-    return TripletLossOutput(loss, flat.shape[0], active)
+    loss, mining = mine_triplets(flat, strategy, query_ids=all_ids)
+    return TripletLossOutput(loss, mining.total, mining.active,
+                             beta_prime=mining.beta_prime)
 
 
 def pairwise_loss(image_embeddings: Tensor, recipe_embeddings: Tensor,

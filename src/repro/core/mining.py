@@ -21,13 +21,37 @@ computed from detached loss values.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..autograd import Tensor
 
-__all__ = ["STRATEGIES", "aggregate_triplets", "count_active"]
+__all__ = ["STRATEGIES", "MiningStats", "aggregate_triplets",
+           "mine_triplets", "count_active"]
 
 STRATEGIES = ("adaptive", "average", "hard")
+
+
+@dataclass(frozen=True)
+class MiningStats:
+    """What the aggregation actually did — the curriculum signal.
+
+    ``beta_prime`` is the normalizer the strategy divided by: the β′
+    of Eq. 5 for ``"adaptive"``, the full triplet count for
+    ``"average"``, and the number of kept per-query maxima for
+    ``"hard"``.  ``active`` is always the raw non-zero-hinge count, so
+    the β′ trajectory is observable whatever the strategy.
+    """
+
+    strategy: str
+    total: int
+    active: int
+    beta_prime: int
+
+    @property
+    def active_fraction(self) -> float:
+        return self.active / self.total if self.total else 0.0
 
 
 def count_active(losses: Tensor, tol: float = 0.0) -> int:
@@ -39,6 +63,19 @@ def aggregate_triplets(losses: Tensor, strategy: str = "adaptive",
                        query_ids: np.ndarray | None = None) -> Tensor:
     """Reduce a flat vector of per-triplet losses to a scalar.
 
+    Convenience wrapper over :func:`mine_triplets` for callers that
+    only want the loss; the trainer uses :func:`mine_triplets` to keep
+    the β′ statistics.
+    """
+    loss, __ = mine_triplets(losses, strategy, query_ids=query_ids)
+    return loss
+
+
+def mine_triplets(losses: Tensor, strategy: str = "adaptive",
+                  query_ids: np.ndarray | None = None
+                  ) -> tuple[Tensor, MiningStats]:
+    """Aggregate per-triplet losses and report the mining statistics.
+
     Parameters
     ----------
     losses:
@@ -49,7 +86,9 @@ def aggregate_triplets(losses: Tensor, strategy: str = "adaptive",
         Required for ``"hard"``: which query each triplet belongs to,
         so the max is taken per query.
 
-    Returns a scalar tensor; zero (constant) when nothing is active.
+    Returns ``(loss, stats)``: a scalar tensor — zero (constant) when
+    nothing is active — plus the :class:`MiningStats` whose
+    ``beta_prime`` is the normalizer actually used.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown mining strategy {strategy!r}; "
@@ -57,17 +96,19 @@ def aggregate_triplets(losses: Tensor, strategy: str = "adaptive",
     if losses.ndim != 1:
         raise ValueError("losses must be a flat vector of triplet losses")
     total = losses.shape[0]
+    active = count_active(losses) if total else 0
     if total == 0:
-        return Tensor(0.0)
+        return Tensor(0.0), MiningStats(strategy, 0, 0, 0)
 
     if strategy == "average":
-        return losses.sum() * (1.0 / total)
+        return (losses.sum() * (1.0 / total),
+                MiningStats(strategy, total, active, total))
 
     if strategy == "adaptive":
-        active = count_active(losses)
         if active == 0:
-            return Tensor(0.0)
-        return losses.sum() * (1.0 / active)
+            return Tensor(0.0), MiningStats(strategy, total, 0, 0)
+        return (losses.sum() * (1.0 / active),
+                MiningStats(strategy, total, active, active))
 
     # strategy == "hard": one hardest triplet per query
     if query_ids is None:
@@ -84,6 +125,7 @@ def aggregate_triplets(losses: Tensor, strategy: str = "adaptive",
             keep[hardest] = True
     kept = int(keep.sum())
     if kept == 0:
-        return Tensor(0.0)
+        return Tensor(0.0), MiningStats(strategy, total, active, 0)
     mask = Tensor(keep.astype(np.float64))
-    return (losses * mask).sum() * (1.0 / kept)
+    return ((losses * mask).sum() * (1.0 / kept),
+            MiningStats(strategy, total, active, kept))

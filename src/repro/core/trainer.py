@@ -28,6 +28,7 @@ import numpy as np
 
 from ..data.batching import PairBatcher
 from ..data.encoding import EncodedCorpus
+from ..obs import Telemetry
 from ..optim import Adam, TwoPhaseSchedule
 from ..retrieval import RetrievalProtocol
 from ..robustness import (CheckpointError, CheckpointManager,
@@ -118,7 +119,12 @@ class TrainingConfig:
 
 @dataclass
 class EpochStats:
-    """Per-epoch training diagnostics."""
+    """Per-epoch training diagnostics.
+
+    The telemetry fields (component losses, β′ informative-triplet
+    counts, mean gradient norm) default to zero so checkpoints written
+    before they existed still restore.
+    """
 
     epoch: int
     train_loss: float
@@ -127,6 +133,11 @@ class EpochStats:
     semantic_active_fraction: float = 0.0
     backbone_frozen: bool = True
     skipped_batches: int = 0
+    instance_loss: float = 0.0
+    semantic_loss: float = 0.0
+    instance_beta: int = 0          # Σ per-batch β′ of ℓ_ins
+    semantic_beta: int = 0          # Σ per-batch β′ of ℓ_sem
+    mean_grad_norm: float = 0.0
 
 
 class Trainer:
@@ -140,11 +151,25 @@ class Trainer:
         Optional :class:`~repro.robustness.FaultInjector` whose hooks
         fire inside the loop — used by the fault-injection test
         harness, never in normal training.
+    telemetry:
+        Optional shared :class:`~repro.obs.Telemetry`.  The trainer
+        always records into one (a private in-memory instance by
+        default): per-step counters for optimizer steps and β′
+        informative triplets of both losses, a pre-clip grad-norm
+        histogram, health-guard event counters, per-epoch gauges, and
+        a structured ``epoch`` event per epoch.  Telemetry never
+        touches the training math or any RNG, so bitwise-deterministic
+        resume is unaffected.
+    verbose:
+        Route the per-epoch event's human-readable line to stdout
+        (quiet by default — structured events replace bare prints).
     """
 
     def __init__(self, model: JointEmbeddingModel, config: TrainingConfig,
                  class_to_group: np.ndarray | None = None,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 telemetry: Telemetry | None = None,
+                 verbose: bool = False):
         if config.use_hierarchical and class_to_group is None:
             raise ValueError("hierarchical loss requires a class_to_group "
                              "mapping (taxonomy.class_to_group_ids())")
@@ -160,6 +185,13 @@ class Trainer:
             spike_factor=config.loss_spike_factor,
             skip_budget=config.skip_budget)
         self.fault_injector = fault_injector or FaultInjector()
+        self.telemetry = telemetry or Telemetry()
+        self.verbose = verbose
+        if verbose and self.telemetry.events.printer is None:
+            self.telemetry.events.printer = \
+                lambda line: print(line, flush=True)
+        self._setup_metrics()
+        self.health.on_event = self._on_health_event
         self._global_step = 0
         # Loop machinery, built by _setup(); kept on self so resume()
         # can restore into it.
@@ -170,6 +202,44 @@ class Trainer:
         self._manager: CheckpointManager | None = None
         # Last known-good (model, optimizer) snapshot for rollback.
         self._last_good: tuple[dict, dict] | None = None
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _setup_metrics(self) -> None:
+        registry = self.telemetry.registry
+        self._m_steps = registry.counter(
+            "train_steps_total", "optimizer steps taken")
+        self._m_beta = registry.counter(
+            "train_informative_triplets_total",
+            "cumulative beta-prime (informative triplets) per loss",
+            labels=("loss",))
+        self._m_triplets = registry.counter(
+            "train_triplets_total", "cumulative triplets considered",
+            labels=("loss",))
+        self._m_grad_norm = registry.histogram(
+            "train_grad_norm", "pre-clip global gradient norm",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                     100.0, 250.0, 1000.0))
+        self._m_health = registry.counter(
+            "train_health_events_total",
+            "health-monitor guard actions", labels=("type",))
+        self._m_epoch = registry.gauge(
+            "train_epoch", "last completed epoch")
+        self._m_loss = registry.gauge(
+            "train_epoch_loss", "last epoch mean training loss",
+            labels=("component",))
+        self._m_epoch_beta = registry.gauge(
+            "train_epoch_beta_prime",
+            "informative triplets summed over the last epoch",
+            labels=("loss",))
+        self._m_val_medr = registry.gauge(
+            "train_val_medr", "last validation MedR")
+
+    def _on_health_event(self, kind: str, detail: dict) -> None:
+        self._m_health.labels(type=kind).inc()
+        self.telemetry.events.emit("health", type=kind,
+                                   step=self._global_step, **detail)
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -310,25 +380,35 @@ class Trainer:
             self._schedule.on_epoch_start(epoch)
             self.model.train()
             epoch_loss, n_batches, n_skipped = 0.0, 0, 0
-            ins_active, sem_active = [], []
-            for rows in self._batcher.epoch():
-                outcome = self._train_step(train_corpus, rows)
-                if outcome is None:
-                    n_skipped += 1
-                    continue
-                loss, stats = outcome
-                epoch_loss += loss
-                n_batches += 1
-                if "ins_active" in stats:
-                    ins_active.append(stats["ins_active"])
-                if "sem_active" in stats:
-                    sem_active.append(stats["sem_active"])
+            ins_active, sem_active, grad_norms = [], [], []
+            ins_loss_sum = sem_loss_sum = 0.0
+            ins_beta = sem_beta = 0
+            with self.telemetry.tracer.span("train_epoch", epoch=epoch):
+                for rows in self._batcher.epoch():
+                    outcome = self._train_step(train_corpus, rows)
+                    if outcome is None:
+                        n_skipped += 1
+                        continue
+                    loss, stats = outcome
+                    epoch_loss += loss
+                    n_batches += 1
+                    if "ins_active" in stats:
+                        ins_active.append(stats["ins_active"])
+                        ins_loss_sum += stats["ins_loss"]
+                        ins_beta += stats["ins_beta"]
+                    if "sem_active" in stats:
+                        sem_active.append(stats["sem_active"])
+                        sem_loss_sum += stats["sem_loss"]
+                        sem_beta += stats["sem_beta"]
+                    if "grad_norm" in stats:
+                        grad_norms.append(stats["grad_norm"])
 
-            val_medr = (self.evaluate_medr(val_corpus)
-                        if val_corpus is not None else float("nan"))
+                val_medr = (self.evaluate_medr(val_corpus)
+                            if val_corpus is not None else float("nan"))
+            denom = max(n_batches, 1)
             self.history.append(EpochStats(
                 epoch=epoch,
-                train_loss=epoch_loss / max(n_batches, 1),
+                train_loss=epoch_loss / denom,
                 val_medr=val_medr,
                 instance_active_fraction=float(np.mean(ins_active))
                 if ins_active else 0.0,
@@ -336,7 +416,14 @@ class Trainer:
                 if sem_active else 0.0,
                 backbone_frozen=self._schedule.backbone_frozen,
                 skipped_batches=n_skipped,
+                instance_loss=ins_loss_sum / denom,
+                semantic_loss=sem_loss_sum / denom,
+                instance_beta=ins_beta,
+                semantic_beta=sem_beta,
+                mean_grad_norm=float(np.mean(grad_norms))
+                if grad_norms else 0.0,
             ))
+            self._record_epoch(self.history[-1])
             if (config.select_best and val_corpus is not None
                     and val_medr < self.best_val_medr):
                 self.best_val_medr = val_medr
@@ -357,6 +444,35 @@ class Trainer:
         if config.select_best and self._best_state is not None:
             self.model.load_state_dict(self._best_state)
         return self.history
+
+    def _record_epoch(self, stats: EpochStats) -> None:
+        """Export one epoch to gauges and the structured event log."""
+        self._m_epoch.set(stats.epoch)
+        self._m_loss.labels(component="total").set(stats.train_loss)
+        self._m_loss.labels(component="instance").set(stats.instance_loss)
+        self._m_loss.labels(component="semantic").set(stats.semantic_loss)
+        self._m_epoch_beta.labels(loss="instance").set(stats.instance_beta)
+        self._m_epoch_beta.labels(loss="semantic").set(stats.semantic_beta)
+        if np.isfinite(stats.val_medr):
+            self._m_val_medr.set(stats.val_medr)
+        self.telemetry.events.emit(
+            "epoch",
+            message=(f"epoch {stats.epoch:3d}  "
+                     f"loss {stats.train_loss:.4f}  "
+                     f"val MedR {stats.val_medr:.1f}"),
+            epoch=stats.epoch,
+            train_loss=stats.train_loss,
+            instance_loss=stats.instance_loss,
+            semantic_loss=stats.semantic_loss,
+            beta_instance=stats.instance_beta,
+            beta_semantic=stats.semantic_beta,
+            instance_active_fraction=stats.instance_active_fraction,
+            semantic_active_fraction=stats.semantic_active_fraction,
+            mean_grad_norm=stats.mean_grad_norm,
+            val_medr=stats.val_medr,
+            skipped_batches=stats.skipped_batches,
+            backbone_frozen=stats.backbone_frozen,
+        )
 
     # ------------------------------------------------------------------
     def _train_step(self, corpus: EncodedCorpus, rows: np.ndarray
@@ -393,6 +509,11 @@ class Trainer:
                     strategy=config.strategy,
                     bidirectional=config.bidirectional)
                 stats["ins_active"] = ins.active_fraction
+                stats["ins_beta"] = ins.beta_prime
+                stats["ins_loss"] = ins.loss.item()
+                self._m_beta.labels(loss="instance").inc(ins.beta_prime)
+                self._m_triplets.labels(loss="instance").inc(
+                    ins.num_triplets)
                 total = ins.loss
             if config.use_semantic_loss:
                 if config.use_hierarchical:
@@ -405,6 +526,9 @@ class Trainer:
                         strategy=config.strategy, rng=self._rng,
                         bidirectional=config.bidirectional)
                     stats["sem_active"] = hier.fine.active_fraction
+                    stats["sem_beta"] = hier.fine.beta_prime
+                    self._m_triplets.labels(loss="semantic").inc(
+                        hier.fine.num_triplets)
                     sem_loss = hier.loss
                 else:
                     sem = semantic_triplet_loss(
@@ -412,7 +536,13 @@ class Trainer:
                         margin=config.margin, strategy=config.strategy,
                         rng=self._rng, bidirectional=config.bidirectional)
                     stats["sem_active"] = sem.active_fraction
+                    stats["sem_beta"] = sem.beta_prime
+                    self._m_triplets.labels(loss="semantic").inc(
+                        sem.num_triplets)
                     sem_loss = sem.loss
+                stats["sem_loss"] = sem_loss.item()
+                self._m_beta.labels(loss="semantic").inc(
+                    stats["sem_beta"])
                 weighted = sem_loss * config.lambda_sem
                 total = weighted if total is None else total + weighted
 
@@ -429,6 +559,9 @@ class Trainer:
         if not verdict.healthy:
             optimizer.zero_grad()
             return None
+        stats["grad_norm"] = verdict.grad_norm
+        self._m_grad_norm.observe(verdict.grad_norm)
+        self._m_steps.inc()
 
         optimizer.step()
         self.fault_injector.on_step_end(step, optimizer.params)

@@ -18,6 +18,7 @@ from ..core.scenarios import build_scenario
 from ..core.trainer import Trainer
 from ..data.encoding import RecipeFeaturizer
 from ..data.generator import generate_dataset
+from ..obs import Telemetry
 from ..retrieval import ProtocolResult, RetrievalProtocol
 from ..robustness import CheckpointManager
 from .configs import ExperimentScale, get_scale
@@ -29,9 +30,16 @@ class ExperimentRunner:
     """Build the corpus once; train/evaluate scenarios on demand."""
 
     def __init__(self, scale: str | ExperimentScale = "bench",
-                 verbose: bool = False, checkpoint_dir=None):
+                 verbose: bool = False, checkpoint_dir=None,
+                 telemetry: Telemetry | None = None):
         self.scale = get_scale(scale)
         self.verbose = verbose
+        # Progress goes through the structured event log; verbose just
+        # attaches a printer to it (quiet by default).
+        self.telemetry = telemetry or Telemetry()
+        if verbose and self.telemetry.events.printer is None:
+            self.telemetry.events.printer = \
+                lambda line: print(line, flush=True)
         # one sub-directory per scenario, so a killed benchmark session
         # resumes instead of retraining from scratch
         self.checkpoint_dir = (pathlib.Path(checkpoint_dir)
@@ -53,8 +61,8 @@ class ExperimentRunner:
         self._trainers: dict[str, Trainer] = {}
 
     def _log(self, message: str) -> None:
-        if self.verbose:
-            print(f"[runner] {message}", flush=True)
+        self.telemetry.events.emit("runner", message=f"[runner] {message}",
+                                   detail=message)
 
     @property
     def num_classes(self) -> int:
@@ -76,7 +84,8 @@ class ExperimentRunner:
             )
             trainer = Trainer(
                 model, config,
-                class_to_group=self.dataset.taxonomy.class_to_group_ids())
+                class_to_group=self.dataset.taxonomy.class_to_group_ids(),
+                telemetry=self.telemetry)
             scenario_dir = (self.checkpoint_dir / name
                             if self.checkpoint_dir is not None else None)
             if scenario_dir is not None and \

@@ -1,0 +1,67 @@
+"""Structured event log: the obs-layer replacement for ``print``.
+
+An :class:`EventLog` turns progress output into machine-readable
+records — a bounded in-memory ring buffer, an optional JSONL sink so
+runs leave a trace on disk, and an optional printer for human-facing
+verbosity.  Quiet by default: without a printer nothing reaches the
+terminal, which is what library code (trainer, runner, service) wants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Bounded, thread-safe log of structured events.
+
+    Parameters
+    ----------
+    max_events:
+        Ring-buffer capacity for in-memory retention.
+    clock:
+        Timestamp source (injectable for deterministic tests).
+    sink:
+        Optional ``callable(dict)`` invoked per event — the telemetry
+        JSONL writer in production.
+    printer:
+        Optional ``callable(str)`` for verbose human output; only
+        events emitted with a ``message`` reach it.
+    """
+
+    def __init__(self, max_events: int = 4096,
+                 clock: Callable[[], float] = time.time,
+                 sink: Callable[[dict], None] | None = None,
+                 printer: Callable[[str], None] | None = None):
+        self._clock = clock
+        self._sink = sink
+        self.printer = printer
+        self._lock = threading.Lock()
+        self.events: deque[dict] = deque(maxlen=max_events)
+
+    def emit(self, event: str, message: str | None = None,
+             **fields) -> dict:
+        """Record one event; returns the stored record."""
+        record = {"kind": "event", "event": event, "ts": self._clock()}
+        record.update(fields)
+        with self._lock:
+            self.events.append(record)
+        if self._sink is not None:
+            self._sink(record)
+        if self.printer is not None and message is not None:
+            self.printer(message)
+        return record
+
+    def of_type(self, event: str) -> list[dict]:
+        """Buffered events with the given name, oldest first."""
+        with self._lock:
+            return [r for r in self.events if r["event"] == event]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)

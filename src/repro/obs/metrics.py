@@ -1,0 +1,413 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family with
+label names hands out per-label-value children via :meth:`labels`, a
+family without labels is used directly.  Everything is guarded by one
+lock per family, so concurrent increments from the serving threads and
+the training loop are exact — no sampling, no lost updates.
+
+Two expositions are supported, both dependency-free:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+  histogram series) for scraping or eyeballing;
+* :meth:`MetricsRegistry.to_dict` / :meth:`dump_json` — a JSON
+  snapshot that round-trips through :meth:`MetricsRegistry.from_dict`,
+  used by the CLI's ``metrics dump`` and the benchmark artifacts.
+
+Registration is idempotent: asking for an existing name returns the
+existing family (and raises if the kind or label names disagree), so
+independent subsystems can share a registry without coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+import threading
+
+__all__ = ["MetricError", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
+           "parse_prometheus"]
+
+#: General-purpose boundaries (seconds-ish scale).
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Finer low end for request/stage latencies measured in seconds.
+LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                   0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+class MetricError(ValueError):
+    """Invalid metric declaration or usage."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing value (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Arbitrary settable value (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with exact count and sum.
+
+    Bucket semantics follow Prometheus: a bucket with upper bound
+    ``le`` counts observations ``<= le``; the implicit final bucket is
+    ``+Inf``.  Boundaries are fixed at declaration so aggregation
+    across processes stays meaningful.
+    """
+
+    __slots__ = ("_lock", "boundaries", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, boundaries):
+        self._lock = lock
+        self.boundaries = tuple(float(b) for b in boundaries)
+        if not self.boundaries:
+            raise MetricError("histogram needs at least one boundary")
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise MetricError("histogram boundaries must be strictly "
+                              "increasing")
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._counts[bisect.bisect_left(self.boundaries, value)] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self, clock=None):
+        """A :class:`~repro.obs.timing.Timer` feeding this histogram."""
+        from .timing import Timer
+        return Timer(self, clock=clock) if clock is not None else Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts, final entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> list[int]:
+        counts = self.bucket_counts()
+        out, running = [], 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric with optional label dimensions."""
+
+    def __init__(self, kind: str, name: str, help: str,
+                 label_names: tuple[str, ...], buckets=None):
+        self.kind = kind
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._lock, self.buckets)
+        return _KINDS[self.kind](self._lock)
+
+    def labels(self, **label_values):
+        if set(label_values) != set(self.label_names):
+            raise MetricError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}")
+        key = tuple(str(label_values[n]) for n in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default(self):
+        if self.label_names:
+            raise MetricError(f"{self.name} has labels "
+                              f"{self.label_names}; call .labels(...)")
+        return self.labels()
+
+    # Label-free families proxy straight to their single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def time(self):
+        return self._default().time()
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+    def bucket_counts(self):
+        return self._default().bucket_counts()
+
+    def cumulative(self):
+        return self._default().cumulative()
+
+    def children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number formatting."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    parts = [f'{n}="{v}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """Container of metric families with idempotent registration."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- registration --------------------------------------------------
+    def _register(self, kind: str, name: str, help: str,
+                  labels, buckets=None) -> _Family:
+        labels = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != labels:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.label_names}")
+                return family
+            family = _Family(kind, name, help, labels, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labels=()) -> _Family:
+        return self._register("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()) -> _Family:
+        return self._register("gauge", name, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=(),
+                  buckets=DEFAULT_BUCKETS) -> _Family:
+        return self._register("histogram", name, help, labels, buckets)
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render every family in the Prometheus text format."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                labels = _label_str(family.label_names, key)
+                if family.kind in ("counter", "gauge"):
+                    lines.append(
+                        f"{family.name}{labels} {_fmt(child.value)}")
+                    continue
+                bounds = list(family.buckets) + [math.inf]
+                for bound, cum in zip(bounds, child.cumulative()):
+                    le = _label_str(family.label_names, key,
+                                    extra=f'le="{_fmt(bound)}"')
+                    lines.append(f"{family.name}_bucket{le} {cum}")
+                lines.append(f"{family.name}_sum{labels} "
+                             f"{_fmt(child.sum)}")
+                lines.append(f"{family.name}_count{labels} "
+                             f"{child.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """JSON-able snapshot; inverse of :meth:`from_dict`."""
+        out: dict[str, dict] = {}
+        for family in self.families():
+            entry: dict = {"kind": family.kind, "help": family.help,
+                           "labels": list(family.label_names)}
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.buckets)
+            samples = []
+            for key, child in family.children():
+                sample: dict = {
+                    "labels": dict(zip(family.label_names, key))}
+                if family.kind == "histogram":
+                    sample["count"] = child.count
+                    sample["sum"] = child.sum
+                    sample["bucket_counts"] = child.bucket_counts()
+                else:
+                    sample["value"] = child.value
+                samples.append(sample)
+            entry["samples"] = samples
+            out[family.name] = entry
+        return out
+
+    def dump_json(self, path, indent: int = 2) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=indent,
+                      sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        registry = cls()
+        for name, entry in data.items():
+            kind = entry["kind"]
+            labels = tuple(entry.get("labels", ()))
+            if kind == "counter":
+                family = registry.counter(name, entry.get("help", ""),
+                                          labels)
+            elif kind == "gauge":
+                family = registry.gauge(name, entry.get("help", ""),
+                                        labels)
+            elif kind == "histogram":
+                family = registry.histogram(
+                    name, entry.get("help", ""), labels,
+                    buckets=tuple(entry["buckets"]))
+            else:
+                raise MetricError(f"unknown metric kind {kind!r}")
+            for sample in entry.get("samples", ()):
+                child = family.labels(**sample.get("labels", {}))
+                if kind == "histogram":
+                    child._counts = [int(c)
+                                     for c in sample["bucket_counts"]]
+                    child._sum = float(sample["sum"])
+                    child._count = int(sample["count"])
+                else:
+                    child._value = float(sample["value"])
+        return registry
+
+
+def parse_prometheus(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse Prometheus text into ``{series: {label-items: value}}``.
+
+    Only what :meth:`MetricsRegistry.to_prometheus` emits is supported
+    (enough for round-trip tests and quick greps, not a full scraper).
+    Series names keep their ``_bucket``/``_sum``/``_count`` suffixes;
+    label sets are ``tuple(sorted((name, value), ...))``.
+    """
+    samples: dict[str, dict[tuple, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, __, value_part = line.rpartition(" ")
+        if "{" in name_part:
+            name, __, label_part = name_part.partition("{")
+            label_part = label_part.rstrip("}")
+            labels = []
+            for item in filter(None, label_part.split(",")):
+                key, __, raw = item.partition("=")
+                labels.append((key, raw.strip('"')))
+            key = tuple(sorted(labels))
+        else:
+            name, key = name_part, ()
+        value = float(value_part)
+        samples.setdefault(name, {})[key] = value
+    return samples

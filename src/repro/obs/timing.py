@@ -1,0 +1,85 @@
+"""Timers that feed histograms, as decorators or context managers.
+
+``Timer`` is the glue between "I want to know how long this takes"
+and the metrics layer: wrap a block (or decorate a function) and the
+elapsed seconds are observed into a histogram, with the last reading
+kept on :attr:`Timer.last` for callers that want the raw number.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Measure elapsed seconds into an optional histogram.
+
+    Usable three ways::
+
+        with Timer(histogram):            # context manager
+            work()
+
+        @Timer(histogram)                 # decorator
+        def work(): ...
+
+        timer = Timer(); timer.start(); work(); timer.stop()
+
+    ``histogram`` is anything with ``observe(seconds)`` — a
+    :class:`~repro.obs.metrics.Histogram` child or family — and may be
+    ``None`` to just measure.  ``callback`` (if given) receives each
+    elapsed reading after the histogram does.
+    """
+
+    def __init__(self, histogram=None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 callback: Callable[[float], None] | None = None):
+        self.histogram = histogram
+        self.clock = clock
+        self.callback = callback
+        self.last: float | None = None
+        self._started: float | None = None
+
+    # -- explicit ------------------------------------------------------
+    def start(self) -> "Timer":
+        self._started = self.clock()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer.stop() without start()")
+        elapsed = self.clock() - self._started
+        self._started = None
+        self._record(elapsed)
+        return elapsed
+
+    def _record(self, elapsed: float) -> None:
+        self.last = elapsed
+        if self.histogram is not None:
+            self.histogram.observe(elapsed)
+        if self.callback is not None:
+            self.callback(elapsed)
+
+    # -- context manager -----------------------------------------------
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Failures are timed too: a slow *failing* stage is exactly
+        # what a latency histogram must not hide.
+        self.stop()
+        return False
+
+    # -- decorator -----------------------------------------------------
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            start = self.clock()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._record(self.clock() - start)
+        return wrapped

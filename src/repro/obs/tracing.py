@@ -1,0 +1,179 @@
+"""In-process tracing: context-manager spans with parent links.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Spans
+opened while another span is active on the same thread become its
+children (parenting is tracked with a thread-local stack, so serving
+threads never share lineage by accident).  Finished spans land in a
+bounded ring buffer in completion order — children before parents —
+and, when the tracer has a sink, are also emitted as JSONL events the
+moment they close, so a crash still leaves a usable trace on disk.
+
+Ids are monotonic counters, not random: traces stay deterministic
+under test and cost nothing to allocate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SpanRecord", "Span", "Tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """Immutable summary of one finished span."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start: float
+    duration: float
+    status: str = "ok"               # ok | error
+    error: str | None = None
+    attributes: dict = field(default_factory=dict)
+
+    def to_event(self) -> dict:
+        """JSONL-ready representation."""
+        event = {"kind": "span", "name": self.name,
+                 "trace_id": self.trace_id, "span_id": self.span_id,
+                 "parent_id": self.parent_id, "start": self.start,
+                 "duration_ms": self.duration * 1000.0,
+                 "status": self.status}
+        if self.error is not None:
+            event["error"] = self.error
+        if self.attributes:
+            # Nested, not flattened: user attributes (e.g. "kind")
+            # must never clobber the record's own fields.
+            event["attributes"] = dict(self.attributes)
+        return event
+
+
+class Span:
+    """One unit of traced work; use as a context manager.
+
+    Attribute mutation is allowed while the span is open
+    (:meth:`set_attribute`); after close, :attr:`record` holds the
+    frozen :class:`SpanRecord` and :attr:`children` the records of
+    every direct child, in completion order — which is how the serving
+    layer turns a request span into a per-stage latency breakdown.
+    """
+
+    __slots__ = ("_tracer", "name", "trace_id", "span_id", "parent_id",
+                 "attributes", "children", "record", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: int,
+                 span_id: int, parent_id: int | None, attributes: dict):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.children: list[SpanRecord] = []
+        self.record: SpanRecord | None = None
+        self._start: float | None = None
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds, available once the span has closed."""
+        return self.record.duration if self.record is not None else None
+
+    def __enter__(self) -> "Span":
+        self._start = self._tracer._clock()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._tracer._clock()
+        self._tracer._pop(self)
+        status, error = "ok", None
+        if exc is not None:
+            status = "error"
+            error = f"{exc_type.__name__}: {exc}"
+        self.record = SpanRecord(
+            name=self.name, trace_id=self.trace_id,
+            span_id=self.span_id, parent_id=self.parent_id,
+            start=self._start, duration=end - self._start,
+            status=status, error=error, attributes=dict(self.attributes))
+        self._tracer._finish(self)
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Span factory with a bounded finished-span ring buffer."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 max_spans: int = 4096,
+                 sink: Callable[[dict], None] | None = None):
+        self._clock = clock
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.finished: deque[SpanRecord] = deque(maxlen=max_spans)
+
+    # -- thread-local span stack ---------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:           # mis-nested exit; recover anyway
+            stack.remove(span)
+
+    # -- span lifecycle ------------------------------------------------
+    def span(self, name: str, **attributes) -> Span:
+        """Create a child of the current thread's active span."""
+        parent = self.current()
+        with self._lock:
+            span_id = next(self._ids)
+            trace_id = (parent.trace_id if parent is not None
+                        else next(self._ids))
+        return Span(self, name, trace_id, span_id,
+                    parent.span_id if parent is not None else None,
+                    attributes)
+
+    def _finish(self, span: Span) -> None:
+        parent = self.current()
+        if parent is not None and parent.span_id == span.parent_id:
+            parent.children.append(span.record)
+        with self._lock:
+            self.finished.append(span.record)
+        if self._sink is not None:
+            self._sink(span.record.to_event())
+
+    # -- export --------------------------------------------------------
+    def to_events(self) -> list[dict]:
+        with self._lock:
+            return [record.to_event() for record in self.finished]
+
+    def export_jsonl(self, path) -> int:
+        """Append every buffered span to ``path``; returns the count."""
+        import json
+
+        events = self.to_events()
+        with open(path, "a") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(events)

@@ -21,6 +21,7 @@ trainer can roll back to its last good checkpoint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -86,6 +87,12 @@ class HealthMonitor:
     warmup_steps:
         Healthy steps observed before spike detection activates (the
         running mean is meaningless on the first few batches).
+    on_event:
+        Optional ``callable(kind, detail_dict)`` observability hook,
+        fired on every guard action: ``"clip"`` (with the pre-clip
+        norm), ``"skip"`` (with the reason), ``"rollback"``.  The
+        trainer wires this into the telemetry layer; the monitor's
+        policy is unaffected by it.
     """
 
     max_grad_norm: float = 10.0
@@ -95,8 +102,14 @@ class HealthMonitor:
     skipped: int = 0
     rollbacks: int = 0
     skip_log: list[str] = field(default_factory=list)
+    on_event: Callable[[str, dict], None] | None = \
+        field(default=None, repr=False, compare=False)
     _loss_mean: float = 0.0
     _loss_count: int = 0
+
+    def _emit(self, kind: str, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, detail)
 
     # ------------------------------------------------------------------
     def inspect_step(self, loss: float,
@@ -123,6 +136,8 @@ class HealthMonitor:
             for param in params:
                 if param.grad is not None:
                     param.grad *= scale
+            self._emit("clip", {"grad_norm": norm,
+                                "clipped_to": self.max_grad_norm})
 
         self._loss_count += 1
         self._loss_mean += (loss - self._loss_mean) / self._loss_count
@@ -132,6 +147,8 @@ class HealthMonitor:
         """Charge one unhealthy event against the skip budget."""
         self.skipped += 1
         self.skip_log.append(reason)
+        self._emit("skip", {"reason": reason, "skipped": self.skipped,
+                            "budget": self.skip_budget})
         if self.skipped > self.skip_budget:
             raise NumericalHealthError(
                 f"skip budget exhausted ({self.skipped} unhealthy batches "
@@ -155,6 +172,7 @@ class HealthMonitor:
 
     def note_rollback(self) -> None:
         self.rollbacks += 1
+        self._emit("rollback", {"rollbacks": self.rollbacks})
 
     def summary(self) -> str:
         return (f"health: {self.skipped} skipped batch(es), "

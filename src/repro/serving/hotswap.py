@@ -46,7 +46,9 @@ class SwapReport:
     """Outcome of one :meth:`ResilientSearchService.swap_corpus` call.
 
     ``generation`` is the generation *active after the call* — the new
-    one on success, the surviving old one on rollback.
+    one on success, the surviving old one on rollback.  ``duration_s``
+    covers build-aside + canaries + the swap itself (service clock),
+    so slow corpus refreshes are visible in the telemetry.
     """
 
     ok: bool
@@ -54,12 +56,14 @@ class SwapReport:
     canaries_run: int
     failures: tuple[str, ...]
     rolled_back: bool
+    duration_s: float = 0.0
 
     def summary(self) -> str:
         verdict = ("swapped" if self.ok
                    else f"rolled back ({len(self.failures)} failures)")
         return (f"swap -> generation {self.generation}: {verdict} "
-                f"after {self.canaries_run} canaries")
+                f"after {self.canaries_run} canaries "
+                f"in {self.duration_s * 1000:.1f}ms")
 
 
 def run_canaries(candidate: EngineGeneration, num_queries: int = 3

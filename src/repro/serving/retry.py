@@ -62,13 +62,18 @@ class CircuitBreaker:
 
     The open→half-open transition is driven lazily off the injected
     clock on every state read, so no background timer is needed.
-    State changes are appended to :attr:`transitions` for test and
-    observability purposes.
+    State changes are appended to :attr:`transitions`, and
+    ``on_transition(name, new_state)`` — if given — fires on each one,
+    which is how the serving layer keeps its breaker-state gauges and
+    transition counters current.  The callback runs with the breaker
+    lock held, so it must not call back into the breaker.
     """
 
     def __init__(self, name: str, failure_threshold: int = 3,
                  reset_after: float = 5.0, half_open_successes: int = 2,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str, "CircuitState"],
+                                         None] | None = None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if half_open_successes < 1:
@@ -78,6 +83,7 @@ class CircuitBreaker:
         self.reset_after = float(reset_after)
         self.half_open_successes = int(half_open_successes)
         self._clock = clock
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
@@ -145,3 +151,5 @@ class CircuitBreaker:
         if state is not self._state:
             self._state = state
             self.transitions.append(state)
+            if self._on_transition is not None:
+                self._on_transition(self.name, state)

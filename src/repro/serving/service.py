@@ -24,7 +24,14 @@ production deployment needs:
   single reference under the lock (:mod:`~repro.serving.hotswap`);
 * **outcome records** — every request, including shed and timed-out
   ones, produces a :class:`RequestOutcome`; the public search methods
-  never raise for operational faults.
+  never raise for operational faults;
+* **telemetry** — every request runs inside a
+  :class:`~repro.obs.tracing.Span` with one child span per stage
+  (admit → embed → index → materialize, or the degraded fallback),
+  feeding
+  per-stage latency histograms, deadline-remaining histograms, outcome
+  counters by status, breaker-state gauges, and hot-swap events into
+  the shared :class:`~repro.obs.Telemetry` registry.
 
 All time and randomness are injected (``clock``, ``sleep``, ``rng``)
 so chaos tests run on a fake clock with zero real sleeping.
@@ -32,27 +39,35 @@ so chaos tests run on a fake clock with zero real sleeping.
 
 from __future__ import annotations
 
+import contextlib
 import random
 import threading
 import time
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from ..core.engine import RecipeSearchEngine, SearchResult
 from ..data.schema import Recipe
+from ..obs import LATENCY_BUCKETS, Telemetry
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
 from .hotswap import EngineGeneration, SwapReport, run_canaries
-from .retry import CircuitBreaker, RetryPolicy
+from .retry import CircuitBreaker, CircuitState, RetryPolicy
 
 __all__ = ["ServiceConfig", "RequestOutcome", "ServiceResponse",
-           "ResilientSearchService", "STATUSES"]
+           "ResilientSearchService", "STATUSES",
+           "BREAKER_STATE_VALUES"]
 
 #: Every request resolves to exactly one of these.
 STATUSES = ("ok", "degraded", "shed", "timeout", "invalid", "error")
+
+#: Gauge encoding of breaker states (closed is the healthy zero).
+BREAKER_STATE_VALUES = {CircuitState.CLOSED: 0,
+                        CircuitState.HALF_OPEN: 1,
+                        CircuitState.OPEN: 2}
 
 
 class _StageUnavailable(RuntimeError):
@@ -95,6 +110,10 @@ class RequestOutcome:
     latency: float            # seconds, admission to response
     stage: str | None = None  # stage the request fell over at, if any
     error: str | None = None  # human-readable fault description
+    #: Per-stage wall time in milliseconds, from the request span's
+    #: child spans (admit / embed / index / materialize / degraded).
+    #: Stages a request never reached are absent.
+    stage_ms: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -135,6 +154,10 @@ class ResilientSearchService:
     faults:
         Optional :class:`~repro.robustness.faults.ServingFault` hook
         object; production passes ``None``.
+    telemetry:
+        Optional shared :class:`~repro.obs.Telemetry`.  A private
+        in-memory instance (on the service clock) is created when
+        omitted, so the metrics and spans below always exist.
     """
 
     def __init__(self, engine: RecipeSearchEngine,
@@ -142,7 +165,8 @@ class ResilientSearchService:
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep,
                  rng: random.Random | None = None,
-                 faults=None):
+                 faults=None,
+                 telemetry: Telemetry | None = None):
         self._config = config or ServiceConfig()
         self._clock = clock
         self._sleep = sleep
@@ -152,19 +176,90 @@ class ResilientSearchService:
         self._inflight = 0
         self._next_request_id = 0
         self._status_counts: Counter[str] = Counter()
+        self._stage_total_ms: Counter[str] = Counter()
+        self._stage_counts: Counter[str] = Counter()
+        self.telemetry = telemetry or Telemetry(clock=clock)
+        self._setup_metrics()
         self._active = EngineGeneration(
             0, engine, DegradedRanker(engine.dataset, engine.corpus))
         self.embed_breaker = CircuitBreaker(
             "embed", self._config.breaker_failure_threshold,
             self._config.breaker_reset_after,
-            self._config.breaker_half_open_successes, clock=clock)
+            self._config.breaker_half_open_successes, clock=clock,
+            on_transition=self._on_breaker_transition)
         self.index_breaker = CircuitBreaker(
             "index", self._config.breaker_failure_threshold,
             self._config.breaker_reset_after,
-            self._config.breaker_half_open_successes, clock=clock)
+            self._config.breaker_half_open_successes, clock=clock,
+            on_transition=self._on_breaker_transition)
+        for dependency in ("embed", "index"):
+            self._m_breaker_state.labels(dependency=dependency).set(0)
+        self._m_generation.set(0)
         self.outcomes: deque[RequestOutcome] = deque(
             maxlen=self._config.outcome_log_size)
         self.swaps: list[SwapReport] = []
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _setup_metrics(self) -> None:
+        registry = self.telemetry.registry
+        self._m_requests = registry.counter(
+            "serving_requests_total", "requests by kind and outcome",
+            labels=("kind", "status"))
+        self._m_request_latency = registry.histogram(
+            "serving_request_seconds",
+            "request latency, admission to response",
+            buckets=LATENCY_BUCKETS)
+        self._m_stage_latency = registry.histogram(
+            "serving_stage_seconds", "per-stage latency",
+            labels=("stage",), buckets=LATENCY_BUCKETS)
+        self._m_deadline_remaining = registry.histogram(
+            "serving_deadline_remaining_seconds",
+            "request budget left when each stage started",
+            labels=("stage",), buckets=LATENCY_BUCKETS)
+        self._m_attempts = registry.counter(
+            "serving_stage_attempts_total",
+            "dependency call attempts, including retries",
+            labels=("stage",))
+        self._m_breaker_state = registry.gauge(
+            "serving_breaker_state",
+            "0 closed, 1 half-open, 2 open", labels=("dependency",))
+        self._m_breaker_transitions = registry.counter(
+            "serving_breaker_transitions_total",
+            "breaker state changes", labels=("dependency", "state"))
+        self._m_inflight = registry.gauge(
+            "serving_inflight", "requests currently admitted")
+        self._m_generation = registry.gauge(
+            "serving_generation", "active engine generation")
+        self._m_swaps = registry.counter(
+            "serving_swaps_total", "hot-swap attempts by result",
+            labels=("result",))
+        self._m_canaries = registry.counter(
+            "serving_canaries_total", "canary queries run during swaps")
+
+    def _on_breaker_transition(self, name: str,
+                               state: CircuitState) -> None:
+        self._m_breaker_state.labels(dependency=name).set(
+            BREAKER_STATE_VALUES[state])
+        self._m_breaker_transitions.labels(dependency=name,
+                                           state=state.value).inc()
+        self.telemetry.events.emit("breaker", dependency=name,
+                                   state=state.value)
+
+    @contextlib.contextmanager
+    def _stage_span(self, stage: str, budget: Deadline):
+        """Child span + latency/deadline histograms for one stage."""
+        remaining = max(budget.remaining(), 0.0)
+        self._m_deadline_remaining.labels(stage=stage).observe(remaining)
+        start = self._clock()
+        with self.telemetry.tracer.span(
+                stage, deadline_remaining_s=remaining) as span:
+            try:
+                yield span
+            finally:
+                self._m_stage_latency.labels(stage=stage).observe(
+                    self._clock() - start)
 
     # ------------------------------------------------------------------
     # Public search API — never raises for operational faults
@@ -233,6 +328,7 @@ class ResilientSearchService:
         failure the old generation keeps serving and the report says
         ``rolled_back=True``.  Never raises.
         """
+        started = self._clock()
         old = self._active
         if dataset is None:
             dataset = old.engine.dataset
@@ -252,8 +348,7 @@ class ResilientSearchService:
                 failures=(f"candidate build failed: "
                           f"{type(exc).__name__}: {exc}",),
                 rolled_back=True)
-            self.swaps.append(report)
-            return report
+            return self._record_swap(report, started)
         candidate = EngineGeneration(old.generation + 1, engine, fallback)
         run, failures = run_canaries(candidate, canaries)
         if failures:
@@ -269,7 +364,22 @@ class ResilientSearchService:
             report = SwapReport(ok=True, generation=candidate.generation,
                                 canaries_run=run, failures=(),
                                 rolled_back=False)
+        return self._record_swap(report, started)
+
+    def _record_swap(self, report: SwapReport,
+                     started: float) -> SwapReport:
+        report = replace(report, duration_s=self._clock() - started)
         self.swaps.append(report)
+        self._m_swaps.labels(
+            result="swapped" if report.ok else "rolled_back").inc()
+        if report.canaries_run:
+            self._m_canaries.inc(report.canaries_run)
+        self._m_generation.set(report.generation)
+        self.telemetry.events.emit(
+            "swap", message=report.summary(), ok=report.ok,
+            generation=report.generation, canaries=report.canaries_run,
+            rolled_back=report.rolled_back,
+            duration_ms=report.duration_s * 1000.0)
         return report
 
     # ------------------------------------------------------------------
@@ -282,6 +392,15 @@ class ResilientSearchService:
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
         with self._lock:
+            stage_latency = {
+                stage: {
+                    "count": int(self._stage_counts[stage]),
+                    "total_ms": self._stage_total_ms[stage],
+                    "mean_ms": (self._stage_total_ms[stage]
+                                / self._stage_counts[stage]),
+                }
+                for stage in sorted(self._stage_counts)
+            }
             return {
                 "requests": self._next_request_id,
                 "inflight": self._inflight,
@@ -290,6 +409,7 @@ class ResilientSearchService:
                 "embed_breaker": self.embed_breaker.state.value,
                 "index_breaker": self.index_breaker.state.value,
                 "swaps": len(self.swaps),
+                "stage_latency_ms": stage_latency,
             }
 
     # ------------------------------------------------------------------
@@ -300,66 +420,81 @@ class ResilientSearchService:
                which_index: str) -> ServiceResponse:
         started = self._clock()
         generation = self._active  # snapshot: the whole request uses it
-        with self._lock:
-            request_id = self._next_request_id
-            self._next_request_id += 1
-            admitted = self._inflight < self._config.max_inflight
-            if admitted:
-                self._inflight += 1
-        if not admitted:
-            return self._finish(
-                request_id, kind, "shed", generation, started,
-                stage="admission",
-                error=f"load shed: {self._config.max_inflight} requests "
-                      f"already in flight")
-        trace = _RequestTrace()
-        try:
-            budget = Deadline(deadline_s or self._config.deadline,
-                              clock=self._clock)
+        budget = Deadline(deadline_s or self._config.deadline,
+                          clock=self._clock)
+        with self.telemetry.tracer.span(
+                "request", kind=kind,
+                generation=generation.generation) as span:
+            with self._stage_span("admit", budget):
+                with self._lock:
+                    request_id = self._next_request_id
+                    self._next_request_id += 1
+                    admitted = self._inflight < self._config.max_inflight
+                    if admitted:
+                        self._inflight += 1
+                        self._m_inflight.set(self._inflight)
+            span.set_attribute("request_id", request_id)
+            if not admitted:
+                return self._finish(
+                    request_id, kind, "shed", generation, started,
+                    stage="admission", span=span,
+                    error=f"load shed: {self._config.max_inflight} "
+                          f"requests already in flight")
+            trace = _RequestTrace()
             try:
-                class_id = generation.engine.resolve_class(class_name)
-                degraded_reason = None
                 try:
-                    vector = self._embed_stage(
-                        generation, request_id, embed, budget, trace)
-                    rows, distances = self._index_stage(
-                        generation, request_id, vector, k, class_id,
-                        which_index, budget)
-                    status = "ok"
-                except _StageUnavailable as exc:
-                    budget.check("degraded-fallback")
-                    if not self._config.degraded_enabled:
-                        return self._finish(
-                            request_id, kind, "error", generation,
-                            started, attempts=trace.attempts,
-                            stage=exc.stage, error=str(exc))
-                    rows, distances = fallback(generation.fallback,
-                                               class_id)
-                    status = "degraded"
-                    degraded_reason = str(exc)
-                budget.check("materialize")
-                results = generation.engine.materialize(rows, distances)
-                return self._finish(
-                    request_id, kind, status, generation, started,
-                    results=results, attempts=trace.attempts,
-                    error=degraded_reason)
-            except DeadlineExceeded as exc:
-                return self._finish(
-                    request_id, kind, "timeout", generation, started,
-                    attempts=trace.attempts, stage=exc.stage,
-                    error=str(exc))
-            except ValueError as exc:
-                return self._finish(
-                    request_id, kind, "invalid", generation, started,
-                    attempts=trace.attempts, error=str(exc))
-            except Exception as exc:  # containment: no fault escapes
-                return self._finish(
-                    request_id, kind, "error", generation, started,
-                    attempts=trace.attempts,
-                    error=f"{type(exc).__name__}: {exc}")
-        finally:
-            with self._lock:
-                self._inflight -= 1
+                    class_id = generation.engine.resolve_class(class_name)
+                    degraded_reason = None
+                    try:
+                        with self._stage_span("embed", budget):
+                            vector = self._embed_stage(
+                                generation, request_id, embed, budget,
+                                trace)
+                        with self._stage_span("index", budget):
+                            rows, distances = self._index_stage(
+                                generation, request_id, vector, k,
+                                class_id, which_index, budget)
+                        status = "ok"
+                    except _StageUnavailable as exc:
+                        budget.check("degraded-fallback")
+                        if not self._config.degraded_enabled:
+                            return self._finish(
+                                request_id, kind, "error", generation,
+                                started, attempts=trace.attempts,
+                                stage=exc.stage, error=str(exc),
+                                span=span)
+                        with self._stage_span("degraded", budget):
+                            rows, distances = fallback(
+                                generation.fallback, class_id)
+                        status = "degraded"
+                        degraded_reason = str(exc)
+                    budget.check("materialize")
+                    with self._stage_span("materialize", budget):
+                        results = generation.engine.materialize(
+                            rows, distances)
+                    return self._finish(
+                        request_id, kind, status, generation, started,
+                        results=results, attempts=trace.attempts,
+                        error=degraded_reason, span=span)
+                except DeadlineExceeded as exc:
+                    return self._finish(
+                        request_id, kind, "timeout", generation, started,
+                        attempts=trace.attempts, stage=exc.stage,
+                        error=str(exc), span=span)
+                except ValueError as exc:
+                    return self._finish(
+                        request_id, kind, "invalid", generation, started,
+                        attempts=trace.attempts, error=str(exc),
+                        span=span)
+                except Exception as exc:  # containment: no fault escapes
+                    return self._finish(
+                        request_id, kind, "error", generation, started,
+                        attempts=trace.attempts,
+                        error=f"{type(exc).__name__}: {exc}", span=span)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+                    self._m_inflight.set(self._inflight)
 
     def _embed_stage(self, generation: EngineGeneration, request_id: int,
                      embed, budget: Deadline,
@@ -385,6 +520,7 @@ class ResilientSearchService:
             if not breaker.allow():
                 raise _StageUnavailable("embed", "circuit open")
             trace.attempts += 1
+            self._m_attempts.labels(stage="embed").inc()
             vector = None
             try:
                 if self._faults is not None:
@@ -431,6 +567,7 @@ class ResilientSearchService:
             budget.check("index")
             if not breaker.allow():
                 raise _StageUnavailable("index", "circuit open")
+            self._m_attempts.labels(stage="index").inc()
             try:
                 if self._faults is not None:
                     self._faults.on_index_start(request_id, index)
@@ -456,15 +593,31 @@ class ResilientSearchService:
     def _finish(self, request_id: int, kind: str, status: str,
                 generation: EngineGeneration, started: float, *,
                 results=(), attempts: int = 0, stage: str | None = None,
-                error: str | None = None) -> ServiceResponse:
+                error: str | None = None, span=None) -> ServiceResponse:
+        latency = self._clock() - started
+        # Stage wall times come straight off the request span's closed
+        # children, so the outcome record and the trace always agree.
+        stage_ms: dict[str, float] = {}
+        if span is not None:
+            for child in span.children:
+                stage_ms[child.name] = (stage_ms.get(child.name, 0.0)
+                                        + child.duration * 1000.0)
+            span.set_attribute("status", status)
+            span.set_attribute("latency_s", latency)
         outcome = RequestOutcome(
             request_id=request_id, kind=kind, status=status,
             degraded=(status == "degraded"), attempts=attempts,
             generation=generation.generation,
-            latency=self._clock() - started, stage=stage, error=error)
+            latency=latency, stage=stage, error=error,
+            stage_ms=stage_ms)
         with self._lock:
             self.outcomes.append(outcome)
             self._status_counts[status] += 1
+            for name, ms in stage_ms.items():
+                self._stage_total_ms[name] += ms
+                self._stage_counts[name] += 1
+        self._m_requests.labels(kind=kind, status=status).inc()
+        self._m_request_latency.observe(latency)
         return ServiceResponse(
             results=tuple(results), degraded=outcome.degraded,
             generation=generation.generation, outcome=outcome)
