@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos bench quicktest telemetry-test
+.PHONY: test faults chaos cluster-chaos bench quicktest telemetry-test
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -11,6 +11,9 @@ faults:          ## fault-injection recovery suite only
 
 chaos:           ## serving chaos suite (fault schedules, breakers, hot-swap)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m chaos
+
+cluster-chaos:   ## sharded-cluster chaos suite (replica crashes, shard loss, hedging tails)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m cluster
 
 quicktest:       ## everything except the fault harness
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m "not faults"

@@ -18,6 +18,7 @@ from repro.core import instance_triplet_loss, semantic_triplet_loss
 from repro.data import (ClassTaxonomy, DishRenderer, IngredientLexicon)
 from repro.nn import BiLSTM, Conv2d, LSTM
 from repro.retrieval import RetrievalProtocol
+from repro.retrieval.index import NearestNeighborIndex
 
 
 RNG = lambda seed=0: np.random.default_rng(seed)
@@ -76,6 +77,33 @@ def test_bench_retrieval_protocol_1k(benchmark, bench_record):
     result = benchmark(protocol.evaluate, img, rec)
     assert result.medr() >= 1.0
     bench_record(result.medr(), benchmark)
+
+
+def test_bench_index_query_loop(benchmark, bench_record):
+    """Baseline for the batched path: one ``query`` call per vector."""
+    rng = RNG(8)
+    index = NearestNeighborIndex(rng.normal(size=(2000, 32)))
+    vectors = rng.normal(size=(64, 32))
+
+    def step():
+        return sum(len(index.query(v, k=10)[0]) for v in vectors)
+
+    total = benchmark(step)
+    assert total == 64 * 10
+    bench_record(float(total), benchmark)
+
+
+def test_bench_index_query_batch(benchmark, bench_record):
+    """The vectorized path: all 64 queries in one matmul.  Must beat
+    the loop above by a wide margin (the cluster's batched per-shard
+    merge path rides on it)."""
+    rng = RNG(8)
+    index = NearestNeighborIndex(rng.normal(size=(2000, 32)))
+    vectors = rng.normal(size=(64, 32))
+
+    ids, distances = benchmark(index.query_batch, vectors, 10)
+    assert ids.shape == (64, 10) and distances.shape == (64, 10)
+    bench_record(float(distances[:, 0].mean()), benchmark)
 
 
 def test_bench_dish_renderer(benchmark, bench_record):

@@ -8,7 +8,8 @@
     python -m repro search   --data data/ --model run/ \
                              --ingredients broccoli chicken
     python -m repro serve    --data data/ --model run/ \
-                             --ingredients broccoli chicken --deadline 0.5
+                             --ingredients broccoli chicken --deadline 0.5 \
+                             --shards 3 --replicas 2
     python -m repro metrics dump --jsonl run/telemetry.jsonl
 
 ``generate`` writes a synthetic Recipe1M in the Recipe1M JSON layout;
@@ -16,7 +17,8 @@
 runs the paper's bag protocol on the test split; ``search`` answers
 fridge queries with the trained engine; ``serve`` answers the same
 query through the fault-contained resilient service (deadline,
-circuit breakers, degraded fallback) and reports the structured
+circuit breakers, degraded fallback; ``--shards N`` serves from a
+sharded, replicated index cluster) and reports the structured
 request outcome.
 
 ``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
@@ -99,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request time budget in seconds")
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="admission bound; excess requests are shed")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve the indexes from a sharded, "
+                            "replicated cluster (1 = monolithic)")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="replicas per shard when --shards > 1")
     serve.add_argument("--no-degraded", action="store_true",
                        help="disable the model-free degraded fallback")
     serve.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
@@ -271,7 +278,9 @@ def _command_serve(args) -> int:
     telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
     service = ResilientSearchService(engine, ServiceConfig(
         deadline=args.deadline, max_inflight=args.max_inflight,
-        degraded_enabled=not args.no_degraded), telemetry=telemetry)
+        degraded_enabled=not args.no_degraded,
+        shards=args.shards, replicas=args.replicas),
+        telemetry=telemetry)
     try:
         response = service.search_by_ingredients(
             args.ingredients, k=args.top_k, class_name=args.class_name)
@@ -281,9 +290,20 @@ def _command_serve(args) -> int:
     line = (f"status {outcome.status}  generation {response.generation}  "
             f"attempts {outcome.attempts}  "
             f"latency {outcome.latency * 1000:.1f}ms")
+    if outcome.shards_total is not None:
+        line += (f"  shards {outcome.shards_answered}"
+                 f"/{outcome.shards_total}")
     if outcome.error:
         line += f"  [{outcome.error}]"
     print(line)
+    cluster = service.stats().get("cluster")
+    if cluster:
+        for name, info in cluster.items():
+            print(f"  cluster {name}: {info['shards']} shards x "
+                  f"{info['replication']} replicas, "
+                  f"{info['live_replicas']} live, "
+                  f"{info['hedges']} hedges, "
+                  f"{info['failovers']} failovers")
     if outcome.stage_ms:
         print("  stages: " + "  ".join(
             f"{stage} {ms:.1f}ms"

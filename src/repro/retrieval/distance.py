@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["normalize_rows", "cosine_distance_matrix", "cosine_distance"]
+__all__ = ["normalize_rows", "cosine_distance_matrix", "cosine_distance",
+           "cosine_distances_to"]
 
 
 def normalize_rows(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
@@ -28,3 +29,19 @@ def cosine_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     a = normalize_rows(a)
     b = normalize_rows(b)
     return 1.0 - (a * b).sum(axis=-1)
+
+
+def cosine_distances_to(rows: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Cosine distance from one query ``vector`` to each unit-norm row.
+
+    ``rows`` must already be L2-normalized (index embeddings are).  The
+    reduction is a per-row pairwise sum over the feature axis, whose
+    result depends only on the row contents — unlike the BLAS matmul
+    path, whose kernel choice (and hence last-ulp rounding) varies with
+    the matrix shape.  That shape-independence is what lets a sharded
+    index return distances bitwise-identical to the monolithic one:
+    each shard holds a row subset, and subsetting must not move a bit.
+    """
+    query = normalize_rows(np.asarray(vector,
+                                      dtype=np.float64).reshape(1, -1))[0]
+    return 1.0 - np.add.reduce(rows * query, axis=1)

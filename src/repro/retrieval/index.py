@@ -1,15 +1,27 @@
 """Exact nearest-neighbour index over latent embeddings.
 
-Backs the qualitative experiments (Tables 2, 4, 5): retrieve the
-closest images for an arbitrary query vector, optionally constrained
-to one semantic class (the paper's "within the class pizza" search).
+Backs the qualitative experiments (Tables 2, 4, 5) and the serving
+layer: retrieve the closest images for an arbitrary query vector,
+optionally constrained to one semantic class (the paper's "within the
+class pizza" search).
+
+Single-query distances use a shape-stable kernel
+(:func:`~repro.retrieval.distance.cosine_distances_to`) so an index
+built over any row subset returns bitwise-identical distances for
+those rows — the invariant the sharded cluster
+(:mod:`repro.serving.cluster`) relies on to merge per-shard top-k into
+exactly the monolithic result.  Batched queries
+(:meth:`NearestNeighborIndex.query_batch`) instead use one BLAS matmul
+for throughput; their distances agree with the single-query path to
+within one ulp but are not guaranteed bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .distance import cosine_distance_matrix, normalize_rows
+from .distance import (cosine_distance_matrix, cosine_distances_to,
+                       normalize_rows)
 
 __all__ = ["NearestNeighborIndex"]
 
@@ -34,6 +46,45 @@ class NearestNeighborIndex:
     def __len__(self) -> int:
         return len(self.embeddings)
 
+    # ------------------------------------------------------------------
+    # Derived indexes (sharding / replica repair)
+    # ------------------------------------------------------------------
+    def subset(self, positions: np.ndarray,
+               relabel: np.ndarray | None = None) -> "NearestNeighborIndex":
+        """A new index over the rows at ``positions``.
+
+        The already-normalized embedding rows are copied verbatim —
+        re-normalizing near-unit rows can move the last ulp, which
+        would break the shard/monolith bitwise-identity contract.
+        ``relabel`` substitutes new ids for the subset (the cluster
+        relabels shard items with their global row positions so merged
+        results can be tie-broken and mapped back exactly).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        dup = object.__new__(NearestNeighborIndex)
+        dup.embeddings = self.embeddings[positions].copy()
+        if relabel is None:
+            dup.ids = self.ids[positions].copy()
+        else:
+            dup.ids = np.asarray(relabel, dtype=np.int64).copy()
+            if len(dup.ids) != len(positions):
+                raise ValueError("relabel must align with positions")
+        dup.class_ids = (None if self.class_ids is None
+                         else self.class_ids[positions].copy())
+        return dup
+
+    def clone(self) -> "NearestNeighborIndex":
+        """Deep copy with embeddings copied verbatim (no re-normalize).
+
+        Used by cluster anti-entropy to rebuild a dead or corrupted
+        replica from a healthy sibling without disturbing a single bit
+        of the surviving data.
+        """
+        return self.subset(np.arange(len(self.embeddings)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def pool_size(self, class_id: int | None = None) -> int:
         """Number of candidates a query with this ``class_id`` ranks.
 
@@ -47,6 +98,21 @@ class NearestNeighborIndex:
             raise ValueError("index built without class metadata")
         return int(np.count_nonzero(self.class_ids == class_id))
 
+    def _candidates(self, k: int, class_id: int | None,
+                    strict: bool) -> np.ndarray:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        candidates = np.arange(len(self.embeddings))
+        if class_id is not None:
+            if self.class_ids is None:
+                raise ValueError("index built without class metadata")
+            candidates = np.flatnonzero(self.class_ids == class_id)
+        if strict and candidates.size < k:
+            raise ValueError(
+                f"k={k} exceeds the candidate pool of {candidates.size}"
+                + ("" if class_id is None else f" for class {class_id}"))
+        return candidates
+
     def query(self, vector: np.ndarray, k: int = 5,
               class_id: int | None = None, strict: bool = False
               ) -> tuple[np.ndarray, np.ndarray]:
@@ -58,25 +124,47 @@ class NearestNeighborIndex:
         Contract: returns ``min(k, pool)`` pairs, where ``pool`` is
         the candidate count for the constraint (see
         :meth:`pool_size`) — a class-filtered pool smaller than ``k``
-        yields fewer results rather than padding with junk.  Pass
-        ``strict=True`` to raise :class:`ValueError` instead when
-        ``k`` exceeds the pool.
+        yields fewer results rather than padding with junk; an *empty*
+        pool yields an empty pair.  Pass ``strict=True`` to raise
+        :class:`ValueError` instead whenever ``k`` exceeds the pool.
+
+        Ties are broken by candidate position (stable sort), so equal
+        distances resolve to the lower row — the same order the
+        cluster's merge reproduces across shards.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
-        candidates = np.arange(len(self.embeddings))
-        if class_id is not None:
-            if self.class_ids is None:
-                raise ValueError("index built without class metadata")
-            candidates = np.flatnonzero(self.class_ids == class_id)
-            if candidates.size == 0:
-                raise ValueError(f"no items of class {class_id} in index")
-        if strict and candidates.size < k:
-            raise ValueError(
-                f"k={k} exceeds the candidate pool of {candidates.size}"
-                + ("" if class_id is None else f" for class {class_id}"))
-        distances = cosine_distance_matrix(
-            vector, self.embeddings[candidates])[0]
+        candidates = self._candidates(k, class_id, strict)
+        if candidates.size == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        distances = cosine_distances_to(self.embeddings[candidates],
+                                        vector)
         order = np.argsort(distances, kind="stable")[:k]
         return self.ids[candidates[order]], distances[order]
+
+    def query_batch(self, vectors: np.ndarray, k: int = 5,
+                    class_id: int | None = None, strict: bool = False
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` for a whole batch of queries in one matmul.
+
+        ``vectors`` is ``(B, d)``; returns ``(ids, distances)`` each of
+        shape ``(B, min(k, pool))``, row ``b`` being the same result
+        :meth:`query` gives for ``vectors[b]`` (distances may differ in
+        the last ulp: the batched path trades the shape-stable kernel
+        for one BLAS call over all queries).  Pool semantics match
+        :meth:`query`: an empty pool yields ``(B, 0)`` arrays unless
+        ``strict``.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(
+                f"vectors must be 2-D (batch, dim); got {vectors.shape}")
+        candidates = self._candidates(k, class_id, strict)
+        if candidates.size == 0:
+            return (np.empty((len(vectors), 0), dtype=np.int64),
+                    np.empty((len(vectors), 0), dtype=np.float64))
+        distances = cosine_distance_matrix(vectors,
+                                           self.embeddings[candidates])
+        order = np.argsort(distances, axis=1,
+                           kind="stable")[:, :min(k, candidates.size)]
+        return (self.ids[candidates[order]],
+                np.take_along_axis(distances, order, axis=1))

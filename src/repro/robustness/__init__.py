@@ -10,16 +10,19 @@ Four pillars, each with its own module:
   reporting for the data pipeline;
 * :mod:`~repro.robustness.faults` — deterministic fault injection so
   all of the above is testable, including the serving-side injectors
-  (slow/NaN embeds, index corruption, swap-mid-query) that drive the
-  :mod:`repro.serving` chaos suite.
+  (slow/NaN embeds, index corruption, swap-mid-query) and the
+  cluster-side injectors (replica crashes, slow shards, whole-shard
+  loss) that drive the :mod:`repro.serving` chaos suites.
 """
 
 from .checkpoint import (FORMAT_VERSION, CheckpointError, CheckpointManager,
                          CheckpointState)
-from .faults import (ChainedFaults, ChainedServingFaults, CrashFault,
+from .faults import (ChainedClusterFaults, ChainedFaults,
+                     ChainedServingFaults, ClusterFault, CrashFault,
                      FaultInjector, IndexCorruptionFault, NaNEmbedFault,
-                     NaNGradientFault, ParamCorruptionFault, ServingFault,
-                     SimulatedCrash, SlowEmbedFault, SwapMidQueryFault,
+                     NaNGradientFault, ParamCorruptionFault, ReplicaCrash,
+                     ServingFault, ShardLoss, SimulatedCrash,
+                     SlowEmbedFault, SlowShard, SwapMidQueryFault,
                      corrupt_file, truncate_file)
 from .health import (HealthMonitor, NumericalHealthError, StepVerdict,
                      clip_grad_norm, global_grad_norm)
@@ -38,4 +41,6 @@ __all__ = [
     "truncate_file", "corrupt_file",
     "ServingFault", "ChainedServingFaults", "SlowEmbedFault",
     "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault",
+    "ClusterFault", "ChainedClusterFaults", "ReplicaCrash",
+    "SlowShard", "ShardLoss",
 ]

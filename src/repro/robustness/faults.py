@@ -17,7 +17,12 @@ so the guards themselves are testable:
   the resilient service's embed/index stages: slow embeds
   (:class:`SlowEmbedFault`), NaN embeddings (:class:`NaNEmbedFault`),
   in-place index corruption (:class:`IndexCorruptionFault`), and a
-  corpus swap fired mid-request (:class:`SwapMidQueryFault`).
+  corpus swap fired mid-request (:class:`SwapMidQueryFault`);
+* :class:`ClusterFault` subclasses — shard/replica failures hooked
+  into :class:`~repro.serving.cluster.IndexCluster` fan-outs: replica
+  processes dying mid-run (:class:`ReplicaCrash`), one shard's
+  replicas going slow (:class:`SlowShard`), and a whole shard lost at
+  once (:class:`ShardLoss`).
 
 All injectors are deterministic: faults fire at explicit step/epoch/
 request indices, never at random, so a failing test replays exactly.
@@ -35,7 +40,9 @@ __all__ = ["SimulatedCrash", "FaultInjector", "ChainedFaults",
            "NaNGradientFault", "ParamCorruptionFault", "CrashFault",
            "truncate_file", "corrupt_file",
            "ServingFault", "ChainedServingFaults", "SlowEmbedFault",
-           "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault"]
+           "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault",
+           "ClusterFault", "ChainedClusterFaults", "ReplicaCrash",
+           "SlowShard", "ShardLoss"]
 
 
 class SimulatedCrash(RuntimeError):
@@ -261,6 +268,118 @@ class SwapMidQueryFault(ServingFault):
         if request_id == self.request and not self.fired:
             self.fired = True
             self.trigger()
+
+
+# ----------------------------------------------------------------------
+# Cluster-side faults
+# ----------------------------------------------------------------------
+class ClusterFault:
+    """Hook points an :class:`~repro.serving.cluster.IndexCluster`
+    calls per fan-out.
+
+    ``query_id`` is the cluster's monotone query counter, so fault
+    schedules pin to exact queries.  ``on_cluster_query`` fires once
+    per fan-out, before validation and shard dispatch, with the
+    cluster itself (kill replicas, trip breakers, rewire topology);
+    ``on_replica_query`` fires on each replica *attempt* — including
+    failover and hedge attempts — and may sleep or raise.  The no-op
+    base injects nothing.
+    """
+
+    def on_cluster_query(self, query_id: int, cluster) -> None:
+        """Called at the start of each fan-out."""
+
+    def on_replica_query(self, query_id: int, shard_id: int,
+                         replica_id: int) -> None:
+        """Called before each replica attempt (may sleep or raise)."""
+
+
+class ChainedClusterFaults(ClusterFault):
+    """Compose several cluster faults; each hook runs them in order."""
+
+    def __init__(self, faults: Iterable[ClusterFault]):
+        self.faults = list(faults)
+
+    def on_cluster_query(self, query_id: int, cluster) -> None:
+        for fault in self.faults:
+            fault.on_cluster_query(query_id, cluster)
+
+    def on_replica_query(self, query_id: int, shard_id: int,
+                         replica_id: int) -> None:
+        for fault in self.faults:
+            fault.on_replica_query(query_id, shard_id, replica_id)
+
+
+class ReplicaCrash(ClusterFault):
+    """Kill chosen replicas at chosen queries.
+
+    ``schedule`` maps a query id to the ``(shard_id, replica_id)``
+    pairs whose processes die just as that fan-out begins.  The damage
+    persists until anti-entropy rebuilds the replica from a live
+    sibling — exactly a worker OOM-kill mid-traffic.
+    """
+
+    def __init__(self, schedule: dict):
+        self.schedule = {int(q): [(int(s), int(r)) for s, r in pairs]
+                         for q, pairs in schedule.items()}
+        self.fired: list[tuple[int, int, int]] = []
+
+    def on_cluster_query(self, query_id: int, cluster) -> None:
+        for shard_id, replica_id in self.schedule.get(query_id, ()):
+            cluster.crash_replica(shard_id, replica_id)
+            self.fired.append((query_id, shard_id, replica_id))
+
+
+class SlowShard(ClusterFault):
+    """Stall replica attempts on one shard by ``delay`` seconds.
+
+    Targets ``shard_id`` (optionally a single ``replica_id`` — the
+    straggler scenario hedging exists for: the primary stalls while
+    its sibling is fine) on the given query ids.  ``sleep`` is
+    injectable; chaos tests that measure wall-clock tail latency pass
+    ``time.sleep``.
+    """
+
+    def __init__(self, queries: Iterable[int], shard_id: int,
+                 delay: float, sleep: Callable[[float], None],
+                 replica_id: int | None = None):
+        self.queries = {int(q) for q in queries}
+        self.shard_id = int(shard_id)
+        self.replica_id = (None if replica_id is None
+                           else int(replica_id))
+        self.delay = float(delay)
+        self.sleep = sleep
+        self.fired: list[tuple[int, int, int]] = []
+
+    def on_replica_query(self, query_id: int, shard_id: int,
+                         replica_id: int) -> None:
+        if query_id not in self.queries or shard_id != self.shard_id:
+            return
+        if self.replica_id is not None and replica_id != self.replica_id:
+            return
+        self.sleep(self.delay)
+        self.fired.append((query_id, shard_id, replica_id))
+
+
+class ShardLoss(ClusterFault):
+    """Lose every replica of one shard at a chosen query.
+
+    With no live sibling left, anti-entropy has no donor: the shard
+    stays dark and every later fan-out must degrade to a partial
+    result rather than fail.
+    """
+
+    def __init__(self, query: int, shard_id: int):
+        self.query = int(query)
+        self.shard_id = int(shard_id)
+        self.fired = False
+
+    def on_cluster_query(self, query_id: int, cluster) -> None:
+        if query_id != self.query or self.fired:
+            return
+        self.fired = True
+        for replica in cluster.shards[self.shard_id].replicas:
+            cluster.crash_replica(self.shard_id, replica.replica_id)
 
 
 # ----------------------------------------------------------------------

@@ -10,17 +10,24 @@ Production containment around :class:`~repro.core.engine.RecipeSearchEngine`:
   ranking when the embed/index stages are unavailable;
 * :mod:`~repro.serving.hotswap` — canary-validated, atomic
   corpus+index generation swaps;
+* :mod:`~repro.serving.sharding` — deterministic hash-by-id shard
+  placement and bitwise-exact top-k merging;
+* :mod:`~repro.serving.cluster` — the sharded, replicated
+  :class:`~repro.serving.cluster.IndexCluster` with hedged fan-out,
+  failover, anti-entropy repair, and partial results;
 * :mod:`~repro.serving.service` — the
   :class:`~repro.serving.service.ResilientSearchService` tying it all
   together with admission control and structured outcome records.
 """
 
+from .cluster import ClusterConfig, ClusterResult, IndexCluster, ShardReplica
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
 from .hotswap import EngineGeneration, SwapReport, run_canaries
 from .retry import CircuitBreaker, CircuitState, RetryPolicy
 from .service import (STATUSES, RequestOutcome, ResilientSearchService,
                       ServiceConfig, ServiceResponse)
+from .sharding import merge_topk, partition_positions, shard_of, stable_hash64
 
 __all__ = [
     "Deadline", "DeadlineExceeded",
@@ -29,4 +36,6 @@ __all__ = [
     "CircuitBreaker", "CircuitState", "RetryPolicy",
     "STATUSES", "RequestOutcome", "ResilientSearchService",
     "ServiceConfig", "ServiceResponse",
+    "ClusterConfig", "ClusterResult", "IndexCluster", "ShardReplica",
+    "stable_hash64", "shard_of", "partition_positions", "merge_topk",
 ]

@@ -23,22 +23,36 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.engine import RecipeSearchEngine
 from .degraded import DegradedRanker
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .cluster import IndexCluster
+
 __all__ = ["EngineGeneration", "SwapReport", "run_canaries"]
 
 
 @dataclass(frozen=True)
 class EngineGeneration:
-    """One immutable (engine, fallback) pair under a generation id."""
+    """One immutable serving generation under a generation id.
+
+    Always carries the engine and its degraded fallback; when the
+    service is configured with ``shards > 1`` it also carries the two
+    sharded clusters (fridge/recipe queries hit the image cluster,
+    image queries the recipe cluster).  Clusters are rebuilt from
+    scratch for every generation — hot-swap replaces the whole
+    topology atomically, replica health included.
+    """
 
     generation: int
     engine: RecipeSearchEngine
     fallback: DegradedRanker
+    image_cluster: IndexCluster | None = None
+    recipe_cluster: IndexCluster | None = None
 
 
 @dataclass(frozen=True)

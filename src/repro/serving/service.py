@@ -19,6 +19,12 @@ production deployment needs:
   unavailable, requests are answered by the model-free
   :class:`~repro.serving.degraded.DegradedRanker` and marked
   ``degraded=True``;
+* **sharded fan-out** — configured with ``shards > 1``, each
+  generation's indexes are served by an
+  :class:`~repro.serving.cluster.IndexCluster` (replicated shards,
+  hedged requests, failover, anti-entropy); a fan-out that loses
+  shards degrades to a ``partial`` outcome carrying
+  ``shards_answered``/``shards_total`` instead of failing;
 * **hot-swap** — :meth:`ResilientSearchService.swap_corpus` builds a
   new corpus+index generation aside, canary-validates it, and swaps a
   single reference under the lock (:mod:`~repro.serving.hotswap`);
@@ -52,6 +58,7 @@ import numpy as np
 from ..core.engine import RecipeSearchEngine, SearchResult
 from ..data.schema import Recipe
 from ..obs import LATENCY_BUCKETS, Telemetry
+from .cluster import ClusterConfig, ClusterResult, IndexCluster
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
 from .hotswap import EngineGeneration, SwapReport, run_canaries
@@ -62,7 +69,8 @@ __all__ = ["ServiceConfig", "RequestOutcome", "ServiceResponse",
            "BREAKER_STATE_VALUES"]
 
 #: Every request resolves to exactly one of these.
-STATUSES = ("ok", "degraded", "shed", "timeout", "invalid", "error")
+STATUSES = ("ok", "partial", "degraded", "shed", "timeout", "invalid",
+            "error")
 
 #: Gauge encoding of breaker states (closed is the healthy zero).
 BREAKER_STATE_VALUES = {CircuitState.CLOSED: 0,
@@ -95,6 +103,16 @@ class ServiceConfig:
     canary_queries: int = 3            # per hot-swap validation
     outcome_log_size: int = 512        # ring buffer of RequestOutcomes
     degraded_enabled: bool = True
+    #: ``shards > 1`` serves each generation's indexes from an
+    #: :class:`~repro.serving.cluster.IndexCluster` with this many
+    #: shards and ``replicas`` copies of each; 1 keeps the monolithic
+    #: single-index path.
+    shards: int = 1
+    replicas: int = 2
+    #: Full cluster tuning; when given it wins over the ``shards`` /
+    #: ``replicas`` shorthand (and enables the cluster path whenever
+    #: its ``num_shards`` calls for one).
+    cluster: ClusterConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -114,6 +132,11 @@ class RequestOutcome:
     #: child spans (admit / embed / index / materialize / degraded).
     #: Stages a request never reached are absent.
     stage_ms: dict = field(default_factory=dict)
+    #: Cluster fan-out coverage; ``None`` outside the cluster path.
+    #: ``shards_answered < shards_total`` is exactly the ``partial``
+    #: status: the answer covers only the shards that made it.
+    shards_total: int | None = None
+    shards_answered: int | None = None
 
 
 @dataclass(frozen=True)
@@ -127,8 +150,9 @@ class ServiceResponse:
 
     @property
     def ok(self) -> bool:
-        """Did the request produce an answer (possibly degraded)?"""
-        return self.outcome.status in ("ok", "degraded")
+        """Did the request produce an answer (possibly degraded or
+        covering only part of the corpus)?"""
+        return self.outcome.status in ("ok", "partial", "degraded")
 
 
 class _RequestTrace:
@@ -154,6 +178,10 @@ class ResilientSearchService:
     faults:
         Optional :class:`~repro.robustness.faults.ServingFault` hook
         object; production passes ``None``.
+    cluster_faults:
+        Optional :class:`~repro.robustness.faults.ClusterFault` hook
+        object threaded into every generation's clusters (only
+        meaningful with ``shards > 1``).
     telemetry:
         Optional shared :class:`~repro.obs.Telemetry`.  A private
         in-memory instance (on the service clock) is created when
@@ -165,13 +193,14 @@ class ResilientSearchService:
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep,
                  rng: random.Random | None = None,
-                 faults=None,
+                 faults=None, cluster_faults=None,
                  telemetry: Telemetry | None = None):
         self._config = config or ServiceConfig()
         self._clock = clock
         self._sleep = sleep
         self._rng = rng or random.Random(0)
         self._faults = faults
+        self._cluster_faults = cluster_faults
         self._lock = threading.Lock()
         self._inflight = 0
         self._next_request_id = 0
@@ -180,8 +209,7 @@ class ResilientSearchService:
         self._stage_counts: Counter[str] = Counter()
         self.telemetry = telemetry or Telemetry(clock=clock)
         self._setup_metrics()
-        self._active = EngineGeneration(
-            0, engine, DegradedRanker(engine.dataset, engine.corpus))
+        self._active = self._make_generation(0, engine)
         self.embed_breaker = CircuitBreaker(
             "embed", self._config.breaker_failure_threshold,
             self._config.breaker_reset_after,
@@ -317,6 +345,38 @@ class ResilientSearchService:
             which_index="image")
 
     # ------------------------------------------------------------------
+    # Generations
+    # ------------------------------------------------------------------
+    def _cluster_config(self) -> ClusterConfig | None:
+        """The effective cluster topology, or ``None`` for the
+        monolithic single-index path."""
+        if self._config.cluster is not None:
+            return self._config.cluster
+        if self._config.shards > 1:
+            return ClusterConfig(num_shards=self._config.shards,
+                                 replication=self._config.replicas)
+        return None
+
+    def _make_generation(self, generation: int,
+                         engine: RecipeSearchEngine) -> EngineGeneration:
+        """Assemble one serving generation: engine + fallback, plus
+        fresh clusters over both indexes when sharding is on."""
+        fallback = DegradedRanker(engine.dataset, engine.corpus)
+        cluster_config = self._cluster_config()
+        if cluster_config is None:
+            return EngineGeneration(generation, engine, fallback)
+        return EngineGeneration(
+            generation, engine, fallback,
+            image_cluster=IndexCluster(
+                engine.image_index, cluster_config, name="image",
+                clock=self._clock, telemetry=self.telemetry,
+                faults=self._cluster_faults),
+            recipe_cluster=IndexCluster(
+                engine.recipe_index, cluster_config, name="recipe",
+                clock=self._clock, telemetry=self.telemetry,
+                faults=self._cluster_faults))
+
+    # ------------------------------------------------------------------
     # Hot-swap
     # ------------------------------------------------------------------
     def swap_corpus(self, corpus, dataset=None,
@@ -341,7 +401,8 @@ class ResilientSearchService:
                 engine = RecipeSearchEngine(
                     old.engine.model, old.engine.featurizer, dataset,
                     corpus)
-                fallback = DegradedRanker(dataset, corpus)
+                candidate = self._make_generation(
+                    old.generation + 1, engine)
         except Exception as exc:
             report = SwapReport(
                 ok=False, generation=old.generation, canaries_run=0,
@@ -349,7 +410,6 @@ class ResilientSearchService:
                           f"{type(exc).__name__}: {exc}",),
                 rolled_back=True)
             return self._record_swap(report, started)
-        candidate = EngineGeneration(old.generation + 1, engine, fallback)
         run, failures = run_canaries(candidate, canaries)
         if failures:
             report = SwapReport(ok=False, generation=old.generation,
@@ -401,16 +461,23 @@ class ResilientSearchService:
                 }
                 for stage in sorted(self._stage_counts)
             }
-            return {
+            active = self._active
+            stats = {
                 "requests": self._next_request_id,
                 "inflight": self._inflight,
-                "generation": self._active.generation,
+                "generation": active.generation,
                 "statuses": dict(self._status_counts),
                 "embed_breaker": self.embed_breaker.state.value,
                 "index_breaker": self.index_breaker.state.value,
                 "swaps": len(self.swaps),
                 "stage_latency_ms": stage_latency,
             }
+        if active.image_cluster is not None:
+            stats["cluster"] = {
+                "image": active.image_cluster.describe(),
+                "recipe": active.recipe_cluster.describe(),
+            }
+        return stats
 
     # ------------------------------------------------------------------
     # Request pipeline
@@ -445,17 +512,21 @@ class ResilientSearchService:
                 try:
                     class_id = generation.engine.resolve_class(class_name)
                     degraded_reason = None
+                    fan_out = None
                     try:
                         with self._stage_span("embed", budget):
                             vector = self._embed_stage(
                                 generation, request_id, embed, budget,
                                 trace)
                         with self._stage_span("index", budget):
-                            rows, distances = self._index_stage(
+                            rows, distances, fan_out = self._index_stage(
                                 generation, request_id, vector, k,
                                 class_id, which_index, budget)
-                        status = "ok"
+                        status = ("partial"
+                                  if fan_out is not None and fan_out.partial
+                                  else "ok")
                     except _StageUnavailable as exc:
+                        fan_out = None
                         budget.check("degraded-fallback")
                         if not self._config.degraded_enabled:
                             return self._finish(
@@ -475,7 +546,8 @@ class ResilientSearchService:
                     return self._finish(
                         request_id, kind, status, generation, started,
                         results=results, attempts=trace.attempts,
-                        error=degraded_reason, span=span)
+                        error=degraded_reason, span=span,
+                        fan_out=fan_out)
                 except DeadlineExceeded as exc:
                     return self._finish(
                         request_id, kind, "timeout", generation, started,
@@ -551,13 +623,22 @@ class ResilientSearchService:
     def _index_stage(self, generation: EngineGeneration, request_id: int,
                      vector: np.ndarray, k: int, class_id: int | None,
                      which_index: str, budget: Deadline
-                     ) -> tuple[np.ndarray, np.ndarray]:
+                     ) -> tuple[np.ndarray, np.ndarray,
+                                ClusterResult | None]:
         """Index query with retries behind the index breaker.
 
         Non-finite distances (a corrupted index) count as failures;
         FP warnings are contained here on purpose — the guard *is* the
-        containment.
+        containment.  With sharding on, the query fans out through the
+        generation's :class:`IndexCluster` instead and the returned
+        :class:`ClusterResult` reports shard coverage (``None`` on the
+        monolithic path).
         """
+        cluster = (generation.image_cluster if which_index == "image"
+                   else generation.recipe_cluster)
+        if cluster is not None:
+            return self._cluster_stage(cluster, request_id, vector, k,
+                                       class_id, budget)
         breaker = self.index_breaker
         policy = self._config.retry
         index = (generation.engine.image_index if which_index == "image"
@@ -582,7 +663,7 @@ class ResilientSearchService:
             else:
                 if np.all(np.isfinite(distances)):
                     breaker.record_success()
-                    return rows, distances
+                    return rows, distances, None
                 breaker.record_failure()
                 last = "non-finite distances from index"
             budget.check("index")
@@ -590,10 +671,40 @@ class ResilientSearchService:
                 self._sleep(budget.clamp(policy.delay(attempt, self._rng)))
         raise _StageUnavailable("index", f"retries exhausted ({last})")
 
+    def _cluster_stage(self, cluster: IndexCluster, request_id: int,
+                       vector: np.ndarray, k: int,
+                       class_id: int | None, budget: Deadline
+                       ) -> tuple[np.ndarray, np.ndarray, ClusterResult]:
+        """One fan-out through the generation's cluster.
+
+        No service-level retry loop: the cluster already failed over
+        through every live replica of every shard, so a second pass
+        could only re-run the identical chain.  The index breaker
+        watches whole-fan-out health — a fan-out no shard answers is a
+        dependency failure; one that lost *some* shards still answered
+        (the partial contract) and counts as a success.
+        """
+        breaker = self.index_breaker
+        if not breaker.allow():
+            raise _StageUnavailable("index", "circuit open")
+        self._m_attempts.labels(stage="index").inc()
+        if self._faults is not None:
+            self._faults.on_index_start(request_id, cluster)
+        result = cluster.query(vector, k=k, class_id=class_id,
+                               deadline=budget)
+        if result.shards_answered == 0:
+            breaker.record_failure()
+            raise _StageUnavailable(
+                "index",
+                f"no shards answered (0/{result.shards_total})")
+        breaker.record_success()
+        return result.ids, result.distances, result
+
     def _finish(self, request_id: int, kind: str, status: str,
                 generation: EngineGeneration, started: float, *,
                 results=(), attempts: int = 0, stage: str | None = None,
-                error: str | None = None, span=None) -> ServiceResponse:
+                error: str | None = None, span=None,
+                fan_out: ClusterResult | None = None) -> ServiceResponse:
         latency = self._clock() - started
         # Stage wall times come straight off the request span's closed
         # children, so the outcome record and the trace always agree.
@@ -609,7 +720,11 @@ class ResilientSearchService:
             degraded=(status == "degraded"), attempts=attempts,
             generation=generation.generation,
             latency=latency, stage=stage, error=error,
-            stage_ms=stage_ms)
+            stage_ms=stage_ms,
+            shards_total=(None if fan_out is None
+                          else fan_out.shards_total),
+            shards_answered=(None if fan_out is None
+                             else fan_out.shards_answered))
         with self._lock:
             self.outcomes.append(outcome)
             self._status_counts[status] += 1

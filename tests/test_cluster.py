@@ -1,0 +1,293 @@
+"""Sharded cluster behaviour under control (tier-1, no chaos marker).
+
+Fault-free semantics, failover mechanics driven by hand (no fault
+schedules), anti-entropy repair, and the service/CLI-visible surface:
+partial outcomes, ``stats()`` topology, cluster metrics in the
+telemetry snapshot, and hot-swap rebuilding the whole topology.  The
+chaos schedules live in ``test_cluster_chaos.py``.
+"""
+
+import numpy as np
+import pytest
+
+from ._serving_util import (FakeClock, known_ingredients, make_engine,
+                            make_world)
+from repro.obs import Telemetry, last_metrics_snapshot
+from repro.retrieval.index import NearestNeighborIndex
+from repro.serving import ResilientSearchService, ServiceConfig
+from repro.serving.cluster import (REPLICA_DEAD, ClusterConfig,
+                                   IndexCluster)
+from repro.serving.deadline import Deadline
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset, featurizer = make_world()
+    return dataset, featurizer
+
+
+def small_index(num_items=60, dim=12, seed=3, classes=3):
+    rng = np.random.default_rng(seed)
+    return NearestNeighborIndex(
+        rng.normal(size=(num_items, dim)),
+        class_ids=rng.integers(0, classes, size=num_items)), rng
+
+
+class TestClusterQueries:
+    def test_class_constraint_matches_monolith(self):
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=4))
+        vector = rng.normal(size=12)
+        for class_id in (None, 0, 1, 2):
+            ids, distances = index.query(vector, k=8, class_id=class_id)
+            result = cluster.query(vector, k=8, class_id=class_id)
+            assert np.array_equal(ids, result.ids)
+            assert distances.tobytes() == result.distances.tobytes()
+
+    def test_k_larger_than_pool_returns_pool(self):
+        index, rng = small_index(num_items=7)
+        cluster = IndexCluster(index, ClusterConfig(num_shards=3))
+        result = cluster.query(rng.normal(size=12), k=50)
+        assert len(result.ids) == 7
+
+    def test_missing_class_returns_empty(self):
+        # A class no shard holds: every shard answers an empty pool and
+        # the merge is empty — same non-strict contract as the index.
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=3))
+        result = cluster.query(rng.normal(size=12), k=5, class_id=99)
+        assert result.ids.shape == (0,)
+        assert result.shards_answered == 3 and not result.partial
+
+    def test_strict_pool_violation_raises(self):
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=3))
+        with pytest.raises(ValueError, match="candidate pool"):
+            cluster.query(rng.normal(size=12), k=999, strict=True)
+
+    def test_bad_k_raises(self):
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=2))
+        with pytest.raises(ValueError, match="k must be"):
+            cluster.query(rng.normal(size=12), k=0)
+
+    def test_expired_deadline_drops_all_shards(self):
+        clock = FakeClock()
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=3),
+                               clock=clock)
+        deadline = Deadline(0.5, clock=clock)
+        clock.sleep(1.0)  # budget already gone at fan-out time
+        result = cluster.query(rng.normal(size=12), k=5,
+                               deadline=deadline)
+        assert result.shards_answered == 0
+        assert result.ids.shape == (0,)
+
+    def test_query_batch_matches_per_row(self):
+        index, rng = small_index()
+        cluster = IndexCluster(index, ClusterConfig(num_shards=4))
+        vectors = rng.normal(size=(6, 12))
+        batch = cluster.query_batch(vectors, k=5)
+        assert batch.ids.shape == (6, 5)
+        for row, vector in enumerate(vectors):
+            single = cluster.query(vector, k=5)
+            assert np.array_equal(batch.ids[row], single.ids)
+            np.testing.assert_allclose(batch.distances[row],
+                                       single.distances, atol=1e-12)
+
+
+class TestFailoverAndRepair:
+    def test_failover_keeps_bits_identical(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=3, replication=2,
+                                 auto_anti_entropy=False))
+        for shard in range(3):
+            cluster.crash_replica(shard, 0)
+        vector = rng.normal(size=12)
+        ids, distances = index.query(vector, k=6)
+        result = cluster.query(vector, k=6)
+        assert not result.partial
+        assert result.failovers >= 3
+        assert np.array_equal(ids, result.ids)
+        assert distances.tobytes() == result.distances.tobytes()
+
+    def test_corrupted_replica_fails_over(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=2, replication=2,
+                                 auto_anti_entropy=False))
+        cluster.replica(0, 0).index.embeddings.fill(np.nan)
+        vector = rng.normal(size=12)
+        ids, _ = index.query(vector, k=5)
+        result = cluster.query(vector, k=5)
+        assert np.array_equal(ids, result.ids)
+        assert result.failovers >= 1
+
+    def test_anti_entropy_rebuilds_from_sibling(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=3, replication=2,
+                                 auto_anti_entropy=False))
+        for shard in range(3):
+            cluster.crash_replica(shard, 0)
+        assert cluster.live_replica_count() == 3
+        assert cluster.anti_entropy(force=True) == 3
+        assert cluster.live_replica_count() == 6
+        # Rebuilt replicas serve the same bits as the survivors.
+        rebuilt = cluster.replica(0, 0).index
+        donor = cluster.replica(0, 1).index
+        assert (rebuilt.embeddings.tobytes()
+                == donor.embeddings.tobytes())
+        result = cluster.query(rng.normal(size=12), k=4)
+        assert result.failovers == 0
+
+    def test_auto_anti_entropy_heals_after_query(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=2, replication=2))
+        cluster.crash_replica(1, 0)
+        cluster.query(rng.normal(size=12), k=3)
+        assert cluster.live_replica_count() == 4
+
+    def test_whole_shard_lost_is_partial_never_raises(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=3, replication=2))
+        cluster.crash_replica(1, 0)
+        cluster.crash_replica(1, 1)
+        for _ in range(5):
+            result = cluster.query(rng.normal(size=12), k=5)
+            assert result.partial
+            assert result.shards_answered == 2
+        # No donor: auto anti-entropy must not resurrect the shard.
+        assert cluster.live_replica_count() == 4
+
+    def test_describe_reports_topology(self):
+        index, rng = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=3, replication=2),
+            name="image")
+        cluster.crash_replica(2, 1)
+        info = cluster.describe()
+        assert info["name"] == "image"
+        assert info["shards"] == 3 and info["replication"] == 2
+        assert info["items"] == len(index)
+        assert info["live_replicas"] == 5
+        assert sum(s["items"] for s in info["topology"]) == len(index)
+        dead = info["topology"][2]["replicas"][1]
+        assert dead["alive"] is False
+
+    def test_replica_state_gauge_tracks_death_and_repair(self):
+        index, _ = small_index()
+        cluster = IndexCluster(
+            index, ClusterConfig(num_shards=2, replication=2,
+                                 auto_anti_entropy=False))
+        child = cluster._m_replica_state.labels(
+            cluster=cluster.name, shard=0, replica=0)
+        assert child.value == 0
+        cluster.crash_replica(0, 0)
+        assert child.value == REPLICA_DEAD
+        cluster.anti_entropy(force=True)
+        assert child.value == 0
+
+
+class TestClusteredService:
+    def test_results_identical_to_monolithic_service(self, world):
+        dataset, featurizer = world
+        clock = FakeClock()
+        mono = ResilientSearchService(
+            make_engine(dataset, featurizer), ServiceConfig(),
+            clock=clock, sleep=clock.sleep)
+        clustered = ResilientSearchService(
+            make_engine(dataset, featurizer),
+            ServiceConfig(shards=3, replicas=2),
+            clock=clock, sleep=clock.sleep)
+        ingredients = known_ingredients(mono._active.engine, 2)
+        a = mono.search_by_ingredients(ingredients, k=5)
+        b = clustered.search_by_ingredients(ingredients, k=5)
+        assert a.outcome.status == "ok" and b.outcome.status == "ok"
+        assert ([r.recipe.title for r in a.results]
+                == [r.recipe.title for r in b.results])
+        assert ([r.distance for r in a.results]
+                == [r.distance for r in b.results])
+        assert b.outcome.shards_total == 3
+        assert b.outcome.shards_answered == 3
+        assert a.outcome.shards_total is None  # monolithic path
+
+    def test_partial_outcome_on_shard_loss(self, world):
+        dataset, featurizer = world
+        clock = FakeClock()
+        service = ResilientSearchService(
+            make_engine(dataset, featurizer),
+            ServiceConfig(shards=3, replicas=2),
+            clock=clock, sleep=clock.sleep)
+        cluster = service._active.image_cluster
+        cluster.crash_replica(0, 0)
+        cluster.crash_replica(0, 1)
+        response = service.search_by_ingredients(
+            known_ingredients(service._active.engine, 2), k=5)
+        assert response.outcome.status == "partial"
+        assert response.ok
+        assert not response.degraded
+        assert response.outcome.shards_answered == 2
+        assert response.outcome.shards_total == 3
+        assert service.stats()["statuses"]["partial"] == 1
+
+    def test_stats_include_cluster_topology(self, world):
+        dataset, featurizer = world
+        clock = FakeClock()
+        service = ResilientSearchService(
+            make_engine(dataset, featurizer),
+            ServiceConfig(shards=2, replicas=3),
+            clock=clock, sleep=clock.sleep)
+        stats = service.stats()
+        assert stats["cluster"]["image"]["shards"] == 2
+        assert stats["cluster"]["image"]["replication"] == 3
+        assert stats["cluster"]["recipe"]["live_replicas"] == 6
+        # The monolithic configuration must not grow the key.
+        mono = ResilientSearchService(
+            make_engine(dataset, featurizer), ServiceConfig(),
+            clock=clock, sleep=clock.sleep)
+        assert "cluster" not in mono.stats()
+
+    def test_hot_swap_rebuilds_cluster(self, world):
+        dataset, featurizer = world
+        clock = FakeClock()
+        service = ResilientSearchService(
+            make_engine(dataset, featurizer),
+            ServiceConfig(shards=3, replicas=2),
+            clock=clock, sleep=clock.sleep)
+        old_cluster = service._active.image_cluster
+        old_cluster.crash_replica(0, 0)
+        old_cluster.crash_replica(0, 1)
+        report = service.swap_corpus(service._active.engine.corpus)
+        assert report.ok
+        fresh = service._active.image_cluster
+        assert fresh is not old_cluster
+        assert fresh.live_replica_count() == 6
+        response = service.search_by_ingredients(
+            known_ingredients(service._active.engine, 2), k=5)
+        assert response.outcome.status == "ok"
+        assert response.outcome.generation == 1
+
+    def test_cluster_metrics_reach_the_snapshot(self, world, tmp_path):
+        dataset, featurizer = world
+        clock = FakeClock()
+        trace = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(jsonl_path=trace, clock=clock)
+        service = ResilientSearchService(
+            make_engine(dataset, featurizer),
+            ServiceConfig(shards=3, replicas=2),
+            clock=clock, sleep=clock.sleep, telemetry=telemetry)
+        service.search_by_ingredients(
+            known_ingredients(service._active.engine, 2), k=5)
+        telemetry.close()
+        snapshot = last_metrics_snapshot(trace)
+        assert snapshot is not None
+        for name in ("cluster_queries_total", "cluster_shard_seconds",
+                     "cluster_replica_state", "cluster_hedges_total",
+                     "cluster_failovers_total",
+                     "cluster_anti_entropy_rebuilds_total",
+                     "cluster_partial_results_total"):
+            assert name in snapshot, name

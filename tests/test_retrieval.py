@@ -167,10 +167,18 @@ class TestIndex:
         with pytest.raises(ValueError):
             index.query(np.ones(3), class_id=0)
 
-    def test_missing_class_raises(self):
+    def test_missing_class_returns_empty_pair(self):
+        # empty pool, non-strict: an empty answer, not an exception —
+        # shards routinely hold zero items of a queried class
         index = NearestNeighborIndex(np.eye(3), class_ids=np.zeros(3))
-        with pytest.raises(ValueError):
-            index.query(np.ones(3), class_id=7)
+        ids, dist = index.query(np.ones(3), class_id=7)
+        assert ids.shape == (0,) and dist.shape == (0,)
+        assert ids.dtype == np.int64 and dist.dtype == np.float64
+
+    def test_missing_class_strict_raises(self):
+        index = NearestNeighborIndex(np.eye(3), class_ids=np.zeros(3))
+        with pytest.raises(ValueError, match="candidate pool"):
+            index.query(np.ones(3), class_id=7, strict=True)
 
     def test_custom_ids(self):
         index = NearestNeighborIndex(np.eye(3), ids=np.array([10, 20, 30]))
@@ -221,6 +229,80 @@ class TestIndexPoolContract:
         index = self.make()
         ids, __ = index.query(np.ones(5), k=2, class_id=1, strict=True)
         assert len(ids) == 2
+
+
+class TestIndexBatch:
+    def make(self, n=40, d=8, classes=3, seed=0):
+        rng = np.random.default_rng(seed)
+        return NearestNeighborIndex(
+            rng.normal(size=(n, d)),
+            class_ids=rng.integers(0, classes, size=n))
+
+    def test_batch_matches_per_row_query(self):
+        index = self.make()
+        vectors = np.random.default_rng(1).normal(size=(7, 8))
+        ids, dist = index.query_batch(vectors, k=5)
+        assert ids.shape == dist.shape == (7, 5)
+        for row, vector in enumerate(vectors):
+            one_ids, one_dist = index.query(vector, k=5)
+            np.testing.assert_array_equal(ids[row], one_ids)
+            np.testing.assert_allclose(dist[row], one_dist,
+                                       rtol=0, atol=1e-12)
+
+    def test_batch_class_constraint(self):
+        index = self.make()
+        vectors = np.random.default_rng(2).normal(size=(3, 8))
+        ids, __ = index.query_batch(vectors, k=4, class_id=1)
+        member_rows = set(np.flatnonzero(index.class_ids == 1))
+        assert all(int(i) in member_rows for i in ids.ravel())
+
+    def test_batch_underfull_and_empty_pools(self):
+        index = NearestNeighborIndex(
+            np.eye(5), class_ids=np.array([0, 0, 0, 1, 1]))
+        vectors = np.ones((4, 5))
+        ids, dist = index.query_batch(vectors, k=4, class_id=1)
+        assert ids.shape == dist.shape == (4, 2)
+        ids, dist = index.query_batch(vectors, k=4, class_id=9)
+        assert ids.shape == dist.shape == (4, 0)
+        with pytest.raises(ValueError, match="candidate pool"):
+            index.query_batch(vectors, k=4, class_id=9, strict=True)
+
+    def test_batch_rejects_bad_shapes(self):
+        index = self.make()
+        with pytest.raises(ValueError, match="2-D"):
+            index.query_batch(np.ones(8), k=2)
+        with pytest.raises(ValueError, match="k must be"):
+            index.query_batch(np.ones((2, 8)), k=0)
+
+
+class TestIndexSubsetClone:
+    def test_subset_preserves_bits_and_metadata(self):
+        rng = np.random.default_rng(3)
+        index = NearestNeighborIndex(
+            rng.normal(size=(20, 6)), ids=np.arange(100, 120),
+            class_ids=rng.integers(0, 2, size=20))
+        positions = np.array([1, 4, 7, 19])
+        sub = index.subset(positions)
+        np.testing.assert_array_equal(sub.embeddings.tobytes(),
+                                      index.embeddings[positions].tobytes())
+        np.testing.assert_array_equal(sub.ids, index.ids[positions])
+        np.testing.assert_array_equal(sub.class_ids,
+                                      index.class_ids[positions])
+
+    def test_subset_relabel_and_misalignment(self):
+        index = NearestNeighborIndex(np.eye(4))
+        sub = index.subset(np.array([2, 0]), relabel=np.array([7, 9]))
+        ids, __ = sub.query(np.array([0, 0, 1.0, 0]), k=1)
+        assert ids[0] == 7
+        with pytest.raises(ValueError, match="relabel"):
+            index.subset(np.array([0, 1]), relabel=np.array([5]))
+
+    def test_clone_is_independent_copy(self):
+        index = NearestNeighborIndex(np.eye(3))
+        dup = index.clone()
+        assert dup.embeddings.tobytes() == index.embeddings.tobytes()
+        dup.embeddings.fill(np.nan)  # corrupting the clone ...
+        assert np.isfinite(index.embeddings).all()  # ... spares the original
 
 
 @settings(max_examples=20, deadline=None)
