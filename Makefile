@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos bench quicktest telemetry-test
+.PHONY: test faults chaos cluster-chaos bench quicktest telemetry-test slo-test monitor-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -20,6 +20,12 @@ quicktest:       ## everything except the fault harness
 
 telemetry-test:  ## telemetry layer tests, incl. the chaos-marked ones
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m obs
+
+slo-test:        ## quality-SLO chaos suite (probes, drift, burn-rate alerts, flight recorder)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m slo
+
+monitor-demo:    ## run the quality-observability incident demo and render it
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/quality_monitor_demo.py
 
 bench:           ## regenerate all paper tables/figures
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,7 +7,10 @@ the substrate are caught independently of the experiment results.
 
 Each test reports its headline number through ``bench_record`` (see
 ``conftest.py``), which exports ``BENCH_components.json`` at session
-end via the obs JSON exposition.
+end via the obs JSON exposition.  The quality-observability overheads
+(golden-probe replay, drift-sketch updates, alert evaluation) report
+through ``bench_record_serving`` instead and land in
+``BENCH_serving.json``.
 """
 
 import numpy as np
@@ -15,10 +18,17 @@ import pytest
 
 from repro.autograd import Tensor, l2_normalize
 from repro.core import instance_triplet_loss, semantic_triplet_loss
-from repro.data import (ClassTaxonomy, DishRenderer, IngredientLexicon)
+from repro.core.engine import RecipeSearchEngine
+from repro.data import (ClassTaxonomy, DatasetConfig, DishRenderer,
+                        IngredientLexicon, RecipeFeaturizer,
+                        generate_dataset)
 from repro.nn import BiLSTM, Conv2d, LSTM
+from repro.obs import (AlertManager, BurnRateWindow, GoldenProbe,
+                       GoldenSet, MetricsRegistry, QuantileSketch,
+                       default_serving_slos)
 from repro.retrieval import RetrievalProtocol
 from repro.retrieval.index import NearestNeighborIndex
+from repro.serving import ResilientSearchService, ServiceConfig
 
 
 RNG = lambda seed=0: np.random.default_rng(seed)
@@ -150,3 +160,113 @@ def test_bench_conv2d_forward(benchmark, bench_record):
     out = benchmark(conv, images)
     assert out.shape == (32, 16, 24, 24)
     bench_record(float(np.abs(out.data).mean()), benchmark)
+
+
+# ----------------------------------------------------------------------
+# Quality-observability overheads -> BENCH_serving.json
+# ----------------------------------------------------------------------
+class _Embedded:
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+
+class _StubModel:
+    """Training-free embedder (normalized ingredient-id histograms) so
+    the serving benchmarks measure observability cost, not a model."""
+
+    def __init__(self, dim: int = 16):
+        self.dim = int(dim)
+
+    def _recipe_rows(self, ids, lengths) -> np.ndarray:
+        ids, lengths = np.asarray(ids), np.asarray(lengths)
+        out = np.zeros((len(ids), self.dim))
+        for row in range(len(ids)):
+            n = max(int(lengths[row]), 1)
+            hist = np.bincount(ids[row][:n] % self.dim,
+                               minlength=self.dim).astype(float) + 1e-3
+            out[row] = hist / np.linalg.norm(hist)
+        return out
+
+    def embed_recipes(self, ingredient_ids, ingredient_lengths,
+                      sentence_vectors, sentence_lengths) -> _Embedded:
+        return _Embedded(self._recipe_rows(ingredient_ids,
+                                           ingredient_lengths))
+
+    def embed_images(self, images) -> _Embedded:
+        flat = np.asarray(images).reshape(len(images), -1)
+        hist = np.abs(flat[:, :self.dim]) + 1e-3
+        return _Embedded(hist / np.linalg.norm(hist, axis=1,
+                                               keepdims=True))
+
+    def encode_corpus(self, corpus, batch_size: int = 256):
+        recipe = self._recipe_rows(corpus.ingredient_ids,
+                                   corpus.ingredient_lengths)
+        return recipe.copy(), recipe
+
+
+def _stub_service() -> ResilientSearchService:
+    dataset = generate_dataset(DatasetConfig(
+        num_pairs=60, num_classes=4, image_size=8, seed=7))
+    featurizer = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(dataset)
+    corpus = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(_StubModel(), featurizer, dataset, corpus)
+    return ResilientSearchService(engine, ServiceConfig(deadline=5.0))
+
+
+def test_bench_drift_sketch_update(benchmark, bench_record_serving):
+    """Cost of folding one batch of live values into a drift sketch."""
+    rng = RNG(9)
+    values = rng.uniform(0.0, 2.0, size=10_000)
+    sketch = QuantileSketch(0.0, 2.0, bins=32)
+
+    def step():
+        sketch.update_many(values)
+        return sketch.total
+
+    total = benchmark(step)
+    assert total >= len(values)
+    bench_record_serving(float(len(values)), benchmark)
+
+
+def test_bench_alert_evaluation(benchmark, bench_record_serving):
+    """One burn-rate evaluation pass over the default serving SLOs."""
+    registry = MetricsRegistry()
+    requests = registry.counter("serving_requests_total",
+                                labels=("status",))
+    stage = registry.histogram("serving_stage_seconds",
+                               labels=("stage",))
+    registry.gauge("probe_online_medr").set(2.0)
+    registry.gauge("drift_score", labels=("signal",)).labels(
+        signal="embedding_norm").set(0.05)
+    now = [0.0]
+    manager = AlertManager(
+        registry, default_serving_slos(),
+        windows=(BurnRateWindow("page", 300.0, 3600.0, 14.4),),
+        clock=lambda: now[0])
+
+    def step():
+        now[0] += 1.0
+        requests.labels(status="ok").inc(50)
+        requests.labels(status="error").inc()
+        stage.labels(stage="index").observe(0.01)
+        return len(manager.evaluate()) + len(manager.alerts)
+
+    slos = benchmark(step)
+    assert slos >= 4
+    bench_record_serving(float(len(manager.alerts)), benchmark)
+
+
+def test_bench_probe_overhead(benchmark, bench_record_serving):
+    """Full golden-probe replay (16 queries) through the live serving
+    path — the per-interval cost the probe adds to a running service."""
+    service = _stub_service()
+    golden = GoldenSet.from_engine(service.engine, size=16, seed=0)
+    probe = GoldenProbe(service, golden,
+                        registry=service.telemetry.registry,
+                        events=service.telemetry.events)
+    probe.attach()
+    metrics = benchmark(probe.run)
+    assert metrics.medr >= 1.0
+    bench_record_serving(metrics.medr, benchmark)

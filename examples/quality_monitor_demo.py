@@ -1,0 +1,172 @@
+"""A complete quality-observability incident, end to end.
+
+Stands up the resilient search service on a tiny synthetic corpus with
+the full quality loop attached — golden probes, embedding-drift
+monitor, burn-rate SLO alerting, flight recorder — then injects a
+*stale hot-swap*: the service receives a self-consistent corpus from
+the wrong split.  Every canary passes and latency stays green, but the
+probe's online MedR explodes, the quality SLO burns through its
+budget, the alert fires, and the flight recorder dumps a post-mortem
+bundle.  Finally the recorded telemetry is rendered with the same
+code path as ``repro monitor``:
+
+    python examples/quality_monitor_demo.py --out demo-out
+
+No training runs: the demo uses a deterministic histogram embedder, so
+it finishes in seconds.
+"""
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro.cli import main as cli_main
+from repro.core.engine import RecipeSearchEngine
+from repro.data import DatasetConfig, RecipeFeaturizer, generate_dataset
+from repro.obs import (AlertManager, BurnRateWindow, DriftReference,
+                       FlightRecorder, GoldenProbe, GoldenSet,
+                       Telemetry, default_serving_slos)
+from repro.serving import ResilientSearchService, ServiceConfig
+
+
+class _Clock:
+    """Manual clock so the burn-rate windows elapse instantly."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += max(float(seconds), 0.0)
+
+
+class _Embedded:
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+
+class _StubModel:
+    """Deterministic embedder: normalized ingredient-id histograms."""
+
+    def __init__(self, dim: int = 16):
+        self.dim = int(dim)
+
+    def _recipe_rows(self, ids, lengths) -> np.ndarray:
+        ids, lengths = np.asarray(ids), np.asarray(lengths)
+        out = np.zeros((len(ids), self.dim))
+        for row in range(len(ids)):
+            n = max(int(lengths[row]), 1)
+            hist = np.bincount(ids[row][:n] % self.dim,
+                               minlength=self.dim).astype(float) + 1e-3
+            out[row] = hist / np.linalg.norm(hist)
+        return out
+
+    def embed_recipes(self, ingredient_ids, ingredient_lengths,
+                      sentence_vectors, sentence_lengths) -> _Embedded:
+        return _Embedded(self._recipe_rows(ingredient_ids,
+                                           ingredient_lengths))
+
+    def embed_images(self, images) -> _Embedded:
+        flat = np.asarray(images).reshape(len(images), -1)
+        hist = np.abs(flat[:, :self.dim]) + 1e-3
+        return _Embedded(hist / np.linalg.norm(hist, axis=1,
+                                               keepdims=True))
+
+    def encode_corpus(self, corpus, batch_size: int = 256):
+        recipe = self._recipe_rows(corpus.ingredient_ids,
+                                   corpus.ingredient_lengths)
+        return recipe.copy(), recipe
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="quality-monitor-demo",
+                        help="output directory (telemetry + bundles)")
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    jsonl = out / "telemetry.jsonl"
+    jsonl.unlink(missing_ok=True)
+
+    print("== Setting up the service with the quality loop attached ==")
+    dataset = generate_dataset(DatasetConfig(
+        num_pairs=60, num_classes=4, image_size=8, seed=7))
+    featurizer = RecipeFeaturizer(word_dim=8, sentence_dim=8).fit(dataset)
+    corpus = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(_StubModel(), featurizer, dataset, corpus)
+
+    clock = _Clock()
+    telemetry = Telemetry(jsonl_path=jsonl, clock=clock)
+    service = ResilientSearchService(
+        engine, ServiceConfig(deadline=5.0), clock=clock,
+        sleep=clock.sleep, telemetry=telemetry)
+
+    # Training-time drift reference for the live corpus.
+    image_emb, recipe_emb = engine.model.encode_corpus(corpus)
+    service.drift.start_generation(
+        DriftReference.from_embeddings(recipe_emb, image_emb))
+
+    golden = GoldenSet.from_engine(engine, size=16, seed=5)
+    probe = GoldenProbe(service, golden, registry=telemetry.registry,
+                        events=telemetry.events, clock=clock)
+    probe.attach()
+
+    recorder = FlightRecorder(telemetry, out / "flight",
+                              drift=service.drift, probe=probe,
+                              clock=clock, min_interval_s=0.0)
+    manager = AlertManager(
+        telemetry.registry, default_serving_slos(medr_ceiling=5.0),
+        windows=(BurnRateWindow("page", 60.0, 300.0, 2.0),),
+        clock=clock, events=telemetry.events,
+        on_fire=[recorder.on_alert])
+
+    def traffic(n: int = 30) -> None:
+        indices = engine.corpus.recipe_indices
+        for i in range(n):
+            recipe = dataset[int(indices[i % len(indices)])]
+            assert service.search_by_recipe(recipe, k=5).ok
+            clock.sleep(1.0)
+
+    print("== Phase 1: healthy steady state ==")
+    traffic()
+    print(f"   probe   {probe.run().summary()}")
+    for _ in range(3):
+        clock.sleep(20.0)
+        manager.evaluate()
+    print(f"   alerts firing: "
+          f"{[n for n, a in manager.alerts.items() if a.firing]}")
+
+    print("== Phase 2: stale hot-swap (wrong split, canaries pass) ==")
+    report = service.swap_corpus(featurizer.encode_split(dataset,
+                                                         "train"))
+    print(f"   swap ok={report.ok} generation={report.generation} "
+          f"baseline={report.quality_baseline}")
+
+    print("== Phase 3: the probe catches what the canaries missed ==")
+    traffic()
+    print(f"   probe   {probe.run().summary()}")
+    for _ in range(6):
+        clock.sleep(20.0)
+        if any(a.firing for a in manager.evaluate()):
+            break
+    firing = [n for n, a in manager.alerts.items() if a.firing]
+    print(f"   alerts firing: {firing}")
+    for bundle in recorder.bundles:
+        print(f"   flight bundle: {bundle}")
+
+    telemetry.close()
+
+    print()
+    print(f"== Rendering the trace ({jsonl}) via `repro monitor` ==")
+    status = cli_main(["monitor", "--jsonl", str(jsonl)])
+    print(f"\nmonitor exit status: {status} (1 = an alert is firing)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

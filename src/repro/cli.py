@@ -23,7 +23,10 @@ request outcome.
 
 ``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
 spans and events to a JSONL trace with a final metrics snapshot;
-``metrics dump`` re-exposes that snapshot as Prometheus text or JSON.
+``metrics dump`` re-exposes that snapshot as Prometheus text or JSON;
+``monitor`` tails such a trace and renders quality-observability
+state: golden-probe MedR/R@K, drift scores, SLO burn rates, alerts,
+and flight-recorder bundles (exit code 1 while any alert is firing).
 """
 
 from __future__ import annotations
@@ -111,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
                        help="stream spans/events to this JSONL file and "
                             "append a final metrics snapshot")
+    serve.add_argument("--drift-reference", default=None, metavar="PATH",
+                       help="training-time drift reference "
+                            "(drift-reference.json) enabling online "
+                            "embedding-drift scoring")
+    serve.add_argument("--probe", type=int, default=0, metavar="N",
+                       help="after serving the query, replay an "
+                            "N-query golden probe through the service "
+                            "and report online vs offline MedR/R@K")
+
+    monitor = commands.add_parser(
+        "monitor", help="render quality-observability state from a "
+                        "telemetry JSONL trace")
+    monitor.add_argument("--jsonl", required=True, metavar="PATH",
+                         help="telemetry JSONL file to tail")
+    monitor.add_argument("--follow", action="store_true",
+                         help="keep re-rendering until interrupted")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between renders with --follow")
 
     metrics = commands.add_parser(
         "metrics", help="inspect telemetry traces written with "
@@ -218,6 +239,9 @@ def _command_train(args) -> int:
     out.mkdir(parents=True, exist_ok=True)
     featurizer.save(out)
     model.save(out / "model.npz")
+    if trainer.drift_reference is not None:
+        trainer.drift_reference.save(out / "drift-reference.json")
+        print(f"drift reference: {out / 'drift-reference.json'}")
     with open(out / "run.json", "w") as handle:
         json.dump({"scenario": args.scenario,
                    "num_classes": len(dataset.taxonomy),
@@ -268,7 +292,7 @@ def _command_search(args) -> int:
 
 def _command_serve(args) -> int:
     from .core import RecipeSearchEngine
-    from .obs import Telemetry
+    from .obs import DriftReference, GoldenProbe, GoldenSet, Telemetry
     from .serving import ResilientSearchService, ServiceConfig
 
     dataset = _load_dataset(args.data)
@@ -276,14 +300,29 @@ def _command_serve(args) -> int:
     test = featurizer.encode_split(dataset, "test")
     engine = RecipeSearchEngine(model, featurizer, dataset, test)
     telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
+    reference = (DriftReference.load(args.drift_reference)
+                 if args.drift_reference else None)
     service = ResilientSearchService(engine, ServiceConfig(
         deadline=args.deadline, max_inflight=args.max_inflight,
         degraded_enabled=not args.no_degraded,
         shards=args.shards, replicas=args.replicas),
-        telemetry=telemetry)
+        telemetry=telemetry, drift_reference=reference)
     try:
         response = service.search_by_ingredients(
             args.ingredients, k=args.top_k, class_name=args.class_name)
+        if args.probe > 0:
+            golden = GoldenSet.from_engine(engine, size=args.probe)
+            probe = GoldenProbe(service, golden,
+                                registry=telemetry.registry,
+                                events=telemetry.events)
+            probe.attach()
+            online = probe.run()
+            offline = probe.baseline
+            print(f"golden probe ({len(golden)} queries, "
+                  f"depth {golden.depth}):")
+            print(f"  online : {online.summary()}")
+            if offline is not None:
+                print(f"  offline: {offline.summary()}")
     finally:
         telemetry.close()
     outcome = response.outcome
@@ -315,6 +354,131 @@ def _command_serve(args) -> int:
     return 0 if response.ok else 1
 
 
+def _read_jsonl_tolerant(path) -> list[dict]:
+    """Like ``read_jsonl`` but skips malformed lines — a live trace
+    may be mid-write on its last line."""
+    import json
+
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _gauge_values(registry, name) -> dict[tuple, float]:
+    family = registry.get(name)
+    if family is None:
+        return {}
+    return {key: child.value for key, child in family.children()}
+
+
+def _render_monitor(path) -> tuple[str, bool]:
+    """Render one monitor frame; returns ``(text, any_alert_firing)``."""
+    from .obs import MetricsRegistry
+
+    records = _read_jsonl_tolerant(path)
+    lines = [f"monitor: {path} ({len(records)} records)"]
+    firing: dict[str, bool] = {}
+
+    # Event-sourced state: the trace streams events as they happen,
+    # while the metrics snapshot only lands when the run closes.
+    last = {}
+    flights = []
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        event = record.get("event")
+        if event in ("probe", "probe_baseline", "drift", "swap"):
+            last[event] = record
+        elif event == "alert":
+            firing[record.get("slo", "?")] = \
+                record.get("state") == "firing"
+            last[event] = record
+        elif event == "flight":
+            flights.append(record)
+
+    if "probe" in last:
+        probe = last["probe"]
+        line = (f"probe: online MedR {probe.get('medr', '?')}  "
+                f"R@1 {probe.get('r_at_1', '?')}  "
+                f"R@5 {probe.get('r_at_5', '?')}  "
+                f"R@10 {probe.get('r_at_10', '?')}")
+        if probe.get("baseline_medr") is not None:
+            line += (f"  (baseline MedR {probe['baseline_medr']}, "
+                     f"delta {probe.get('medr_delta')})")
+        lines.append(line)
+    if "drift" in last:
+        drift = last["drift"]
+        scores = ", ".join(
+            f"{name} {drift[name]:.3f}" if isinstance(
+                drift.get(name), (int, float)) else f"{name} n/a"
+            for name in ("embedding_norm", "top1_distance", "margin"))
+        lines.append(f"drift (PSI): {scores}")
+    if "swap" in last:
+        swap = last["swap"]
+        lines.append(f"generation: {swap.get('generation')} "
+                     f"({'ok' if swap.get('ok') else 'rolled back'})")
+
+    snapshot = None
+    for record in records:
+        if record.get("kind") == "metrics":
+            snapshot = record.get("metrics")
+    if snapshot is not None:
+        registry = MetricsRegistry.from_dict(snapshot)
+        stage_family = registry.get("serving_stage_seconds")
+        if stage_family is not None:
+            for key, child in stage_family.children():
+                if child.count == 0:
+                    continue
+                quantiles = child.quantiles((0.5, 0.95, 0.99))
+                lines.append(
+                    f"stage {key[0]}: n={child.count}  "
+                    f"p50 {quantiles[0.5] * 1000:.1f}ms  "
+                    f"p95 {quantiles[0.95] * 1000:.1f}ms  "
+                    f"p99 {quantiles[0.99] * 1000:.1f}ms")
+        for key, value in sorted(_gauge_values(
+                registry, "slo_burn_rate").items()):
+            lines.append(f"burn {key[0]}/{key[1]}: {value:.2f}x")
+        for key, value in _gauge_values(
+                registry, "slo_alert_firing").items():
+            # The snapshot is authoritative over events when present.
+            firing[key[0]] = value > 0
+
+    for name, state in sorted(firing.items()):
+        lines.append(f"alert {name}: "
+                     f"{'FIRING' if state else 'resolved'}")
+    for flight in flights:
+        lines.append(f"flight bundle: {flight.get('bundle')} "
+                     f"({flight.get('reason')})")
+    if not firing:
+        lines.append("alerts: none recorded")
+    return "\n".join(lines), any(firing.values())
+
+
+def _command_monitor(args) -> int:
+    import time
+
+    text, any_firing = _render_monitor(args.jsonl)
+    print(text)
+    while args.follow:
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
+        text, any_firing = _render_monitor(args.jsonl)
+        print("\n" + text)
+    return 1 if any_firing else 0
+
+
 def _command_metrics(args) -> int:
     import json
 
@@ -339,6 +503,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "search": _command_search,
     "serve": _command_serve,
+    "monitor": _command_monitor,
     "metrics": _command_metrics,
 }
 

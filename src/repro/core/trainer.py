@@ -29,6 +29,7 @@ import numpy as np
 from ..data.batching import PairBatcher
 from ..data.encoding import EncodedCorpus
 from ..obs import Telemetry
+from ..obs.drift import DRIFT_REFERENCE_NAME, DriftReference
 from ..optim import Adam, TwoPhaseSchedule
 from ..retrieval import RetrievalProtocol
 from ..robustness import (CheckpointError, CheckpointManager,
@@ -180,6 +181,10 @@ class Trainer:
         self.history: list[EpochStats] = []
         self.best_val_medr: float = float("inf")
         self._best_state = None
+        #: Training-time embedding sketches for online drift
+        #: detection; built at the end of every run and saved next to
+        #: the checkpoints when a manager is configured.
+        self.drift_reference: DriftReference | None = None
         self.health = HealthMonitor(
             max_grad_norm=config.max_grad_norm,
             spike_factor=config.loss_spike_factor,
@@ -443,6 +448,14 @@ class Trainer:
 
         if config.select_best and self._best_state is not None:
             self.model.load_state_dict(self._best_state)
+        # Pin the served model's embedding geometry for online drift
+        # detection — after best-state restore, so the reference
+        # describes the model that will actually serve.
+        self.drift_reference = self.build_drift_reference(
+            val_corpus if val_corpus is not None else train_corpus)
+        if self._manager is not None:
+            self.drift_reference.save(
+                self._manager.directory / DRIFT_REFERENCE_NAME)
         return self.history
 
     def _record_epoch(self, stats: EpochStats) -> None:
@@ -453,8 +466,9 @@ class Trainer:
         self._m_loss.labels(component="semantic").set(stats.semantic_loss)
         self._m_epoch_beta.labels(loss="instance").set(stats.instance_beta)
         self._m_epoch_beta.labels(loss="semantic").set(stats.semantic_beta)
-        if np.isfinite(stats.val_medr):
-            self._m_val_medr.set(stats.val_medr)
+        # Gauge.set drops non-finite values itself (registry-wide
+        # sanitization), so the no-validation NaN needs no local guard.
+        self._m_val_medr.set(stats.val_medr)
         self.telemetry.events.emit(
             "epoch",
             message=(f"epoch {stats.epoch:3d}  "
@@ -584,6 +598,19 @@ class Trainer:
         model_state, optimizer_state = self._last_good
         self.model.load_state_dict(model_state)
         self._optimizer.load_state_dict(optimizer_state)
+
+    # ------------------------------------------------------------------
+    def build_drift_reference(self, corpus: EncodedCorpus
+                              ) -> DriftReference:
+        """Sketch the model's embedding geometry over ``corpus``.
+
+        Recipe embeddings play the live-query role and image
+        embeddings the corpus role — the same orientation the serving
+        path's drift monitor observes (recipe/ingredient queries
+        against the image index).
+        """
+        image_emb, recipe_emb = self.model.encode_corpus(corpus)
+        return DriftReference.from_embeddings(recipe_emb, image_emb)
 
     # ------------------------------------------------------------------
     def evaluate_medr(self, corpus: EncodedCorpus) -> float:

@@ -21,38 +21,39 @@ flag and ``repro metrics dump`` operate on.
 from __future__ import annotations
 
 import json
-import math
 import pathlib
 import threading
 import time
 from typing import Callable
 
+from .drift import (DRIFT_REFERENCE_NAME, DRIFT_SIGNALS, DriftMonitor,
+                    DriftReference, QuantileSketch, ks_statistic, psi)
 from .events import EventLog
+from .flight import FlightRecorder
 from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
                       Histogram, MetricError, MetricsRegistry,
-                      parse_prometheus)
+                      parse_prometheus, quantile_from_counts)
+from .probes import GoldenProbe, GoldenSet, ProbeQuery
+from .sanitize import is_finite_number, json_safe
+from .slo import (DEFAULT_WINDOWS, SLO, Alert, AlertManager,
+                  BurnRateWindow, default_serving_slos)
 from .timing import Timer
 from .tracing import Span, SpanRecord, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
     "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "parse_prometheus",
+    "quantile_from_counts", "is_finite_number", "json_safe",
     "Span", "SpanRecord", "Tracer", "Timer", "EventLog",
     "JsonlWriter", "Telemetry",
     "read_jsonl", "last_metrics_snapshot",
+    "QuantileSketch", "psi", "ks_statistic", "DRIFT_SIGNALS",
+    "DRIFT_REFERENCE_NAME", "DriftReference", "DriftMonitor",
+    "ProbeQuery", "GoldenSet", "GoldenProbe",
+    "SLO", "BurnRateWindow", "Alert", "AlertManager",
+    "DEFAULT_WINDOWS", "default_serving_slos",
+    "FlightRecorder",
 ]
-
-
-def _json_safe(value):
-    """Replace non-finite floats (NaN MedR, Inf norms) with ``None``
-    so every emitted line is strictly valid JSON."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, dict):
-        return {key: _json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(item) for item in value]
-    return value
 
 
 class JsonlWriter:
@@ -68,7 +69,7 @@ class JsonlWriter:
         self.lines_written = 0
 
     def __call__(self, record: dict) -> None:
-        line = json.dumps(_json_safe(record), sort_keys=True,
+        line = json.dumps(json_safe(record), sort_keys=True,
                           default=str)
         with self._lock:
             if self._handle.closed:

@@ -14,6 +14,8 @@ import time
 from collections import deque
 from typing import Callable
 
+from .sanitize import json_safe
+
 __all__ = ["EventLog"]
 
 
@@ -46,9 +48,14 @@ class EventLog:
 
     def emit(self, event: str, message: str | None = None,
              **fields) -> dict:
-        """Record one event; returns the stored record."""
+        """Record one event; returns the stored record.
+
+        Field values are sanitized up front (non-finite floats become
+        ``None``) so the buffered record and the JSONL line agree — a
+        NaN MedR never reaches either.
+        """
         record = {"kind": "event", "event": event, "ts": self._clock()}
-        record.update(fields)
+        record.update(json_safe(fields))
         with self._lock:
             self.events.append(record)
         if self._sink is not None:
@@ -61,6 +68,18 @@ class EventLog:
         """Buffered events with the given name, oldest first."""
         with self._lock:
             return [r for r in self.events if r["event"] == event]
+
+    def snapshot(self, limit: int | None = None) -> list[dict]:
+        """Copy of the buffered events, oldest first.
+
+        ``limit`` keeps only the most recent records — what the flight
+        recorder dumps into an incident bundle.
+        """
+        with self._lock:
+            records = list(self.events)
+        if limit is not None:
+            records = records[-limit:]
+        return [dict(r) for r in records]
 
     def __len__(self) -> int:
         with self._lock:

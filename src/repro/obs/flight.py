@@ -1,0 +1,156 @@
+"""Flight recorder: atomic evidence bundles on alert firing.
+
+When a quality alert fires, the interesting state is *already in
+memory* — the span ring buffer, the recent event log, the metric
+registry, the live drift sketches, the last probe numbers.  By the
+time a human looks, ring buffers have wrapped and gauges have moved
+on.  The :class:`FlightRecorder` freezes all of it the moment an
+alert transitions to firing:
+
+``flight-0001-<reason>/``
+    ``manifest.json``   — reason, timestamps, alert context
+    ``spans.jsonl``     — the tracer's finished-span ring buffer
+    ``events.jsonl``    — recent structured events
+    ``metrics.json``    — full registry snapshot (JSON exposition)
+    ``drift.json``      — reference + live sketches (when wired)
+    ``probe.json``      — golden-probe summary (when wired)
+
+Bundles are written to a temp directory and renamed into place, so a
+partially written bundle is never mistaken for evidence.  A minimum
+interval between dumps stops a flapping alert from filling the disk.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Callable
+
+from .sanitize import json_safe
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Dump telemetry state into timestamped post-mortem bundles.
+
+    Parameters
+    ----------
+    telemetry:
+        The :class:`~repro.obs.Telemetry` whose tracer/events/registry
+        get frozen.
+    directory:
+        Bundle root; created on first dump.
+    drift, probe:
+        Optional :class:`~repro.obs.drift.DriftMonitor` and
+        :class:`~repro.obs.probes.GoldenProbe` whose state joins the
+        bundle.
+    clock:
+        Wall-clock source for manifest timestamps (injectable).
+    min_interval_s:
+        Dumps closer together than this are suppressed (flap guard);
+        0 disables the guard.
+    max_events:
+        Most-recent events retained in ``events.jsonl``.
+    """
+
+    def __init__(self, telemetry, directory, *, drift=None,
+                 probe=None, clock: Callable[[], float] | None = None,
+                 min_interval_s: float = 10.0, max_events: int = 512):
+        self.telemetry = telemetry
+        self.directory = pathlib.Path(directory)
+        self.drift = drift
+        self.probe = probe
+        self._clock = clock or telemetry.clock
+        self.min_interval_s = float(min_interval_s)
+        self.max_events = int(max_events)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._last_dump: float | None = None
+        self.bundles: list[pathlib.Path] = []
+
+    # ------------------------------------------------------------------
+    def on_alert(self, alert) -> pathlib.Path | None:
+        """``AlertManager.on_fire`` hook: dump with alert context."""
+        return self.dump(
+            reason=f"alert-{alert.slo.name}",
+            context={
+                "slo": alert.slo.name,
+                "kind": alert.slo.kind,
+                "fired_by": alert.fired_by,
+                "fired_at": alert.fired_at,
+                "value": alert.value,
+                "burn_rates": alert.burn_rates,
+            })
+
+    def dump(self, reason: str = "manual",
+             context: dict | None = None) -> pathlib.Path | None:
+        """Write one bundle; returns its path, or ``None`` when the
+        flap guard suppressed it."""
+        now = self._clock()
+        with self._lock:
+            if (self._last_dump is not None and self.min_interval_s > 0
+                    and now - self._last_dump < self.min_interval_s):
+                return None
+            self._last_dump = now
+            self._seq += 1
+            seq = self._seq
+        slug = "".join(c if c.isalnum() or c in "-_" else "-"
+                       for c in reason)[:40] or "dump"
+        final = self.directory / f"flight-{seq:04d}-{slug}"
+        tmp = self.directory / f".flight-{seq:04d}-{slug}.tmp"
+        self._write_bundle(tmp, reason, context or {}, now)
+        tmp.rename(final)       # atomic publish: all-or-nothing
+        with self._lock:
+            self.bundles.append(final)
+        self.telemetry.events.emit(
+            "flight", reason=reason, bundle=str(final))
+        return final
+
+    # ------------------------------------------------------------------
+    def _write_bundle(self, root: pathlib.Path, reason: str,
+                      context: dict, now: float) -> None:
+        root.mkdir(parents=True, exist_ok=True)
+
+        spans = [record.to_event()
+                 for record in list(self.telemetry.tracer.finished)]
+        self._write_jsonl(root / "spans.jsonl", spans)
+
+        events = self.telemetry.events.snapshot(limit=self.max_events)
+        self._write_jsonl(root / "events.jsonl", events)
+
+        self._write_json(root / "metrics.json",
+                         self.telemetry.registry.to_dict())
+
+        if self.drift is not None:
+            self._write_json(root / "drift.json", {
+                "summary": self.drift.summary(),
+                "sketches": self.drift.dump(),
+            })
+        if self.probe is not None:
+            self._write_json(root / "probe.json",
+                             self.probe.summary())
+
+        self._write_json(root / "manifest.json", {
+            "reason": reason,
+            "ts": now,
+            "context": context,
+            "spans": len(spans),
+            "events": len(events),
+            "has_drift": self.drift is not None,
+            "has_probe": self.probe is not None,
+        })
+
+    @staticmethod
+    def _write_json(path: pathlib.Path, payload) -> None:
+        path.write_text(json.dumps(json_safe(payload), sort_keys=True,
+                                   default=str, indent=1))
+
+    @staticmethod
+    def _write_jsonl(path: pathlib.Path, records) -> None:
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(json_safe(record),
+                                        sort_keys=True,
+                                        default=str) + "\n")

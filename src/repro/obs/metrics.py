@@ -18,6 +18,10 @@ Two expositions are supported, both dependency-free:
 Registration is idempotent: asking for an existing name returns the
 existing family (and raises if the kind or label names disagree), so
 independent subsystems can share a registry without coordination.
+
+Non-finite updates (NaN/Inf) are dropped uniformly by every primitive
+(see :mod:`~repro.obs.sanitize`): a gauge keeps its last finite value,
+a histogram sum can never be poisoned, and no exposition contains NaN.
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ import math
 import re
 import threading
 
+from .sanitize import json_safe  # noqa: F401  (re-exported convenience)
+
 __all__ = ["MetricError", "Counter", "Gauge", "Histogram",
            "MetricsRegistry", "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
-           "parse_prometheus"]
+           "parse_prometheus", "quantile_from_counts"]
 
 #: General-purpose boundaries (seconds-ish scale).
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -55,7 +61,11 @@ def _check_name(name: str) -> str:
 
 
 class Counter:
-    """Monotonically increasing value (one labeled child)."""
+    """Monotonically increasing value (one labeled child).
+
+    Non-finite increments are dropped (see :mod:`~repro.obs.sanitize`):
+    a single NaN must never turn a request counter into NaN forever.
+    """
 
     __slots__ = ("_lock", "_value")
 
@@ -66,6 +76,8 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise MetricError("counters only go up; use a gauge")
+        if not math.isfinite(amount):
+            return
         with self._lock:
             self._value += amount
 
@@ -76,7 +88,12 @@ class Counter:
 
 
 class Gauge:
-    """Arbitrary settable value (one labeled child)."""
+    """Arbitrary settable value (one labeled child).
+
+    Non-finite updates are dropped: ``set(nan)`` keeps the last finite
+    value (a gauge that silently flips to NaN breaks every dashboard
+    aggregate downstream), and ``inc(inf)`` is a no-op.
+    """
 
     __slots__ = ("_lock", "_value")
 
@@ -85,10 +102,15 @@ class Gauge:
         self._value = 0.0
 
     def set(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return
         with self._lock:
-            self._value = float(value)
+            self._value = value
 
     def inc(self, amount: float = 1.0) -> None:
+        if not math.isfinite(amount):
+            return
         with self._lock:
             self._value += amount
 
@@ -126,6 +148,8 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            return
         with self._lock:
             self._counts[bisect.bisect_left(self.boundaries, value)] += 1
             self._sum += value
@@ -158,6 +182,59 @@ class Histogram:
             running += c
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        The single canonical estimator for the whole codebase
+        (``stats()`` dashboards, the monitor CLI, latency SLOs) so no
+        consumer re-derives p99 ad hoc.  See
+        :func:`quantile_from_counts` for the estimation contract.
+        """
+        return quantile_from_counts(self.boundaries,
+                                    self.bucket_counts(), q)
+
+    def quantiles(self, qs=(0.5, 0.95, 0.99)) -> dict[float, float]:
+        """Several quantiles from one consistent snapshot of counts."""
+        counts = self.bucket_counts()
+        return {float(q): quantile_from_counts(self.boundaries, counts, q)
+                for q in qs}
+
+
+def quantile_from_counts(boundaries, bucket_counts, q: float) -> float:
+    """Estimate a quantile from fixed-boundary histogram counts.
+
+    Follows the Prometheus ``histogram_quantile`` convention: linear
+    interpolation inside the bucket holding the target rank, a lower
+    edge of 0 for the first bucket (latencies are non-negative), and
+    the highest finite boundary for ranks landing in the ``+Inf``
+    overflow bucket.  Returns NaN for an empty histogram — callers
+    that feed gauges rely on the registry's non-finite drop policy.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    boundaries = tuple(boundaries)
+    counts = list(bucket_counts)
+    if len(counts) != len(boundaries) + 1:
+        raise MetricError(
+            f"expected {len(boundaries) + 1} bucket counts "
+            f"(incl. +Inf), got {len(counts)}")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative < rank or count == 0:
+            continue
+        if i == len(boundaries):        # +Inf overflow bucket
+            return float(boundaries[-1])
+        upper = boundaries[i]
+        lower = boundaries[i - 1] if i > 0 else min(0.0, upper)
+        return lower + (upper - lower) * (rank - previous) / count
+    return float(boundaries[-1])
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

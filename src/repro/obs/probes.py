@@ -1,0 +1,279 @@
+"""Online retrieval-quality probing: golden queries through serving.
+
+The paper's claims are MedR / R@K over retrieval bags (§4.2); the
+serving stack's latency and availability metrics say nothing about
+them.  A :class:`GoldenProbe` closes that gap: it holds a frozen
+:class:`GoldenSet` of (recipe query → true corpus row) pairs sampled
+from the engine's own corpus, replays them through the *live* serving
+path on a schedule, and computes online MedR and R@{1,5,10} with the
+exact same estimators the offline evaluation uses
+(:mod:`repro.retrieval.metrics`) — so an online/offline gap is a
+serving-quality signal, not an estimator artifact.
+
+Ranks use the usual protocol: the true row's 1-based position in the
+top-``depth`` results, with a penalty rank of ``depth + 1`` when it is
+absent (missing, shed, or errored queries score worst rather than
+being silently dropped).  At each hot-swap the probe re-records the
+new generation's *offline* baseline (golden metrics straight off the
+engine, no serving machinery) so the exported ``probe_medr_delta``
+gauge isolates serving-induced quality loss from model quality.
+
+The probe deliberately duck-types the service — anything with
+``search_by_recipe(recipe, k=...)``, ``stats()`` and an
+``on_generation`` hook list works — because :mod:`repro.serving`
+imports :mod:`repro.obs` and a typed import here would be circular.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..retrieval.metrics import RetrievalMetrics
+
+__all__ = ["ProbeQuery", "GoldenSet", "GoldenProbe"]
+
+#: Recall cutoffs exported per probe run (the paper's R@{1,5,10}).
+RECALL_KS = (1, 5, 10)
+
+
+@dataclass(frozen=True)
+class ProbeQuery:
+    """One golden query: a recipe whose true image row is known."""
+
+    recipe: object            # repro.data.schema.Recipe
+    true_row: int             # corpus row of the matching image
+
+
+@dataclass
+class GoldenSet:
+    """A frozen bag of golden queries with a known answer key."""
+
+    queries: list[ProbeQuery]
+    depth: int                # retrieval depth; penalty rank = depth+1
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def penalty_rank(self) -> int:
+        return self.depth + 1
+
+    @classmethod
+    def from_engine(cls, engine, size: int = 32,
+                    depth: int | None = None,
+                    seed: int = 0) -> "GoldenSet":
+        """Sample golden queries from the engine's own corpus.
+
+        Each sampled corpus row contributes its recipe text as the
+        query and the row itself as the true match — the corpus is
+        paired (row = one recipe/image pair), so self-retrieval rank
+        is exactly the paper's im2recipe rank.
+        """
+        n = len(engine)
+        if n == 0:
+            raise ValueError("cannot build a golden set from an "
+                             "empty corpus")
+        if depth is None:
+            depth = min(n, 50)
+        depth = min(depth, n)
+        rng = np.random.default_rng(seed)
+        rows = rng.permutation(n)[:min(size, n)]
+        queries = [ProbeQuery(
+            recipe=engine.dataset[int(engine.corpus.recipe_indices[r])],
+            true_row=int(r)) for r in rows]
+        return cls(queries=queries, depth=depth)
+
+    def rank_of(self, query: ProbeQuery, result_rows) -> int:
+        """1-based rank of the true row, or the penalty rank."""
+        for position, row in enumerate(result_rows):
+            if int(row) == query.true_row:
+                return position + 1
+        return self.penalty_rank
+
+    def offline_metrics(self, engine) -> RetrievalMetrics:
+        """Golden metrics straight off the engine (no serving layer).
+
+        This is the per-generation baseline the probe compares online
+        numbers against: same queries, same answer key, same
+        estimators — only the serving machinery removed.
+        """
+        ranks = []
+        for query in self.queries:
+            results = engine.search_by_recipe(query.recipe,
+                                              k=self.depth)
+            ranks.append(self.rank_of(
+                query, [r.corpus_row for r in results]))
+        return RetrievalMetrics.from_ranks(np.asarray(ranks))
+
+
+class GoldenProbe:
+    """Scheduled golden-query replay through the live serving path.
+
+    Parameters
+    ----------
+    service:
+        Duck-typed serving handle (see module docstring).
+    golden:
+        The frozen golden set.
+    registry, events:
+        Export targets; usually the service's own telemetry, so probe
+        gauges land next to the serving metrics they contextualize.
+    interval_s:
+        Minimum seconds between scheduled runs via :meth:`maybe_run`
+        (explicit :meth:`run` ignores it).
+    clock:
+        Injectable time source for deterministic tests.
+    """
+
+    def __init__(self, service, golden: GoldenSet, *,
+                 registry=None, events=None, interval_s: float = 30.0,
+                 clock: Callable[[], float] | None = None):
+        self.service = service
+        self.golden = golden
+        self.interval_s = float(interval_s)
+        self._clock = clock or getattr(
+            getattr(service, "telemetry", None), "clock", None)
+        if self._clock is None:
+            import time
+            self._clock = time.monotonic
+        self._events = events
+        self._lock = threading.Lock()
+        self._last_run: float | None = None
+        self.last_metrics: RetrievalMetrics | None = None
+        self.baseline: RetrievalMetrics | None = None
+        self.baseline_generation: int | None = None
+        self._m_online_medr = None
+        if registry is not None:
+            self._m_online_medr = registry.gauge(
+                "probe_online_medr",
+                "Golden-set MedR measured through the live serving "
+                "path")
+            self._m_online_recall = registry.gauge(
+                "probe_online_recall",
+                "Golden-set R@k through the live serving path",
+                labels=("k",))
+            self._m_baseline_medr = registry.gauge(
+                "probe_baseline_medr",
+                "Offline golden-set MedR recorded at swap time for "
+                "the serving generation")
+            self._m_medr_delta = registry.gauge(
+                "probe_medr_delta",
+                "Online minus baseline MedR (serving-induced quality "
+                "loss)")
+            self._m_runs = registry.counter(
+                "probe_runs_total", "Completed golden-probe runs")
+            self._m_failures = registry.counter(
+                "probe_query_failures_total",
+                "Golden queries that failed to produce an answer")
+
+    # ------------------------------------------------------------------
+    # Baseline bookkeeping
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Register for generation changes and record the current
+        generation's baseline immediately."""
+        hooks = getattr(self.service, "on_generation", None)
+        if hooks is not None:
+            hooks.append(self._on_generation)
+        engine = getattr(self.service, "engine", None)
+        generation = getattr(self.service, "generation", 0)
+        if engine is not None:
+            self._on_generation(generation, engine)
+
+    def _on_generation(self, generation: int, engine) -> dict:
+        """Hot-swap hook: record the new generation's offline baseline."""
+        baseline = self.golden.offline_metrics(engine)
+        with self._lock:
+            self.baseline = baseline
+            self.baseline_generation = int(generation)
+        if self._m_online_medr is not None:
+            self._m_baseline_medr.set(baseline.medr)
+        if self._events is not None:
+            self._events.emit(
+                "probe_baseline", generation=int(generation),
+                **{k: float(v) for k, v in baseline.as_dict().items()})
+        return {"golden_" + k: float(v)
+                for k, v in baseline.as_dict().items()}
+
+    # ------------------------------------------------------------------
+    # Probe runs
+    # ------------------------------------------------------------------
+    def maybe_run(self) -> RetrievalMetrics | None:
+        """Run if at least ``interval_s`` elapsed since the last run."""
+        now = self._clock()
+        with self._lock:
+            due = (self._last_run is None
+                   or now - self._last_run >= self.interval_s)
+        if not due:
+            return None
+        return self.run()
+
+    def run(self) -> RetrievalMetrics:
+        """Replay every golden query through the service now."""
+        started = self._clock()
+        ranks, failures = [], 0
+        for query in self.golden.queries:
+            rank = self.golden.penalty_rank
+            try:
+                response = self.service.search_by_recipe(
+                    query.recipe, k=self.golden.depth)
+                if response.ok:
+                    rank = self.golden.rank_of(
+                        query,
+                        [r.corpus_row for r in response.results])
+                else:
+                    failures += 1
+            except Exception:
+                failures += 1
+            ranks.append(rank)
+        metrics = RetrievalMetrics.from_ranks(np.asarray(ranks))
+        with self._lock:
+            self._last_run = started
+            self.last_metrics = metrics
+            baseline = self.baseline
+        self._export(metrics, baseline, failures)
+        return metrics
+
+    def _export(self, metrics: RetrievalMetrics,
+                baseline: RetrievalMetrics | None,
+                failures: int) -> None:
+        if self._m_online_medr is not None:
+            self._m_online_medr.set(metrics.medr)
+            for k in RECALL_KS:
+                self._m_online_recall.labels(k=k).set(
+                    getattr(metrics, f"r_at_{k}"))
+            if baseline is not None:
+                self._m_medr_delta.set(metrics.medr - baseline.medr)
+            self._m_runs.inc()
+            if failures:
+                self._m_failures.inc(failures)
+        if self._events is not None:
+            payload = {k.replace("@", "_at_").lower(): float(v)
+                       for k, v in metrics.as_dict().items()}
+            if baseline is not None:
+                payload["baseline_medr"] = float(baseline.medr)
+                payload["medr_delta"] = float(metrics.medr
+                                              - baseline.medr)
+            self._events.emit("probe", failures=failures, **payload)
+
+    def summary(self) -> dict:
+        """Compact dict for ``stats()`` and flight bundles."""
+        with self._lock:
+            last = self.last_metrics
+            baseline = self.baseline
+            generation = self.baseline_generation
+        return {
+            "queries": len(self.golden),
+            "depth": self.golden.depth,
+            "baseline_generation": generation,
+            "online": (None if last is None
+                       else {k: float(v)
+                             for k, v in last.as_dict().items()}),
+            "baseline": (None if baseline is None
+                         else {k: float(v)
+                               for k, v in baseline.as_dict().items()}),
+        }

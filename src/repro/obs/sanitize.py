@@ -1,0 +1,41 @@
+"""Uniform non-finite sanitization for everything the obs layer emits.
+
+JSON has no NaN/Inf, and a single non-finite float (a NaN MedR before
+the first validation pass, an Inf norm from a poisoned batch) must not
+make a telemetry line unparseable or poison a dashboard aggregate.
+The policy is applied *uniformly* across the layer:
+
+* :func:`json_safe` replaces non-finite floats with ``None`` anywhere
+  inside a record — every JSONL line and every buffered event goes
+  through it;
+* the metric primitives (:class:`~repro.obs.metrics.Gauge`,
+  :class:`~repro.obs.metrics.Counter`,
+  :class:`~repro.obs.metrics.Histogram`) silently *drop* non-finite
+  updates, keeping the last finite value, so no exposition ever
+  contains NaN and no histogram sum is ever poisoned.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["is_finite_number", "json_safe"]
+
+
+def is_finite_number(value) -> bool:
+    """Is ``value`` a real, finite number (bools excluded)?"""
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def json_safe(value):
+    """Replace non-finite floats (NaN MedR, Inf norms) with ``None``
+    so every emitted record is strictly valid JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value

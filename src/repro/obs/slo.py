@@ -1,0 +1,387 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` declares an error budget over a metric already in the
+registry — no new instrumentation, just a reading rule:
+
+* ``availability`` — bad/total from a status-labelled request counter
+  (bad = shed/timeout/error);
+* ``latency`` — bad = histogram observations above a threshold
+  (a p99 target of 50 ms with budget 0.01 means "at most 1 % of
+  requests slower than 50 ms");
+* ``ceiling`` — bad = evaluation ticks where a gauge exceeds a
+  ceiling (online MedR, drift score).  Quality signals have no
+  per-request counter, so the tick itself is the unit of account.
+
+All three reduce to one cumulative ``(bad, total)`` pair, which is
+what makes multi-window burn rates (the Google SRE alerting pattern)
+uniform: burn = (Δbad/Δtotal)/budget over a window; an alert fires
+when *both* a short and a long window burn ≥ the rule's factor (fast
+enough to matter, sustained enough to be real) and resolves when the
+short window drops back under.  The :class:`AlertManager` evaluates
+every rule on demand, exports burn rates and firing states as gauges,
+emits ``alert`` events on transitions, and invokes ``on_fire`` hooks —
+which is where the flight recorder plugs in.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .metrics import MetricsRegistry
+
+__all__ = ["SLO", "BurnRateWindow", "Alert", "AlertManager",
+           "default_serving_slos", "DEFAULT_WINDOWS"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One error budget over an existing metric family.
+
+    ``budget`` is the allowed bad fraction (0.01 = 99 % objective).
+    Exactly one of ``counter`` / ``histogram`` / ``gauge`` is set,
+    matching ``kind``.
+    """
+
+    name: str
+    kind: str                       # availability | latency | ceiling
+    budget: float
+    description: str = ""
+    # availability --------------------------------------------------
+    counter: str = ""               # status-labelled counter family
+    status_label: str = "status"
+    bad_statuses: tuple[str, ...] = ("error", "timeout", "shed")
+    # latency -------------------------------------------------------
+    histogram: str = ""             # histogram family
+    labels: tuple[tuple[str, str], ...] = ()   # child selector
+    threshold: float = 0.0          # seconds; bad = observation above
+    # ceiling -------------------------------------------------------
+    gauge: str = ""                 # gauge family; bad tick = value
+    ceiling: float = 0.0            # strictly above this
+
+    def __post_init__(self):
+        if self.kind not in ("availability", "latency", "ceiling"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.budget < 1.0:
+            raise ValueError("budget must be in (0, 1)")
+
+    # -- cumulative (bad, total) accounting -------------------------
+    def sample(self, registry: MetricsRegistry) -> tuple[float, float] | None:
+        """Current cumulative ``(bad, total)``, or ``None`` when the
+        backing metric does not exist yet (nothing to judge)."""
+        if self.kind == "availability":
+            return self._sample_counter(registry)
+        if self.kind == "latency":
+            return self._sample_histogram(registry)
+        return None     # ceiling SLOs account per evaluation tick
+
+    def _sample_counter(self, registry):
+        family = registry.get(self.counter)
+        if family is None:
+            return None
+        try:
+            label_pos = family.label_names.index(self.status_label)
+        except ValueError:
+            return None
+        bad = total = 0.0
+        for key, child in family.children():
+            total += child.value
+            if key[label_pos] in self.bad_statuses:
+                bad += child.value
+        return bad, total
+
+    def _sample_histogram(self, registry):
+        family = registry.get(self.histogram)
+        if family is None:
+            return None
+        child = self._select_child(family)
+        if child is None:
+            return None
+        boundaries = child.boundaries
+        cumulative = child.cumulative()
+        total = float(child.count)
+        # Observations above the smallest boundary >= threshold count
+        # as bad; sub-boundary resolution is not available from bucket
+        # counts (pick bucket edges that include your targets).
+        good = 0.0
+        for boundary, cum in zip(boundaries, cumulative):
+            if boundary >= self.threshold:
+                good = float(cum)
+                break
+        else:
+            good = total
+        return total - good, total
+
+    def _select_child(self, family):
+        wanted = dict(self.labels)
+        if set(wanted) != set(family.label_names):
+            if family.label_names:
+                return None
+            return family.labels()
+        key = tuple(str(wanted[n]) for n in family.label_names)
+        for child_key, child in family.children():
+            if child_key == key:
+                return child
+        return None
+
+    # -- ceiling reading --------------------------------------------
+    def current_value(self, registry) -> float:
+        """The watched gauge's value (worst child when labelled), or
+        NaN when absent — only meaningful for ceiling SLOs."""
+        family = registry.get(self.gauge)
+        if family is None:
+            return float("nan")
+        if self.labels:
+            child = self._select_child(family)
+            return float("nan") if child is None else child.value
+        children = family.children()
+        if not children:
+            return float("nan")
+        values = [c.value for _, c in children]
+        return max(values)
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One multi-window burn-rate rule (short AND long ≥ factor)."""
+
+    name: str
+    short_s: float
+    long_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.short_s <= 0 or self.long_s < self.short_s:
+            raise ValueError("need 0 < short_s <= long_s")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+#: The SRE-workbook page/ticket ladder, scaled for a 28-day budget.
+DEFAULT_WINDOWS = (
+    BurnRateWindow("page", short_s=300.0, long_s=3600.0, factor=14.4),
+    BurnRateWindow("ticket", short_s=1800.0, long_s=21600.0, factor=6.0),
+)
+
+
+@dataclass
+class Alert:
+    """Mutable alert state for one SLO."""
+
+    slo: SLO
+    firing: bool = False
+    fired_at: float | None = None
+    resolved_at: float | None = None
+    fired_by: str | None = None     # window rule that tripped it
+    burn_rates: dict = field(default_factory=dict)
+    value: float = float("nan")     # ceiling SLOs: last gauge reading
+
+
+class _History:
+    """Cumulative (ts, bad, total) samples for burn-rate deltas."""
+
+    def __init__(self, max_samples: int = 4096):
+        self.samples: deque[tuple[float, float, float]] = deque(
+            maxlen=max_samples)
+
+    def push(self, ts: float, bad: float, total: float) -> None:
+        self.samples.append((ts, bad, total))
+
+    def burn(self, now: float, window_s: float,
+             budget: float) -> float:
+        """Burn rate over the trailing window (0 when idle/unknown).
+
+        Uses the oldest sample inside the window as the edge; with a
+        shorter history than the window the whole history is used —
+        a young process judges on what it has seen.
+        """
+        if not self.samples:
+            return 0.0
+        edge = None
+        for ts, bad, total in self.samples:
+            if ts >= now - window_s:
+                edge = (ts, bad, total)
+                break
+        if edge is None:
+            edge = self.samples[-1]
+        _, bad0, total0 = edge
+        _, bad1, total1 = self.samples[-1]
+        dtotal = total1 - total0
+        if dtotal <= 0:
+            return 0.0
+        fraction = max(0.0, bad1 - bad0) / dtotal
+        return fraction / budget
+
+
+class AlertManager:
+    """Evaluate SLOs against the registry; manage alert lifecycles.
+
+    Call :meth:`evaluate` on a schedule (the serving layer piggybacks
+    on request handling; tests drive it with a fake clock).  Each call
+    pushes one cumulative sample per SLO, recomputes every window's
+    burn rate, fires/resolves alerts, and exports the whole state as
+    gauges so the monitor CLI and Prometheus scrapes see it.
+    """
+
+    def __init__(self, registry: MetricsRegistry, slos,
+                 windows=DEFAULT_WINDOWS, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 events=None,
+                 on_fire=None, on_resolve=None):
+        self.registry = registry
+        self.slos = list(slos)
+        names = [s.name for s in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.windows = tuple(windows)
+        self._clock = clock
+        self._events = events
+        self.on_fire = list(on_fire or [])
+        self.on_resolve = list(on_resolve or [])
+        self._lock = threading.Lock()
+        self._history = {s.name: _History() for s in self.slos}
+        self.alerts = {s.name: Alert(slo=s) for s in self.slos}
+        self._m_burn = registry.gauge(
+            "slo_burn_rate", "Error-budget burn rate per window",
+            labels=("slo", "window"))
+        self._m_value = registry.gauge(
+            "slo_value",
+            "Watched value for ceiling SLOs (NaN-safe: unset during "
+            "warm-up)", labels=("slo",))
+        self._m_firing = registry.gauge(
+            "slo_alert_firing", "1 while the SLO's alert is firing",
+            labels=("slo",))
+        self._m_transitions = registry.counter(
+            "slo_alert_transitions_total",
+            "Alert state transitions", labels=("slo", "to"))
+        for slo in self.slos:
+            self._m_firing.labels(slo=slo.name).set(0)
+
+    @property
+    def firing(self) -> list[Alert]:
+        with self._lock:
+            return [a for a in self.alerts.values() if a.firing]
+
+    def evaluate(self) -> list[Alert]:
+        """One evaluation pass; returns alerts that *transitioned*."""
+        now = self._clock()
+        transitions = []
+        for slo in self.slos:
+            transition = self._evaluate_one(slo, now)
+            if transition is not None:
+                transitions.append(transition)
+        for alert in transitions:
+            hooks = self.on_fire if alert.firing else self.on_resolve
+            for hook in hooks:
+                hook(alert)
+        return transitions
+
+    def _evaluate_one(self, slo: SLO, now: float) -> Alert | None:
+        history = self._history[slo.name]
+        alert = self.alerts[slo.name]
+        value = float("nan")
+        if slo.kind == "ceiling":
+            value = slo.current_value(self.registry)
+            self._m_value.labels(slo=slo.name).set(value)
+            with self._lock:
+                alert.value = value
+            if math.isfinite(value):
+                last = history.samples[-1] if history.samples \
+                    else (now, 0.0, 0.0)
+                bad = last[1] + (1.0 if value > slo.ceiling else 0.0)
+                history.push(now, bad, last[2] + 1.0)
+        else:
+            sample = slo.sample(self.registry)
+            if sample is not None:
+                history.push(now, *sample)
+
+        burn_rates = {}
+        fired_by = None
+        short_hot = False
+        for window in self.windows:
+            short = history.burn(now, window.short_s, slo.budget)
+            long = history.burn(now, window.long_s, slo.budget)
+            burn_rates[window.name] = {"short": short, "long": long}
+            self._m_burn.labels(slo=slo.name,
+                                window=window.name).set(short)
+            if short >= window.factor and long >= window.factor:
+                fired_by = fired_by or window.name
+            if short >= window.factor:
+                short_hot = True
+
+        with self._lock:
+            alert.burn_rates = burn_rates
+            was_firing = alert.firing
+            if not was_firing and fired_by is not None:
+                alert.firing = True
+                alert.fired_at = now
+                alert.resolved_at = None
+                alert.fired_by = fired_by
+            elif was_firing and not short_hot:
+                alert.firing = False
+                alert.resolved_at = now
+            changed = alert.firing != was_firing
+            firing = alert.firing
+
+        self._m_firing.labels(slo=slo.name).set(1 if firing else 0)
+        if changed:
+            to = "firing" if firing else "resolved"
+            self._m_transitions.labels(slo=slo.name, to=to).inc()
+            if self._events is not None:
+                self._events.emit(
+                    "alert", slo=slo.name, state=to,
+                    kind=slo.kind, fired_by=alert.fired_by,
+                    value=value,
+                    burn=burn_rates.get(alert.fired_by or "", None))
+            return alert
+        return None
+
+    def state(self) -> dict:
+        """Full alert/SLO state for ``stats()`` and the monitor CLI."""
+        with self._lock:
+            return {
+                slo.name: {
+                    "kind": slo.kind,
+                    "budget": slo.budget,
+                    "firing": self.alerts[slo.name].firing,
+                    "fired_by": self.alerts[slo.name].fired_by,
+                    "value": self.alerts[slo.name].value,
+                    "burn_rates": dict(
+                        self.alerts[slo.name].burn_rates),
+                } for slo in self.slos
+            }
+
+
+def default_serving_slos(*, stage: str = "index",
+                         stage_p99_s: float = 0.25,
+                         medr_ceiling: float = 10.0,
+                         drift_ceiling: float = 0.25,
+                         availability_budget: float = 0.01
+                         ) -> list[SLO]:
+    """The standard serving SLO set wired to the metric families the
+    serving stack and this module's probes/drift monitors export.
+
+    ``drift_ceiling`` defaults to the conventional PSI action
+    threshold (0.25); ``medr_ceiling`` to a lenient online MedR for
+    golden bags of ~32 queries.
+    """
+    return [
+        SLO(name="availability", kind="availability",
+            budget=availability_budget,
+            counter="serving_requests_total",
+            description="Requests answered (ok/partial/degraded)"),
+        SLO(name=f"latency_{stage}_p99", kind="latency", budget=0.01,
+            histogram="serving_stage_seconds",
+            labels=(("stage", stage),), threshold=stage_p99_s,
+            description=f"p99 of the {stage} stage"),
+        SLO(name="quality_medr", kind="ceiling", budget=0.1,
+            gauge="probe_online_medr", ceiling=medr_ceiling,
+            description="Online golden-set MedR ceiling"),
+        SLO(name="drift", kind="ceiling", budget=0.1,
+            gauge="drift_score", ceiling=drift_ceiling,
+            description="Worst-signal PSI drift ceiling"),
+    ]

@@ -56,6 +56,11 @@ class RetrievalMetrics:
         return {"MedR": self.medr, "R@1": self.r_at_1,
                 "R@5": self.r_at_5, "R@10": self.r_at_10}
 
+    def summary(self) -> str:
+        """One-line human rendering (CLI probe/monitor output)."""
+        return (f"MedR {self.medr:.1f}  R@1 {self.r_at_1:.1f}%  "
+                f"R@5 {self.r_at_5:.1f}%  R@10 {self.r_at_10:.1f}%")
+
 
 def aggregate_metrics(per_bag: list[RetrievalMetrics]
                       ) -> dict[str, tuple[float, float]]:

@@ -56,7 +56,14 @@ from .retry import CircuitBreaker, CircuitState
 from .sharding import merge_topk, partition_positions
 
 __all__ = ["ClusterConfig", "ClusterResult", "ShardReplica",
-           "IndexCluster", "REPLICA_STATE_VALUES", "REPLICA_DEAD"]
+           "IndexCluster", "REPLICA_STATE_VALUES", "REPLICA_DEAD",
+           "DISTANCE_BUCKETS"]
+
+#: Histogram buckets for cosine distances and margins, which live in
+#: [0, 2] — used by the per-cluster quality histograms the drift
+#: detector's reference sketches are compared against.
+DISTANCE_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8,
+                    1.0, 1.25, 1.5, 1.75, 2.0)
 
 #: Gauge encoding of replica states; breaker states first, then death.
 REPLICA_STATE_VALUES = {CircuitState.CLOSED: 0,
@@ -116,6 +123,21 @@ class ClusterResult:
     def partial(self) -> bool:
         """Did any shard drop out of the merge?"""
         return self.shards_answered < self.shards_total
+
+    @property
+    def top1_distance(self) -> float:
+        """Best merged distance, or NaN for empty/batched results."""
+        if self.distances.ndim != 1 or self.distances.size < 1:
+            return float("nan")
+        return float(self.distances[0])
+
+    @property
+    def margin(self) -> float:
+        """Top-2 minus top-1 distance (retrieval confidence), or NaN
+        when fewer than two results merged."""
+        if self.distances.ndim != 1 or self.distances.size < 2:
+            return float("nan")
+        return float(self.distances[1] - self.distances[0])
 
 
 class ShardReplica:
@@ -353,6 +375,14 @@ class IndexCluster:
             "cluster_partial_results_total",
             "fan-outs that lost at least one shard",
             labels=("cluster",))
+        self._m_top1 = registry.histogram(
+            "cluster_top1_distance",
+            "best merged cosine distance per fan-out",
+            labels=("cluster",), buckets=DISTANCE_BUCKETS)
+        self._m_margin = registry.histogram(
+            "cluster_result_margin",
+            "top-2 minus top-1 merged distance per fan-out",
+            labels=("cluster",), buckets=DISTANCE_BUCKETS)
 
     def _replica_transition(self, shard_id: int, replica_id: int):
         gauge = self._m_replica_state
@@ -623,6 +653,13 @@ class IndexCluster:
                 self._partials += 1
         if result.partial:
             self._m_partials.labels(cluster=self.name).inc()
+        # Quality distributions per answered fan-out; Histogram drops
+        # the NaN from empty or batched results.
+        if result.shards_answered > 0:
+            self._m_top1.labels(cluster=self.name).observe(
+                result.top1_distance)
+            self._m_margin.labels(cluster=self.name).observe(
+                result.margin)
 
     # ------------------------------------------------------------------
     # Per-shard execution: lanes, hedging, failover

@@ -71,6 +71,11 @@ class SwapReport:
     failures: tuple[str, ...]
     rolled_back: bool
     duration_s: float = 0.0
+    #: Offline quality numbers recorded at swap time by generation
+    #: hooks (e.g. the golden probe's baseline MedR/R@K) — what online
+    #: metrics for this generation are judged against.  ``None`` when
+    #: no hook is attached or the swap rolled back.
+    quality_baseline: dict | None = None
 
     def summary(self) -> str:
         verdict = ("swapped" if self.ok

@@ -58,6 +58,7 @@ import numpy as np
 from ..core.engine import RecipeSearchEngine, SearchResult
 from ..data.schema import Recipe
 from ..obs import LATENCY_BUCKETS, Telemetry
+from ..obs.drift import DriftMonitor, DriftReference
 from .cluster import ClusterConfig, ClusterResult, IndexCluster
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
@@ -186,6 +187,12 @@ class ResilientSearchService:
         Optional shared :class:`~repro.obs.Telemetry`.  A private
         in-memory instance (on the service clock) is created when
         omitted, so the metrics and spans below always exist.
+    drift_reference:
+        Optional training-time
+        :class:`~repro.obs.drift.DriftReference`; when given, every
+        successful index-stage result feeds the service's
+        :class:`~repro.obs.drift.DriftMonitor` and PSI drift scores
+        are exported per signal.  Without it the monitor is inert.
     """
 
     def __init__(self, engine: RecipeSearchEngine,
@@ -194,7 +201,8 @@ class ResilientSearchService:
                  sleep: Callable[[float], None] = time.sleep,
                  rng: random.Random | None = None,
                  faults=None, cluster_faults=None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 drift_reference: DriftReference | None = None):
         self._config = config or ServiceConfig()
         self._clock = clock
         self._sleep = sleep
@@ -205,10 +213,17 @@ class ResilientSearchService:
         self._inflight = 0
         self._next_request_id = 0
         self._status_counts: Counter[str] = Counter()
-        self._stage_total_ms: Counter[str] = Counter()
-        self._stage_counts: Counter[str] = Counter()
         self.telemetry = telemetry or Telemetry(clock=clock)
         self._setup_metrics()
+        self.drift = DriftMonitor(
+            drift_reference, registry=self.telemetry.registry,
+            on_scores=lambda scores: self.telemetry.events.emit(
+                "drift", **scores))
+        #: Generation-change hooks, called as ``hook(generation,
+        #: engine)`` after every successful hot-swap; dict returns are
+        #: merged into the swap report's ``quality_baseline``.  The
+        #: golden probe registers here to re-baseline per generation.
+        self.on_generation: list[Callable] = []
         self._active = self._make_generation(0, engine)
         self.embed_breaker = CircuitBreaker(
             "embed", self._config.breaker_failure_threshold,
@@ -380,13 +395,22 @@ class ResilientSearchService:
     # Hot-swap
     # ------------------------------------------------------------------
     def swap_corpus(self, corpus, dataset=None,
-                    canary_queries: int | None = None) -> SwapReport:
+                    canary_queries: int | None = None,
+                    drift_reference: DriftReference | None = None
+                    ) -> SwapReport:
         """Atomically replace the serving corpus+indexes.
 
         Builds the candidate generation aside, canary-validates it,
         and only then swaps the active-generation reference.  On any
         failure the old generation keeps serving and the report says
         ``rolled_back=True``.  Never raises.
+
+        ``drift_reference`` installs the new model/corpus generation's
+        training-time sketches into the drift monitor; omitted, the
+        previous reference carries over (live sketches still reset —
+        drift is always measured within one generation).  After a
+        successful swap every ``on_generation`` hook runs and their
+        dict returns land in the report's ``quality_baseline``.
         """
         started = self._clock()
         old = self._active
@@ -421,10 +445,36 @@ class ResilientSearchService:
             # The index dependency was replaced wholesale; its breaker
             # history belongs to the retired generation.
             self.index_breaker.reset()
+            self.drift.start_generation(
+                drift_reference if drift_reference is not None
+                else self.drift.reference)
             report = SwapReport(ok=True, generation=candidate.generation,
                                 canaries_run=run, failures=(),
-                                rolled_back=False)
+                                rolled_back=False,
+                                quality_baseline=self._run_generation_hooks(
+                                    candidate))
         return self._record_swap(report, started)
+
+    def _run_generation_hooks(self,
+                              generation: EngineGeneration) -> dict | None:
+        """Invoke ``on_generation`` hooks; merge their dict returns.
+
+        A failing hook must not fail the swap (the new generation is
+        already serving) — it is recorded in the baseline instead.
+        """
+        if not self.on_generation:
+            return None
+        baseline: dict = {}
+        for hook in list(self.on_generation):
+            try:
+                payload = hook(generation.generation, generation.engine)
+            except Exception as exc:
+                baseline.setdefault("hook_failures", []).append(
+                    f"{type(exc).__name__}: {exc}")
+            else:
+                if isinstance(payload, dict):
+                    baseline.update(payload)
+        return baseline or None
 
     def _record_swap(self, report: SwapReport,
                      started: float) -> SwapReport:
@@ -439,7 +489,8 @@ class ResilientSearchService:
             "swap", message=report.summary(), ok=report.ok,
             generation=report.generation, canaries=report.canaries_run,
             rolled_back=report.rolled_back,
-            duration_ms=report.duration_s * 1000.0)
+            duration_ms=report.duration_s * 1000.0,
+            quality_baseline=report.quality_baseline)
         return report
 
     # ------------------------------------------------------------------
@@ -449,18 +500,29 @@ class ResilientSearchService:
     def generation(self) -> int:
         return self._active.generation
 
+    @property
+    def engine(self) -> RecipeSearchEngine:
+        """The active generation's engine (read-only handle)."""
+        return self._active.engine
+
     def stats(self) -> dict:
         """Operational counters for dashboards and tests."""
-        with self._lock:
-            stage_latency = {
-                stage: {
-                    "count": int(self._stage_counts[stage]),
-                    "total_ms": self._stage_total_ms[stage],
-                    "mean_ms": (self._stage_total_ms[stage]
-                                / self._stage_counts[stage]),
-                }
-                for stage in sorted(self._stage_counts)
+        stage_latency = {}
+        for key, child in self._m_stage_latency.children():
+            count = child.count
+            if count == 0:
+                continue
+            total_ms = child.sum * 1000.0
+            quantiles = child.quantiles((0.5, 0.95, 0.99))
+            stage_latency[key[0]] = {
+                "count": count,
+                "total_ms": total_ms,
+                "mean_ms": total_ms / count,
+                "p50_ms": quantiles[0.5] * 1000.0,
+                "p95_ms": quantiles[0.95] * 1000.0,
+                "p99_ms": quantiles[0.99] * 1000.0,
             }
+        with self._lock:
             active = self._active
             stats = {
                 "requests": self._next_request_id,
@@ -472,6 +534,7 @@ class ResilientSearchService:
                 "swaps": len(self.swaps),
                 "stage_latency_ms": stage_latency,
             }
+        stats["drift"] = self.drift.summary()
         if active.image_cluster is not None:
             stats["cluster"] = {
                 "image": active.image_cluster.describe(),
@@ -525,6 +588,10 @@ class ResilientSearchService:
                         status = ("partial"
                                   if fan_out is not None and fan_out.partial
                                   else "ok")
+                        # Feed the drift monitor from the healthy
+                        # path only — degraded answers have no model
+                        # geometry to judge.
+                        self.drift.observe_query(vector, distances)
                     except _StageUnavailable as exc:
                         fan_out = None
                         budget.check("degraded-fallback")
@@ -728,9 +795,6 @@ class ResilientSearchService:
         with self._lock:
             self.outcomes.append(outcome)
             self._status_counts[status] += 1
-            for name, ms in stage_ms.items():
-                self._stage_total_ms[name] += ms
-                self._stage_counts[name] += 1
         self._m_requests.labels(kind=kind, status=status).inc()
         self._m_request_latency.observe(latency)
         return ServiceResponse(

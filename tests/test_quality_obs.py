@@ -1,0 +1,626 @@
+"""Tests for the quality-observability layer: histogram quantiles,
+registry-wide non-finite sanitization, drift sketches and scores,
+golden probes, burn-rate alerting, the flight recorder, and the
+``repro monitor`` CLI.
+
+Run alone with ``pytest -m obs``.  The full chaos scenarios (stale
+swap firing the quality SLO, drift faults) live in
+``test_slo_chaos.py`` under the ``slo`` marker.
+"""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import (SLO, AlertManager, BurnRateWindow, DriftMonitor,
+                       DriftReference, EventLog, FlightRecorder,
+                       GoldenProbe, GoldenSet, MetricError,
+                       MetricsRegistry, QuantileSketch, Telemetry,
+                       ks_statistic, parse_prometheus, psi,
+                       quantile_from_counts)
+from repro.obs.drift import DRIFT_SIGNALS
+from repro.retrieval.metrics import RetrievalMetrics
+
+from ._serving_util import FakeClock, make_engine, make_world
+
+pytestmark = pytest.mark.obs
+
+
+# ----------------------------------------------------------------------
+# Histogram quantile estimation (satellite 1)
+# ----------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def test_interpolates_within_bucket(self):
+        # counts: (0, 0.1]=1, (0.1, 0.5]=2, (0.5, 1.0]=1, +Inf=1
+        value = quantile_from_counts((0.1, 0.5, 1.0), [1, 2, 1, 1], 0.5)
+        # rank 2.5 lands in the second bucket at (2.5-1)/2 of its width
+        assert value == pytest.approx(0.1 + 0.4 * 0.75)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        value = quantile_from_counts((1.0, 2.0), [2, 0, 0], 0.5)
+        assert value == pytest.approx(0.5)
+
+    def test_overflow_bucket_returns_highest_boundary(self):
+        assert quantile_from_counts((0.1, 1.0), [0, 0, 5], 0.99) == 1.0
+
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(quantile_from_counts((1.0,), [0, 0], 0.5))
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(MetricError):
+            quantile_from_counts((1.0,), [1, 1], 1.5)
+        with pytest.raises(MetricError):
+            quantile_from_counts((1.0, 2.0), [1, 1], 0.5)
+
+    def test_histogram_method_matches_module_function(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds",
+                                       buckets=(0.1, 0.5, 1.0)).labels()
+        for value in (0.05, 0.2, 0.3, 0.7, 2.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == pytest.approx(
+            quantile_from_counts(histogram.boundaries,
+                                 histogram.bucket_counts(), 0.5))
+        quantiles = histogram.quantiles((0.5, 0.99))
+        assert set(quantiles) == {0.5, 0.99}
+        assert quantiles[0.99] == 1.0     # overflow bucket
+
+    def test_service_stats_reports_stage_quantiles(self):
+        from repro.serving import ResilientSearchService, ServiceConfig
+        dataset, featurizer = make_world(num_pairs=24)
+        engine = make_engine(dataset, featurizer)
+        clock = FakeClock()
+        service = ResilientSearchService(
+            engine, ServiceConfig(deadline=5.0), clock=clock,
+            sleep=clock.sleep,
+            telemetry=Telemetry(clock=clock))
+        recipe = engine.dataset[int(engine.corpus.recipe_indices[0])]
+        assert service.search_by_recipe(recipe, k=3).ok
+        stage = service.stats()["stage_latency_ms"]["embed"]
+        assert stage["count"] == 1
+        for key in ("total_ms", "mean_ms", "p50_ms", "p95_ms",
+                    "p99_ms"):
+            assert key in stage
+
+
+# ----------------------------------------------------------------------
+# Registry-wide non-finite sanitization (satellite 2, regression)
+# ----------------------------------------------------------------------
+class TestNonFiniteGuards:
+    def test_gauge_keeps_last_finite_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.0)
+        gauge.set(float("nan"))
+        gauge.set(float("inf"))
+        assert gauge.value == 3.0
+
+    def test_counter_drops_non_finite_increments(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(2.0)
+        counter.inc(float("nan"))
+        counter.inc(float("inf"))
+        assert counter.value == 2.0
+
+    def test_histogram_drops_non_finite_observations(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0,)).labels()
+        histogram.observe(0.5)
+        histogram.observe(float("nan"))
+        histogram.observe(float("-inf"))
+        assert histogram.count == 1
+        assert histogram.sum == 0.5
+
+    def test_poisoned_registry_exposes_no_non_finite_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("medr").set(float("nan"))
+        registry.counter("c_total").inc(float("inf"))
+        registry.histogram("h").observe(float("nan"))
+        parsed = parse_prometheus(registry.to_prometheus())
+        for family in parsed.values():
+            for value in family.values():
+                assert math.isfinite(value)
+        # The JSON snapshot must be strictly valid JSON too.
+        json.dumps(registry.to_dict(), allow_nan=False)
+
+    def test_event_fields_are_sanitized_in_buffer_and_sink(self):
+        sunk = []
+        log = EventLog(clock=lambda: 1.0, sink=sunk.append)
+        record = log.emit("epoch", val_medr=float("nan"),
+                          nested={"inf": float("inf"), "ok": 2.0},
+                          values=[1.0, float("nan")])
+        assert record["val_medr"] is None
+        assert record["nested"] == {"inf": None, "ok": 2.0}
+        assert record["values"] == [1.0, None]
+        assert sunk[0] is record
+
+
+# ----------------------------------------------------------------------
+# Exposition round-trips under concurrency (satellite 4)
+# ----------------------------------------------------------------------
+class TestExpositionUnderConcurrency:
+    def test_round_trips_survive_concurrent_writers(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("work_total", labels=("worker",))
+        gauge = registry.gauge("depth")
+        histogram = registry.histogram("lat_seconds",
+                                       buckets=(0.01, 0.1, 1.0))
+        errors = []
+        stop = threading.Event()
+
+        def writer(worker: int) -> None:
+            try:
+                for i in range(400):
+                    counter.labels(worker=worker).inc()
+                    gauge.set(i)
+                    histogram.observe(i * 0.001)
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    parse_prometheus(registry.to_prometheus())
+                    MetricsRegistry.from_dict(registry.to_dict())
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        total = sum(
+            child.value
+            for _, child in registry.get("work_total").children())
+        assert total == 4 * 400
+        # Final state must survive both round-trips exactly.
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["work_total"][(("worker", "0"),)] == 400
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert rebuilt.to_dict() == registry.to_dict()
+
+    def test_parse_prometheus_reads_new_gauge_families(self):
+        registry = MetricsRegistry()
+        registry.gauge("probe_online_medr").set(3.0)
+        registry.gauge("drift_score", labels=("signal",)).labels(
+            signal="margin").set(0.4)
+        registry.gauge("slo_burn_rate",
+                       labels=("slo", "window")).labels(
+            slo="availability", window="page").set(15.2)
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["probe_online_medr"][()] == 3.0
+        assert parsed["drift_score"][(("signal", "margin"),)] == 0.4
+        assert parsed["slo_burn_rate"][
+            (("slo", "availability"), ("window", "page"))] == 15.2
+
+
+# ----------------------------------------------------------------------
+# Drift sketches and scores
+# ----------------------------------------------------------------------
+class TestQuantileSketch:
+    def test_counts_clamp_to_edge_bins(self):
+        sketch = QuantileSketch(0.0, 1.0, bins=4)
+        sketch.update(-5.0)
+        sketch.update(0.1)
+        sketch.update(99.0)
+        sketch.update(float("nan"))
+        assert sketch.total == 3
+        assert sketch.counts[0] == 2      # -5.0 clamped + 0.1
+        assert sketch.counts[-1] == 1     # 99.0 clamped
+
+    def test_update_many_matches_scalar_updates(self):
+        values = np.linspace(-0.5, 2.5, 101)
+        batch = QuantileSketch(0.0, 2.0, bins=8)
+        scalar = QuantileSketch(0.0, 2.0, bins=8)
+        batch.update_many(values)
+        for value in values:
+            scalar.update(value)
+        assert np.array_equal(batch.counts, scalar.counts)
+
+    def test_serialization_round_trip_and_spawn(self):
+        sketch = QuantileSketch(0.0, 2.0, bins=8)
+        sketch.update_many([0.1, 0.5, 1.9])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert np.array_equal(clone.counts, sketch.counts)
+        empty = sketch.spawn()
+        assert empty.total == 0
+        assert (empty.lo, empty.hi, empty.bins) == (
+            sketch.lo, sketch.hi, sketch.bins)
+
+    def test_psi_and_ks_separate_same_from_shifted(self):
+        rng = np.random.default_rng(0)
+        reference = QuantileSketch(0.0, 2.0, bins=16)
+        reference.update_many(rng.normal(0.5, 0.1, 2000))
+        same = reference.spawn()
+        same.update_many(rng.normal(0.5, 0.1, 2000))
+        shifted = reference.spawn()
+        shifted.update_many(rng.normal(1.5, 0.1, 2000))
+        assert psi(reference, same) < 0.05
+        assert psi(reference, shifted) > 1.0
+        assert ks_statistic(reference, same) < 0.05
+        assert ks_statistic(reference, shifted) > 0.9
+
+    def test_mismatched_bins_raise(self):
+        a = QuantileSketch(0.0, 1.0, bins=4)
+        b = QuantileSketch(0.0, 2.0, bins=4)
+        with pytest.raises(ValueError):
+            psi(a, b)
+        with pytest.raises(ValueError):
+            ks_statistic(a, b)
+
+
+class TestDriftReferenceAndMonitor:
+    def _reference(self, seed: int = 0) -> DriftReference:
+        rng = np.random.default_rng(seed)
+        queries = rng.normal(size=(80, 8))
+        corpus = rng.normal(size=(100, 8))
+        return DriftReference.from_embeddings(queries, corpus)
+
+    def test_reference_covers_all_signals_and_round_trips(self, tmp_path):
+        reference = self._reference()
+        assert set(reference.sketches) == set(DRIFT_SIGNALS)
+        for sketch in reference.sketches.values():
+            assert sketch.total > 0
+        path = tmp_path / "drift-reference.json"
+        reference.save(path)
+        loaded = DriftReference.load(path)
+        for name in DRIFT_SIGNALS:
+            assert np.array_equal(loaded.sketches[name].counts,
+                                  reference.sketches[name].counts)
+
+    def test_monitor_scores_low_on_matching_distribution(self):
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(200, 8))
+        corpus = rng.normal(size=(100, 8))
+        reference = DriftReference.from_embeddings(queries, corpus)
+        from repro.retrieval.index import NearestNeighborIndex
+        index = NearestNeighborIndex(corpus)
+        monitor = DriftMonitor(reference, min_samples=20)
+        for row in queries[:100]:
+            _, distances = index.query(row, k=2)
+            monitor.observe_query(row, distances)
+        scores = monitor.scores()
+        assert all(score < 0.25 for score in scores.values())
+
+    def test_monitor_flags_scaled_embeddings(self):
+        reference = self._reference(seed=2)
+        monitor = DriftMonitor(reference, min_samples=20)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            monitor.observe_query(rng.normal(size=8) * 10.0,
+                                  [0.3, 0.5])
+        assert monitor.scores()["embedding_norm"] > 0.25
+
+    def test_generation_reset_clears_live_sketches(self):
+        reference = self._reference(seed=4)
+        monitor = DriftMonitor(reference, min_samples=1)
+        monitor.observe_query(np.ones(8), [0.1, 0.2])
+        assert monitor.samples() == 1
+        monitor.start_generation(reference)
+        assert monitor.samples() == 0
+
+    def test_exports_gauges(self):
+        registry = MetricsRegistry()
+        reference = self._reference(seed=5)
+        monitor = DriftMonitor(reference, registry=registry,
+                               min_samples=5, export_every=1)
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            monitor.observe_query(rng.normal(size=8), [0.3, 0.6])
+        family = registry.get("drift_score")
+        exported = {key[0] for key, _ in family.children()}
+        assert exported == set(DRIFT_SIGNALS)
+        assert registry.get("drift_samples").labels().value == 10
+
+
+# ----------------------------------------------------------------------
+# Golden probes
+# ----------------------------------------------------------------------
+class TestGoldenProbe:
+    @pytest.fixture(scope="class")
+    def world(self):
+        dataset, featurizer = make_world(num_pairs=40)
+        return make_engine(dataset, featurizer)
+
+    def test_golden_set_penalizes_missing_matches(self, world):
+        golden = GoldenSet.from_engine(world, size=8, seed=3)
+        query = golden.queries[0]
+        assert golden.rank_of(query, [query.true_row]) == 1
+        assert golden.rank_of(query, [query.true_row + 1]) == \
+            golden.penalty_rank
+
+    def test_offline_metrics_are_perfect_on_self_corpus(self, world):
+        # The stub corpus pairs image and recipe embeddings, so
+        # self-retrieval must put the true row at rank 1.
+        golden = GoldenSet.from_engine(world, size=8, seed=3)
+        metrics = golden.offline_metrics(world)
+        assert metrics.medr == 1.0
+        assert metrics.r_at_1 == 100.0
+
+    def test_probe_exports_gauges_and_events(self, world):
+        from repro.serving import ResilientSearchService, ServiceConfig
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock)
+        service = ResilientSearchService(
+            world, ServiceConfig(deadline=5.0), clock=clock,
+            sleep=clock.sleep, telemetry=telemetry)
+        golden = GoldenSet.from_engine(world, size=8, seed=3)
+        probe = GoldenProbe(service, golden,
+                            registry=telemetry.registry,
+                            events=telemetry.events, clock=clock)
+        probe.attach()
+        assert probe.baseline is not None    # generation-0 baseline
+        metrics = probe.run()
+        registry = telemetry.registry
+        assert registry.get("probe_online_medr").labels().value == \
+            metrics.medr
+        assert registry.get("probe_baseline_medr").labels().value == \
+            probe.baseline.medr
+        assert registry.get("probe_medr_delta").labels().value == \
+            pytest.approx(metrics.medr - probe.baseline.medr)
+        recalls = dict(registry.get("probe_online_recall").children())
+        assert recalls[("1",)].value == metrics.r_at_1
+        assert telemetry.events.of_type("probe")
+        assert telemetry.events.of_type("probe_baseline")
+
+    def test_maybe_run_respects_interval(self, world):
+        from repro.serving import ResilientSearchService, ServiceConfig
+        clock = FakeClock()
+        service = ResilientSearchService(
+            world, ServiceConfig(deadline=5.0), clock=clock,
+            sleep=clock.sleep, telemetry=Telemetry(clock=clock))
+        golden = GoldenSet.from_engine(world, size=4, seed=3)
+        probe = GoldenProbe(service, golden, interval_s=30.0,
+                            clock=clock)
+        assert probe.maybe_run() is not None
+        assert probe.maybe_run() is None     # too soon
+        clock.sleep(31.0)
+        assert probe.maybe_run() is not None
+
+
+# ----------------------------------------------------------------------
+# SLOs and burn-rate alerting
+# ----------------------------------------------------------------------
+class TestAlertManager:
+    WINDOW = BurnRateWindow("fast", short_s=60.0, long_s=300.0,
+                            factor=2.0)
+
+    def test_availability_alert_fires_and_resolves(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", labels=("status",))
+        clock = FakeClock()
+        events = EventLog(clock=clock)
+        manager = AlertManager(
+            registry,
+            [SLO(name="avail", kind="availability", budget=0.01,
+                 counter="req_total")],
+            windows=(self.WINDOW,), clock=clock, events=events)
+        for _ in range(50):
+            requests.labels(status="ok").inc()
+        assert manager.evaluate() == []
+        # A burst of errors: burn = (10/60)/0.01 far above factor 2.
+        for _ in range(50):
+            requests.labels(status="error").inc()
+        clock.sleep(10.0)
+        transitions = manager.evaluate()
+        assert [a.slo.name for a in transitions] == ["avail"]
+        assert manager.alerts["avail"].firing
+        assert registry.get("slo_alert_firing").labels(
+            slo="avail").value == 1
+        # Recovery: a long healthy stretch pushes the short window
+        # burn back under the factor.
+        for _ in range(3):
+            clock.sleep(60.0)
+            for _ in range(5000):
+                requests.labels(status="ok").inc()
+            manager.evaluate()
+        assert not manager.alerts["avail"].firing
+        states = [e["state"] for e in events.of_type("alert")]
+        assert states == ["firing", "resolved"]
+
+    def test_ceiling_alert_watches_gauge(self):
+        registry = MetricsRegistry()
+        medr = registry.gauge("probe_online_medr")
+        clock = FakeClock()
+        manager = AlertManager(
+            registry,
+            [SLO(name="quality", kind="ceiling", budget=0.1,
+                 gauge="probe_online_medr", ceiling=10.0)],
+            windows=(self.WINDOW,), clock=clock)
+        medr.set(2.0)
+        for _ in range(5):
+            clock.sleep(10.0)
+            manager.evaluate()
+        assert not manager.alerts["quality"].firing
+        medr.set(40.0)
+        for _ in range(5):
+            clock.sleep(10.0)
+            manager.evaluate()
+        assert manager.alerts["quality"].firing
+        assert manager.alerts["quality"].value == 40.0
+
+    def test_ceiling_ignores_unset_labelled_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("drift_score", labels=("signal",))
+        clock = FakeClock()
+        manager = AlertManager(
+            registry,
+            [SLO(name="drift", kind="ceiling", budget=0.1,
+                 gauge="drift_score", ceiling=0.25)],
+            windows=(self.WINDOW,), clock=clock)
+        for _ in range(5):
+            clock.sleep(10.0)
+            manager.evaluate()      # no children yet: nothing to judge
+        assert not manager.alerts["drift"].firing
+
+    def test_latency_slo_counts_observations_above_threshold(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "stage_seconds", labels=("stage",),
+            buckets=(0.01, 0.05, 0.25, 1.0))
+        slo = SLO(name="p99", kind="latency", budget=0.01,
+                  histogram="stage_seconds",
+                  labels=(("stage", "index"),), threshold=0.25)
+        for _ in range(98):
+            latency.labels(stage="index").observe(0.005)
+        bad, total = slo.sample(registry)
+        assert (bad, total) == (0.0, 98.0)
+        latency.labels(stage="index").observe(0.9)
+        latency.labels(stage="index").observe(2.0)
+        bad, total = slo.sample(registry)
+        assert (bad, total) == (2.0, 100.0)
+
+    def test_duplicate_slo_names_rejected(self):
+        registry = MetricsRegistry()
+        slo = SLO(name="x", kind="availability", budget=0.1,
+                  counter="c_total")
+        with pytest.raises(ValueError):
+            AlertManager(registry, [slo, slo])
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def _telemetry(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock)
+        with telemetry.tracer.span("request", kind="recipe"):
+            clock.sleep(0.01)
+        telemetry.events.emit("probe", medr=3.0)
+        telemetry.registry.gauge("probe_online_medr").set(3.0)
+        return telemetry, clock
+
+    def test_dump_writes_complete_bundle(self, tmp_path):
+        telemetry, _ = self._telemetry()
+        recorder = FlightRecorder(telemetry, tmp_path / "flight",
+                                  min_interval_s=0.0)
+        bundle = recorder.dump("manual-test")
+        assert bundle is not None and bundle.is_dir()
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["reason"] == "manual-test"
+        assert manifest["spans"] == 1
+        spans = [json.loads(line) for line in
+                 (bundle / "spans.jsonl").read_text().splitlines()]
+        assert spans[0]["name"] == "request"
+        events = [json.loads(line) for line in
+                  (bundle / "events.jsonl").read_text().splitlines()]
+        assert any(e["event"] == "probe" for e in events)
+        metrics = json.loads((bundle / "metrics.json").read_text())
+        assert metrics["probe_online_medr"]["samples"][0]["value"] == 3.0
+        # No partially-written temp bundles left behind.
+        assert not [p for p in bundle.parent.iterdir()
+                    if p.name.startswith(".")]
+
+    def test_flap_guard_suppresses_rapid_dumps(self, tmp_path):
+        telemetry, clock = self._telemetry()
+        recorder = FlightRecorder(telemetry, tmp_path,
+                                  min_interval_s=10.0)
+        assert recorder.dump("first") is not None
+        assert recorder.dump("second") is None
+        clock.sleep(11.0)
+        assert recorder.dump("third") is not None
+        assert len(recorder.bundles) == 2
+
+    def test_on_alert_bundles_alert_context_and_drift(self, tmp_path):
+        telemetry, _ = self._telemetry()
+        registry = telemetry.registry
+        rng = np.random.default_rng(0)
+        reference = DriftReference.from_embeddings(
+            rng.normal(size=(30, 8)), rng.normal(size=(30, 8)))
+        monitor = DriftMonitor(reference, min_samples=1)
+        monitor.observe_query(np.ones(8), [0.3, 0.5])
+        recorder = FlightRecorder(telemetry, tmp_path, drift=monitor,
+                                  min_interval_s=0.0)
+        clock = FakeClock()
+        manager = AlertManager(
+            registry,
+            [SLO(name="quality", kind="ceiling", budget=0.1,
+                 gauge="probe_online_medr", ceiling=1.0)],
+            windows=(BurnRateWindow("fast", 60.0, 300.0, 2.0),),
+            clock=clock, on_fire=[recorder.on_alert])
+        for _ in range(3):
+            clock.sleep(10.0)
+            manager.evaluate()
+        assert len(recorder.bundles) == 1
+        bundle = recorder.bundles[0]
+        assert "alert-quality" in bundle.name
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["context"]["slo"] == "quality"
+        drift = json.loads((bundle / "drift.json").read_text())
+        assert set(drift["sketches"]["live"]) == set(DRIFT_SIGNALS)
+
+
+# ----------------------------------------------------------------------
+# Monitor CLI
+# ----------------------------------------------------------------------
+class TestMonitorCli:
+    def _write_trace(self, path, firing: bool) -> None:
+        registry = MetricsRegistry()
+        stage = registry.histogram("serving_stage_seconds",
+                                   labels=("stage",),
+                                   buckets=(0.01, 0.1, 1.0))
+        for _ in range(10):
+            stage.labels(stage="index").observe(0.005)
+        registry.gauge("slo_burn_rate",
+                       labels=("slo", "window")).labels(
+            slo="quality_medr", window="page").set(20.0 if firing
+                                                  else 0.0)
+        registry.gauge("slo_alert_firing", labels=("slo",)).labels(
+            slo="quality_medr").set(1 if firing else 0)
+        records = [
+            {"kind": "event", "event": "probe", "ts": 1.0,
+             "medr": 30.0 if firing else 1.0, "r_at_1": 10.0,
+             "r_at_5": 40.0, "r_at_10": 60.0, "baseline_medr": 1.0,
+             "medr_delta": 29.0 if firing else 0.0},
+            {"kind": "event", "event": "drift", "ts": 2.0,
+             "embedding_norm": 0.02, "top1_distance": 0.4,
+             "margin": None},
+            {"kind": "event", "event": "swap", "ts": 3.0,
+             "generation": 1, "ok": True},
+            {"kind": "metrics", "ts": 4.0,
+             "metrics": registry.to_dict()},
+        ]
+        if firing:
+            records.insert(3, {
+                "kind": "event", "event": "alert", "ts": 3.5,
+                "slo": "quality_medr", "state": "firing",
+                "kind_": "ceiling"})
+            records.append({
+                "kind": "event", "event": "flight", "ts": 5.0,
+                "reason": "alert-quality_medr",
+                "bundle": "/tmp/flight-0001"})
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            handle.write("{ truncated mid-write\n")   # must be skipped
+
+    def test_quiet_trace_exits_zero(self, tmp_path, capsys):
+        trace = tmp_path / "telemetry.jsonl"
+        self._write_trace(trace, firing=False)
+        assert cli_main(["monitor", "--jsonl", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "probe: online MedR 1.0" in out
+        assert "drift (PSI)" in out and "margin n/a" in out
+        assert "stage index" in out and "p99" in out
+        assert "generation: 1" in out
+
+    def test_firing_trace_exits_nonzero_and_lists_bundle(
+            self, tmp_path, capsys):
+        trace = tmp_path / "telemetry.jsonl"
+        self._write_trace(trace, firing=True)
+        assert cli_main(["monitor", "--jsonl", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "alert quality_medr: FIRING" in out
+        assert "flight bundle: /tmp/flight-0001" in out
+        assert "burn quality_medr/page: 20.00x" in out

@@ -1,0 +1,207 @@
+"""Quality-SLO chaos scenarios (opt-in, ``pytest -m slo``).
+
+These exercise the full incident loop that ISSUE acceptance demands:
+
+* A **stale swap** — the service hot-swaps to the wrong split's corpus.
+  Canary queries pass (the swapped corpus is self-consistent) and
+  latency SLOs stay green, but the golden probe's online MedR explodes
+  past its ceiling, the burn-rate alert fires, and the flight recorder
+  writes a bundle with spans, metrics, and drift sketches.
+* An **embedding-scale fault** — query vectors are silently scaled, so
+  retrieval distances barely move (the index normalizes) but the
+  norm-drift score breaches its ceiling.
+* The sanity anchor: on an unfaulted service the probe's *online*
+  metrics equal the *offline* ``RetrievalMetrics`` on the same golden
+  bag.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (AlertManager, BurnRateWindow, DriftMonitor,
+                       DriftReference, FlightRecorder, GoldenProbe,
+                       GoldenSet, Telemetry, default_serving_slos)
+from repro.robustness.faults import ServingFault
+from repro.serving import ResilientSearchService, ServiceConfig
+
+from ._serving_util import FakeClock, make_engine, make_world
+
+pytestmark = pytest.mark.slo
+
+# Short windows sized for a fake clock ticking in seconds.
+FAST_WINDOWS = (BurnRateWindow("page", short_s=60.0, long_s=300.0,
+                               factor=2.0),)
+
+
+def _service(engine, clock, *, faults=None):
+    telemetry = Telemetry(clock=clock)
+    service = ResilientSearchService(
+        engine, ServiceConfig(deadline=5.0), clock=clock,
+        sleep=clock.sleep, faults=faults, telemetry=telemetry)
+    return service, telemetry
+
+
+def _drive_traffic(service, engine, clock, n=30):
+    """Send healthy recipe queries; every request must succeed."""
+    indices = engine.corpus.recipe_indices
+    for i in range(n):
+        recipe = engine.dataset[int(indices[i % len(indices)])]
+        response = service.search_by_recipe(recipe, k=5)
+        assert response.ok, response.status
+        clock.sleep(1.0)
+
+
+class TestProbeMatchesOffline:
+    def test_online_equals_offline_on_healthy_service(self):
+        dataset, featurizer = make_world(num_pairs=60)
+        engine = make_engine(dataset, featurizer)
+        clock = FakeClock()
+        service, telemetry = _service(engine, clock)
+        golden = GoldenSet.from_engine(engine, size=16, seed=11)
+        probe = GoldenProbe(service, golden,
+                            registry=telemetry.registry,
+                            events=telemetry.events, clock=clock)
+        probe.attach()
+        online = probe.run()
+        offline = golden.offline_metrics(engine)
+        assert online.medr == pytest.approx(offline.medr)
+        assert online.r_at_1 == pytest.approx(offline.r_at_1)
+        assert online.r_at_5 == pytest.approx(offline.r_at_5)
+        assert online.r_at_10 == pytest.approx(offline.r_at_10)
+
+
+class TestStaleSwapIncident:
+    def test_quality_alert_fires_while_latency_stays_green(
+            self, tmp_path):
+        dataset, featurizer = make_world(num_pairs=60)
+        engine = make_engine(dataset, featurizer)
+        clock = FakeClock()
+        service, telemetry = _service(engine, clock)
+
+        # Training-time drift reference for the live corpus.
+        image_emb, recipe_emb = engine.model.encode_corpus(
+            engine.corpus)
+        reference = DriftReference.from_embeddings(recipe_emb,
+                                                   image_emb)
+        service.drift.start_generation(reference)
+
+        golden = GoldenSet.from_engine(engine, size=16, seed=5)
+        probe = GoldenProbe(service, golden,
+                            registry=telemetry.registry,
+                            events=telemetry.events, clock=clock)
+        probe.attach()
+
+        recorder = FlightRecorder(telemetry, tmp_path / "flight",
+                                  drift=service.drift, probe=probe,
+                                  clock=clock, min_interval_s=0.0)
+        slos = default_serving_slos(medr_ceiling=5.0)
+        manager = AlertManager(telemetry.registry, slos,
+                               windows=FAST_WINDOWS, clock=clock,
+                               events=telemetry.events,
+                               on_fire=[recorder.on_alert])
+
+        # Phase 1 — healthy steady state: traffic + probe + evaluate.
+        _drive_traffic(service, engine, clock)
+        assert probe.run().medr <= 5.0
+        for _ in range(3):
+            clock.sleep(20.0)
+            manager.evaluate()
+        assert not any(a.firing for a in manager.alerts.values())
+
+        # Phase 2 — the stale swap: a *train*-split corpus is pushed
+        # to a service whose golden truth lives in the *test* split.
+        # The canaries pass because the corpus is self-consistent.
+        stale = featurizer.encode_split(dataset, "train")
+        report = service.swap_corpus(stale)
+        assert report.ok
+        assert report.quality_baseline is not None
+
+        # Phase 3 — traffic still succeeds fast (latency green), but
+        # the probe sees garbage ranks.
+        _drive_traffic(service, engine, clock)
+        online = probe.run()
+        assert online.medr > 5.0
+
+        fired = []
+        for _ in range(6):
+            clock.sleep(20.0)
+            fired.extend(a.slo.name for a in manager.evaluate()
+                         if a.firing)
+            if "quality_medr" in fired:
+                break
+        assert "quality_medr" in fired
+        # The latency and availability SLOs never budged.
+        assert not manager.alerts["availability"].firing
+        assert not manager.alerts["latency_index_p99"].firing
+
+        # Phase 4 — the incident left a complete flight bundle.
+        assert len(recorder.bundles) >= 1
+        bundle = recorder.bundles[0]
+        assert "quality_medr" in bundle.name
+        for name in ("manifest.json", "spans.jsonl", "events.jsonl",
+                     "metrics.json", "drift.json", "probe.json"):
+            assert (bundle / name).exists(), name
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert manifest["context"]["slo"] == "quality_medr"
+        metrics = json.loads((bundle / "metrics.json").read_text())
+        assert "probe_online_medr" in metrics
+        probe_dump = json.loads((bundle / "probe.json").read_text())
+        assert probe_dump["online"]["MedR"] == online.medr
+
+
+class _EmbedScaleFault(ServingFault):
+    """Silently scales query embeddings — a bad featurizer deploy."""
+
+    def __init__(self, factor: float = 3.0):
+        self.factor = factor
+        self.active = False
+
+    def on_embed_result(self, request_id, vector):
+        if self.active:
+            return vector * self.factor
+        return vector
+
+
+class TestDriftIncident:
+    def test_scaled_embeddings_breach_drift_ceiling(self):
+        dataset, featurizer = make_world(num_pairs=60)
+        engine = make_engine(dataset, featurizer)
+        clock = FakeClock()
+        fault = _EmbedScaleFault(factor=3.0)
+        service, telemetry = _service(engine, clock, faults=fault)
+
+        image_emb, recipe_emb = engine.model.encode_corpus(
+            engine.corpus)
+        reference = DriftReference.from_embeddings(recipe_emb,
+                                                   image_emb)
+        service.drift.start_generation(reference)
+        manager = AlertManager(
+            telemetry.registry,
+            default_serving_slos(drift_ceiling=0.25),
+            windows=FAST_WINDOWS, clock=clock,
+            events=telemetry.events)
+
+        # Healthy traffic: drift stays under the ceiling.
+        _drive_traffic(service, engine, clock, n=40)
+        healthy = service.drift.scores()
+        assert healthy["embedding_norm"] < 0.25
+
+        # The bad deploy goes live; norms triple while distances are
+        # unchanged (the index normalizes), so only drift notices.
+        fault.active = True
+        service.drift.start_generation(reference)
+        _drive_traffic(service, engine, clock, n=40)
+        scores = service.drift.scores()
+        assert scores["embedding_norm"] > 0.25
+
+        fired = []
+        for _ in range(6):
+            clock.sleep(20.0)
+            fired.extend(a.slo.name for a in manager.evaluate()
+                         if a.firing)
+            if "drift" in fired:
+                break
+        assert "drift" in fired
+        assert service.stats()["drift"]["active"]
