@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos bench quicktest telemetry-test slo-test monitor-demo
+.PHONY: test faults chaos cluster-chaos ingest-chaos bench quicktest telemetry-test slo-test monitor-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -23,6 +23,9 @@ telemetry-test:  ## telemetry layer tests, incl. the chaos-marked ones
 
 slo-test:        ## quality-SLO chaos suite (probes, drift, burn-rate alerts, flight recorder)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m slo
+
+ingest-chaos:    ## streaming-ingest chaos suite (torn writes, disk-full, crash-mid-compaction, racing queries)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m ingest
 
 monitor-demo:    ## run the quality-observability incident demo and render it
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/quality_monitor_demo.py

@@ -1,0 +1,106 @@
+"""Streaming-ingest benchmarks.
+
+Two budgets guard the ingest subsystem:
+
+* **overlay query overhead** — searching the base ∪ delta merge must
+  stay close to a base-only query (the overlay adds one small brute
+  scan plus an exact top-k merge);
+* **recovery replay throughput** — reopening a log directory replays
+  every pending record; startup time is linear in log lag, so the
+  per-record cost is the number that matters.
+
+Headline numbers land in ``BENCH_ingest.json`` via the
+``bench_record_ingest`` fixture (see ``conftest.py``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.retrieval.distance import normalize_rows
+from repro.retrieval.index import NearestNeighborIndex
+from repro.serving import DeltaOverlay, IngestConfig, Ingestor
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+BASE_ROWS = 2000
+DIM = 32
+DELTA_ADDS = 200
+DELTA_DELETES = 50
+
+
+def _base_index(rng) -> NearestNeighborIndex:
+    rows = rng.normal(size=(BASE_ROWS, DIM))
+    return NearestNeighborIndex(rows, ids=np.arange(BASE_ROWS),
+                                class_ids=rng.integers(0, 8, BASE_ROWS))
+
+
+def _loaded_overlay(rng) -> DeltaOverlay:
+    base = _base_index(rng)
+    overlay = DeltaOverlay(base)
+    deltas = normalize_rows(rng.normal(size=(DELTA_ADDS, DIM)))
+    for i in range(DELTA_ADDS):
+        overlay.add(BASE_ROWS + i, deltas[i],
+                    class_id=int(rng.integers(0, 8)))
+    for victim in rng.choice(BASE_ROWS, DELTA_DELETES, replace=False):
+        overlay.delete(int(victim))
+    return overlay
+
+
+def test_bench_overlay_query_overhead(benchmark, bench_record_ingest):
+    """Headline: overlay/base query-time ratio at k=10."""
+    rng = RNG(7)
+    overlay = _loaded_overlay(rng)
+    base = _base_index(RNG(7))
+    query = rng.normal(size=DIM)
+
+    def step():
+        ids, distances = overlay.query(query, k=10)
+        return float(distances[0])
+
+    benchmark(step)
+    # Base-only reference timed outside the plugin: same query, same
+    # machine state, enough repeats to stabilise the mean.
+    repeats = 50
+    started = time.perf_counter()
+    for _ in range(repeats):
+        base.query(query, k=10)
+    base_mean = (time.perf_counter() - started) / repeats
+    try:
+        overlay_mean = float(benchmark.stats.stats.mean)
+    except AttributeError:  # --benchmark-disable
+        started = time.perf_counter()
+        for _ in range(repeats):
+            step()
+        overlay_mean = (time.perf_counter() - started) / repeats
+    bench_record_ingest(overlay_mean / max(base_mean, 1e-12), benchmark)
+
+
+def test_bench_recovery_replay(benchmark, bench_record_ingest,
+                               tmp_path):
+    """Headline: recovery replay throughput in records/second."""
+    rng = RNG(11)
+    log_dir = tmp_path / "wal"
+    records = 400
+    writer = Ingestor(log_dir, {"vec": _base_index(rng)},
+                      config=IngestConfig(fsync_every=64))
+    deltas = rng.normal(size=(records, DIM))
+    for i in range(records):
+        writer.add({"vec": deltas[i]}, class_id=int(rng.integers(0, 8)))
+    writer.close()
+
+    def step():
+        reopened = Ingestor(log_dir, {"vec": _base_index(RNG(11))})
+        replayed = reopened.recovery["replayed_records"]
+        reopened.close()
+        return replayed
+
+    replayed = benchmark(step)
+    assert replayed == records
+    try:
+        mean_s = float(benchmark.stats.stats.mean)
+    except AttributeError:
+        started = time.perf_counter()
+        step()
+        mean_s = time.perf_counter() - started
+    bench_record_ingest(records / max(mean_s, 1e-12), benchmark)

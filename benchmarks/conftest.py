@@ -23,6 +23,7 @@ from repro.obs import MetricsRegistry
 
 BENCH_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_components.json"
 BENCH_SERVING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_serving.json"
+BENCH_INGEST_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_ingest.json"
 
 _registry = MetricsRegistry()
 _bench_value = _registry.gauge(
@@ -44,6 +45,16 @@ _serving_wall_ms = _serving_registry.gauge(
     "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
     labels=("bench",))
 
+# Streaming-ingest numbers (delta-overlay query overhead, WAL
+# recovery-replay throughput) track the ingest subsystem's budget.
+_ingest_registry = MetricsRegistry()
+_ingest_value = _ingest_registry.gauge(
+    "bench_value", "headline value reported by each ingest benchmark",
+    labels=("bench",))
+_ingest_wall_ms = _ingest_registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
+
 
 def pytest_configure(config):
     # Benchmark runs should keep the regenerated paper tables visible:
@@ -56,7 +67,9 @@ def pytest_sessionfinish(session, exitstatus):
         return
     for registry, artifact in ((_registry, BENCH_ARTIFACT),
                                (_serving_registry,
-                                BENCH_SERVING_ARTIFACT)):
+                                BENCH_SERVING_ARTIFACT),
+                               (_ingest_registry,
+                                BENCH_INGEST_ARTIFACT)):
         recorded = any(family.children()
                        for family in registry.families())
         if recorded:
@@ -94,6 +107,12 @@ def bench_record(request):
 def bench_record_serving(request):
     """Like ``bench_record`` but lands in ``BENCH_serving.json``."""
     return _recorder(request, _serving_value, _serving_wall_ms)
+
+
+@pytest.fixture
+def bench_record_ingest(request):
+    """Like ``bench_record`` but lands in ``BENCH_ingest.json``."""
+    return _recorder(request, _ingest_value, _ingest_wall_ms)
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,10 @@
                              --ingredients broccoli chicken
     python -m repro serve    --data data/ --model run/ \
                              --ingredients broccoli chicken --deadline 0.5 \
-                             --shards 3 --replicas 2
+                             --shards 3 --replicas 2 --ingest-log wal/
+    python -m repro ingest append --log-dir wal/ --data data/ \
+                             --model run/ --recipe-id 7
+    python -m repro ingest status --log-dir wal/
     python -m repro metrics dump --jsonl run/telemetry.jsonl
 
 ``generate`` writes a synthetic Recipe1M in the Recipe1M JSON layout;
@@ -18,8 +21,10 @@ runs the paper's bag protocol on the test split; ``search`` answers
 fridge queries with the trained engine; ``serve`` answers the same
 query through the fault-contained resilient service (deadline,
 circuit breakers, degraded fallback; ``--shards N`` serves from a
-sharded, replicated index cluster) and reports the structured
-request outcome.
+sharded, replicated index cluster; ``--ingest-log DIR`` recovers and
+serves streamed deltas) and reports the structured request outcome;
+``ingest`` appends, tombstones, compacts, or inspects a streaming
+write-ahead delta log without a running service.
 
 ``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
 spans and events to a JSONL trace with a final metrics snapshot;
@@ -122,6 +127,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="after serving the query, replay an "
                             "N-query golden probe through the service "
                             "and report online vs offline MedR/R@K")
+    serve.add_argument("--ingest-log", default=None, metavar="DIR",
+                       help="enable streaming ingest backed by this "
+                            "write-ahead log directory (recovers any "
+                            "previous deltas before serving)")
+
+    ingest = commands.add_parser(
+        "ingest", help="streaming ingest against a write-ahead log "
+                       "directory (append/delete/compact/status)")
+    ingest_commands = ingest.add_subparsers(dest="ingest_command",
+                                            required=True)
+    append = ingest_commands.add_parser(
+        "append", help="durably add one recipe to the delta log")
+    append.add_argument("--log-dir", required=True)
+    append.add_argument("--data", required=True)
+    append.add_argument("--model", required=True)
+    append.add_argument("--recipe-id", type=int, required=True,
+                        help="dataset row of the recipe to stream in")
+    append.add_argument("--class-name", default=None,
+                        help="semantic class override (defaults to the "
+                             "recipe's own class)")
+    delete = ingest_commands.add_parser(
+        "delete", help="durably tombstone one item")
+    delete.add_argument("--log-dir", required=True)
+    delete.add_argument("--data", required=True)
+    delete.add_argument("--model", required=True)
+    delete.add_argument("--id", type=int, required=True,
+                        help="item id to tombstone")
+    compact = ingest_commands.add_parser(
+        "compact", help="fold the delta log into a new base snapshot")
+    compact.add_argument("--log-dir", required=True)
+    compact.add_argument("--data", required=True)
+    compact.add_argument("--model", required=True)
+    status = ingest_commands.add_parser(
+        "status", help="read-only summary of a delta log directory")
+    status.add_argument("--log-dir", required=True)
 
     monitor = commands.add_parser(
         "monitor", help="render quality-observability state from a "
@@ -306,7 +346,14 @@ def _command_serve(args) -> int:
         deadline=args.deadline, max_inflight=args.max_inflight,
         degraded_enabled=not args.no_degraded,
         shards=args.shards, replicas=args.replicas),
-        telemetry=telemetry, drift_reference=reference)
+        telemetry=telemetry, drift_reference=reference,
+        ingest_log=args.ingest_log)
+    if service.ingestor is not None:
+        recovery = service.ingestor.recovery
+        print(f"ingest log: {args.ingest_log}  "
+              f"epoch {recovery['epoch']}  base {recovery['base']}  "
+              f"replayed {recovery['replayed_records']} records  "
+              f"truncated {recovery['truncated_bytes']} torn bytes")
     try:
         response = service.search_by_ingredients(
             args.ingredients, k=args.top_k, class_name=args.class_name)
@@ -352,6 +399,94 @@ def _command_serve(args) -> int:
     if args.telemetry_jsonl:
         print(f"telemetry trace: {args.telemetry_jsonl}")
     return 0 if response.ok else 1
+
+
+def _open_ingestor(args):
+    """Engine-backed ingestor over the test-split base (the same base
+    ``serve`` uses), validated against the log's corpus fingerprint."""
+    from .core import RecipeSearchEngine
+    from .serving import Ingestor
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    ingestor = Ingestor(args.log_dir,
+                        {"image": engine.image_index,
+                         "recipe": engine.recipe_index})
+    return dataset, engine, ingestor
+
+
+def _print_ingest_status(status: dict) -> None:
+    log = status["log"]
+    print(f"epoch {status['epoch']}  base {status['base']}  "
+          f"live items {status['live_items']}  "
+          f"delta rows {status['delta_rows']}  "
+          f"tombstones {status['tombstones']}")
+    print(f"log: segment {log['segment']}  "
+          f"lag {log['lag_records']} records  "
+          f"appends {log['appends']}  syncs {log['syncs']}")
+
+
+def _command_ingest(args) -> int:
+    from .serving import IngestError, WalError, scan_log
+
+    if args.ingest_command == "status":
+        try:
+            summary = scan_log(args.log_dir)
+        except WalError as exc:
+            print(f"ingest error: {exc}")
+            return 1
+        print(f"log {summary['directory']}: epoch {summary['epoch']}  "
+              f"base {summary['base']}  segment {summary['segment']}  "
+              f"{summary['records']} pending records "
+              f"({summary['adds']} adds, {summary['deletes']} deletes)")
+        return 0
+    try:
+        dataset, engine, ingestor = _open_ingestor(args)
+    except IngestError as exc:
+        print(f"ingest error: {exc}")
+        return 1
+    try:
+        if args.ingest_command == "append":
+            import numpy as np
+
+            recipe = dataset[args.recipe_id]
+            class_id = engine.resolve_class(args.class_name)
+            if class_id is None:
+                class_id = int(recipe.true_class_id)
+            from .serving import recipe_to_payload
+
+            with np.errstate(all="ignore"):
+                vectors = {"recipe": engine.embed_recipe(recipe),
+                           "image": engine.embed_image(recipe.image)}
+            ack = ingestor.add(vectors, class_id=class_id,
+                               payload=recipe_to_payload(recipe))
+            verb = "replaced" if ack.replaced else "added"
+            print(f"{verb} item {ack.item_id} "
+                  f"({recipe.title!r}, class {class_id}) "
+                  f"at {ack.position.segment}:{ack.position.offset}  "
+                  f"durable={ack.durable}")
+        elif args.ingest_command == "delete":
+            try:
+                ack = ingestor.delete(args.id)
+            except KeyError as exc:
+                print(f"ingest error: {exc.args[0]}")
+                return 1
+            print(f"tombstoned item {ack.item_id} "
+                  f"at {ack.position.segment}:{ack.position.offset}  "
+                  f"durable={ack.durable}")
+        elif args.ingest_command == "compact":
+            report = ingestor.compact()
+            print(f"compacted to epoch {report.epoch}: "
+                  f"{report.live_items} live items  "
+                  f"{report.folded_tombstones} tombstones folded  "
+                  f"{report.pending_replayed} raced writes replayed  "
+                  f"base {report.base_file}")
+        _print_ingest_status(ingestor.status())
+        return 0
+    finally:
+        ingestor.close()
 
 
 def _read_jsonl_tolerant(path) -> list[dict]:
@@ -503,6 +638,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "search": _command_search,
     "serve": _command_serve,
+    "ingest": _command_ingest,
     "monitor": _command_monitor,
     "metrics": _command_metrics,
 }

@@ -53,16 +53,28 @@ class RecipeSearchEngine:
     corpus:
         The encoded corpus to search over (typically the test split, or
         everything in a production deployment).
+    indexes:
+        Optional prebuilt ``(image_index, recipe_index)`` pair adopted
+        as-is instead of re-encoding the corpus.  The streaming-ingest
+        compactor uses this to promote folded bases whose rows must
+        stay bitwise identical — re-encoding (or re-normalizing) them
+        would move last-ulp bits and break the overlay/monolith
+        identity.
     """
 
     def __init__(self, model: JointEmbeddingModel,
                  featurizer: RecipeFeaturizer, dataset: RecipeDataset,
-                 corpus: EncodedCorpus):
+                 corpus: EncodedCorpus,
+                 indexes: tuple[NearestNeighborIndex,
+                                NearestNeighborIndex] | None = None):
         self.model = model
         self.featurizer = featurizer
         self.dataset = dataset
         self.corpus = corpus
         self._mean_instruction_cache: np.ndarray | None = None
+        if indexes is not None:
+            self._image_index, self._recipe_index = indexes
+            return
         image_embeddings, recipe_embeddings = model.encode_corpus(corpus)
         self._image_index = NearestNeighborIndex(
             image_embeddings, ids=np.arange(len(corpus)),

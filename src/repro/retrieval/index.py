@@ -43,6 +43,33 @@ class NearestNeighborIndex:
         if self.class_ids is not None and len(self.class_ids) != n:
             raise ValueError("class_ids must align with embeddings")
 
+    @classmethod
+    def from_normalized(cls, embeddings: np.ndarray,
+                        ids: np.ndarray,
+                        class_ids: np.ndarray | None = None
+                        ) -> "NearestNeighborIndex":
+        """Adopt already-normalized rows verbatim (no re-normalize).
+
+        The constructor normalizes, which is correct for raw vectors
+        but moves the last ulp of rows that are already unit-norm —
+        re-normalization is not bitwise idempotent.  Snapshot loaders
+        (streaming-ingest base folds) use this path so a round trip
+        through disk reproduces distances bit for bit.
+        """
+        dup = object.__new__(cls)
+        dup.embeddings = np.asarray(embeddings, dtype=np.float64).copy()
+        if dup.embeddings.ndim != 2:
+            raise ValueError("embeddings must be 2-D")
+        dup.ids = np.asarray(ids, dtype=np.int64).copy()
+        if len(dup.ids) != len(dup.embeddings):
+            raise ValueError("ids must align with embeddings")
+        dup.class_ids = (None if class_ids is None
+                         else np.asarray(class_ids, dtype=np.int64).copy())
+        if (dup.class_ids is not None
+                and len(dup.class_ids) != len(dup.embeddings)):
+            raise ValueError("class_ids must align with embeddings")
+        return dup
+
     def __len__(self) -> int:
         return len(self.embeddings)
 
@@ -82,6 +109,43 @@ class NearestNeighborIndex:
         """
         return self.subset(np.arange(len(self.embeddings)))
 
+    def append_rows(self, rows: np.ndarray, ids: np.ndarray,
+                    class_ids: np.ndarray | None = None
+                    ) -> "NearestNeighborIndex":
+        """A new index with ``rows`` appended — copied verbatim.
+
+        ``rows`` must already be unit-normalized (the caller normalized
+        them exactly once, at ingest time); like :meth:`subset`, this
+        path never re-normalizes, so folding a delta overlay into a new
+        base cannot perturb a single existing distance bit.  ``ids``
+        aligns with ``rows``; ``class_ids`` is required iff the base
+        carries class metadata.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.embeddings.shape[1]:
+            raise ValueError(
+                f"rows must be (n, {self.embeddings.shape[1]}); "
+                f"got {rows.shape}")
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) != len(rows):
+            raise ValueError("ids must align with rows")
+        dup = object.__new__(NearestNeighborIndex)
+        dup.embeddings = np.concatenate([self.embeddings, rows])
+        dup.ids = np.concatenate([self.ids, ids])
+        if self.class_ids is None:
+            if class_ids is not None:
+                raise ValueError("index built without class metadata")
+            dup.class_ids = None
+        else:
+            if class_ids is None:
+                raise ValueError(
+                    "class_ids required: index carries class metadata")
+            class_ids = np.asarray(class_ids, dtype=np.int64)
+            if len(class_ids) != len(rows):
+                raise ValueError("class_ids must align with rows")
+            dup.class_ids = np.concatenate([self.class_ids, class_ids])
+        return dup
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -99,7 +163,8 @@ class NearestNeighborIndex:
         return int(np.count_nonzero(self.class_ids == class_id))
 
     def _candidates(self, k: int, class_id: int | None,
-                    strict: bool) -> np.ndarray:
+                    strict: bool,
+                    mask: np.ndarray | None = None) -> np.ndarray:
         if k < 1:
             raise ValueError("k must be >= 1")
         candidates = np.arange(len(self.embeddings))
@@ -107,6 +172,11 @@ class NearestNeighborIndex:
             if self.class_ids is None:
                 raise ValueError("index built without class metadata")
             candidates = np.flatnonzero(self.class_ids == class_id)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if len(mask) != len(self.embeddings):
+                raise ValueError("mask must align with embeddings")
+            candidates = candidates[mask[candidates]]
         if strict and candidates.size < k:
             raise ValueError(
                 f"k={k} exceeds the candidate pool of {candidates.size}"
@@ -114,7 +184,8 @@ class NearestNeighborIndex:
         return candidates
 
     def query(self, vector: np.ndarray, k: int = 5,
-              class_id: int | None = None, strict: bool = False
+              class_id: int | None = None, strict: bool = False,
+              mask: np.ndarray | None = None
               ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` ``(ids, distances)`` for one query vector.
 
@@ -131,18 +202,40 @@ class NearestNeighborIndex:
         Ties are broken by candidate position (stable sort), so equal
         distances resolve to the lower row — the same order the
         cluster's merge reproduces across shards.
+
+        ``mask`` is an optional per-row liveness filter aligned with
+        the embedding rows; masked-out rows are excluded from the
+        candidate pool (the streaming-ingest overlay uses it to hide
+        tombstoned base rows without touching the frozen arrays).
         """
-        candidates = self._candidates(k, class_id, strict)
+        candidates, distances = self.query_positions(
+            vector, k=k, class_id=class_id, strict=strict, mask=mask)
+        return self.ids[candidates], distances
+
+    def query_positions(self, vector: np.ndarray, k: int = 5,
+                        class_id: int | None = None,
+                        strict: bool = False,
+                        mask: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(row positions, distances)`` for one vector.
+
+        Same contract as :meth:`query` but returns raw row positions
+        instead of ids — the form the delta overlay merges on, since
+        positions are the tie-break key of the cluster's
+        ``(distance, position)`` lexsort.
+        """
+        candidates = self._candidates(k, class_id, strict, mask=mask)
         if candidates.size == 0:
             return (np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.float64))
         distances = cosine_distances_to(self.embeddings[candidates],
                                         vector)
         order = np.argsort(distances, kind="stable")[:k]
-        return self.ids[candidates[order]], distances[order]
+        return candidates[order], distances[order]
 
     def query_batch(self, vectors: np.ndarray, k: int = 5,
-                    class_id: int | None = None, strict: bool = False
+                    class_id: int | None = None, strict: bool = False,
+                    mask: np.ndarray | None = None
                     ) -> tuple[np.ndarray, np.ndarray]:
         """Top-``k`` for a whole batch of queries in one matmul.
 
@@ -158,7 +251,7 @@ class NearestNeighborIndex:
         if vectors.ndim != 2:
             raise ValueError(
                 f"vectors must be 2-D (batch, dim); got {vectors.shape}")
-        candidates = self._candidates(k, class_id, strict)
+        candidates = self._candidates(k, class_id, strict, mask=mask)
         if candidates.size == 0:
             return (np.empty((len(vectors), 0), dtype=np.int64),
                     np.empty((len(vectors), 0), dtype=np.float64))

@@ -18,12 +18,14 @@ Four pillars, each with its own module:
 from .checkpoint import (FORMAT_VERSION, CheckpointError, CheckpointManager,
                          CheckpointState)
 from .faults import (ChainedClusterFaults, ChainedFaults,
-                     ChainedServingFaults, ClusterFault, CrashFault,
-                     FaultInjector, IndexCorruptionFault, NaNEmbedFault,
+                     ChainedIngestFaults, ChainedServingFaults,
+                     ClusterFault, CompactionRacingQueries, CrashFault,
+                     CrashMidCompaction, DiskFullOnAppend, FaultInjector,
+                     IndexCorruptionFault, IngestFault, NaNEmbedFault,
                      NaNGradientFault, ParamCorruptionFault, ReplicaCrash,
                      ServingFault, ShardLoss, SimulatedCrash,
                      SlowEmbedFault, SlowShard, SwapMidQueryFault,
-                     corrupt_file, truncate_file)
+                     TornWrite, corrupt_file, truncate_file)
 from .health import (HealthMonitor, NumericalHealthError, StepVerdict,
                      clip_grad_norm, global_grad_norm)
 from .quarantine import (QuarantinedRecord, QuarantineReport, validate_image,
@@ -43,4 +45,6 @@ __all__ = [
     "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault",
     "ClusterFault", "ChainedClusterFaults", "ReplicaCrash",
     "SlowShard", "ShardLoss",
+    "IngestFault", "ChainedIngestFaults", "TornWrite",
+    "DiskFullOnAppend", "CrashMidCompaction", "CompactionRacingQueries",
 ]

@@ -22,7 +22,13 @@ so the guards themselves are testable:
   into :class:`~repro.serving.cluster.IndexCluster` fan-outs: replica
   processes dying mid-run (:class:`ReplicaCrash`), one shard's
   replicas going slow (:class:`SlowShard`), and a whole shard lost at
-  once (:class:`ShardLoss`).
+  once (:class:`ShardLoss`);
+* :class:`IngestFault` subclasses — streaming-ingest failures hooked
+  into the write-ahead log and the compaction protocol: a write torn
+  by a crash (:class:`TornWrite`), a full disk
+  (:class:`DiskFullOnAppend`), the compactor dying at a chosen
+  protocol phase (:class:`CrashMidCompaction`), and queries fired at
+  the protocol edges (:class:`CompactionRacingQueries`).
 
 All injectors are deterministic: faults fire at explicit step/epoch/
 request indices, never at random, so a failing test replays exactly.
@@ -42,7 +48,10 @@ __all__ = ["SimulatedCrash", "FaultInjector", "ChainedFaults",
            "ServingFault", "ChainedServingFaults", "SlowEmbedFault",
            "NaNEmbedFault", "IndexCorruptionFault", "SwapMidQueryFault",
            "ClusterFault", "ChainedClusterFaults", "ReplicaCrash",
-           "SlowShard", "ShardLoss"]
+           "SlowShard", "ShardLoss",
+           "IngestFault", "ChainedIngestFaults", "TornWrite",
+           "DiskFullOnAppend", "CrashMidCompaction",
+           "CompactionRacingQueries"]
 
 
 class SimulatedCrash(RuntimeError):
@@ -380,6 +389,131 @@ class ShardLoss(ClusterFault):
         self.fired = True
         for replica in cluster.shards[self.shard_id].replicas:
             cluster.crash_replica(self.shard_id, replica.replica_id)
+
+
+# ----------------------------------------------------------------------
+# Streaming-ingest faults (WAL appends and compaction phases)
+# ----------------------------------------------------------------------
+class IngestFault:
+    """Hooks into the write-ahead log and the compaction protocol.
+
+    ``on_append`` sees the framed wire bytes of record ``record_index``
+    (0-based, counted per process lifetime) and returns what actually
+    reaches the disk — returning a prefix manufactures a torn write,
+    raising :class:`OSError` manufactures a full disk.
+    ``after_append`` runs once the bytes are down and may raise
+    :class:`SimulatedCrash` to model the process dying before it can
+    use the acknowledgement.  ``on_compaction`` fires at each protocol
+    phase (``folded`` → ``base_written`` → ``manifest_written`` →
+    ``committed``, or ``aborted``).
+    """
+
+    def on_append(self, record_index: int, data: bytes) -> bytes:
+        return data
+
+    def after_append(self, record_index: int) -> None:
+        pass
+
+    def on_compaction(self, phase: str) -> None:
+        pass
+
+
+class ChainedIngestFaults(IngestFault):
+    """Compose several ingest faults into one injector."""
+
+    def __init__(self, faults: Iterable[IngestFault]):
+        self.faults = list(faults)
+
+    def on_append(self, record_index: int, data: bytes) -> bytes:
+        for fault in self.faults:
+            data = fault.on_append(record_index, data)
+        return data
+
+    def after_append(self, record_index: int) -> None:
+        for fault in self.faults:
+            fault.after_append(record_index)
+
+    def on_compaction(self, phase: str) -> None:
+        for fault in self.faults:
+            fault.on_compaction(phase)
+
+
+class TornWrite(IngestFault):
+    """kill -9 halfway through appending one chosen record.
+
+    The record's wire bytes are cut to ``keep_fraction`` (header
+    included, so the CRC can never match) and the process then "dies"
+    via :class:`SimulatedCrash` — the torn tail stays on disk exactly
+    as a real crash would leave it, and the write was never
+    acknowledged.
+    """
+
+    def __init__(self, record: int, keep_fraction: float = 0.5):
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+        self.record = int(record)
+        self.keep_fraction = float(keep_fraction)
+        self.fired: list[int] = []
+
+    def on_append(self, record_index: int, data: bytes) -> bytes:
+        if record_index != self.record:
+            return data
+        kept = max(1, int(len(data) * self.keep_fraction))
+        return data[:kept]
+
+    def after_append(self, record_index: int) -> None:
+        if record_index == self.record:
+            self.fired.append(record_index)
+            raise SimulatedCrash(
+                f"process died mid-append of record {record_index}")
+
+
+class DiskFullOnAppend(IngestFault):
+    """ENOSPC on chosen appends; the log must roll back cleanly."""
+
+    def __init__(self, records: Iterable[int]):
+        self.records = set(int(r) for r in records)
+        self.fired: list[int] = []
+
+    def on_append(self, record_index: int, data: bytes) -> bytes:
+        if record_index in self.records:
+            self.fired.append(record_index)
+            raise OSError(28, "No space left on device")
+        return data
+
+
+class CrashMidCompaction(IngestFault):
+    """Die at a chosen compaction phase (``folded``, ``base_written``,
+    or ``manifest_written``) — recovery must reach the same state as
+    if the compaction had never started (before the manifest moved) or
+    had fully committed (after)."""
+
+    def __init__(self, phase: str):
+        self.phase = str(phase)
+        self.fired: list[str] = []
+
+    def on_compaction(self, phase: str) -> None:
+        if phase == self.phase and not self.fired:
+            self.fired.append(phase)
+            raise SimulatedCrash(
+                f"process died at compaction phase {phase!r}")
+
+
+class CompactionRacingQueries(IngestFault):
+    """Run a callback at every compaction phase — the chaos suite uses
+    it to fire queries at the exact protocol edges and assert each
+    effective recipe is observed exactly once throughout the swap."""
+
+    def __init__(self, callback: Callable[[str], None],
+                 phases: Iterable[str] | None = None):
+        self.callback = callback
+        self.phases = None if phases is None else set(phases)
+        self.fired: list[str] = []
+
+    def on_compaction(self, phase: str) -> None:
+        if self.phases is None or phase in self.phases:
+            self.fired.append(phase)
+            self.callback(phase)
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,11 @@ Production containment around :class:`~repro.core.engine.RecipeSearchEngine`:
 * :mod:`~repro.serving.cluster` — the sharded, replicated
   :class:`~repro.serving.cluster.IndexCluster` with hedged fan-out,
   failover, anti-entropy repair, and partial results;
+* :mod:`~repro.serving.wal` — the crash-safe, checksummed,
+  segment-rotated write-ahead delta log;
+* :mod:`~repro.serving.ingest` — streaming adds/deletes over a frozen
+  base index: the exact base ∪ delta overlay, WAL-backed durability,
+  and exactly-once compaction into a new base snapshot;
 * :mod:`~repro.serving.service` — the
   :class:`~repro.serving.service.ResilientSearchService` tying it all
   together with admission control and structured outcome records.
@@ -24,10 +29,17 @@ from .cluster import ClusterConfig, ClusterResult, IndexCluster, ShardReplica
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
 from .hotswap import EngineGeneration, SwapReport, run_canaries
+from .ingest import (CompactionReport, CompactionThread, CompactionTicket,
+                     DeltaOverlay, IngestAck, IngestConfig, IngestError,
+                     IngestOp, Ingestor, payload_to_recipe,
+                     recipe_to_payload, scan_log)
 from .retry import CircuitBreaker, CircuitState, RetryPolicy
-from .service import (STATUSES, RequestOutcome, ResilientSearchService,
+from .service import (INGEST_STATUSES, STATUSES, IngestOutcome,
+                      RequestOutcome, ResilientSearchService,
                       ServiceConfig, ServiceResponse)
 from .sharding import merge_topk, partition_positions, shard_of, stable_hash64
+from .wal import (DeltaLog, LogPosition, LogRecovery, WalCorruption,
+                  WalError, WalWriteError)
 
 __all__ = [
     "Deadline", "DeadlineExceeded",
@@ -36,6 +48,13 @@ __all__ = [
     "CircuitBreaker", "CircuitState", "RetryPolicy",
     "STATUSES", "RequestOutcome", "ResilientSearchService",
     "ServiceConfig", "ServiceResponse",
+    "INGEST_STATUSES", "IngestOutcome",
     "ClusterConfig", "ClusterResult", "IndexCluster", "ShardReplica",
     "stable_hash64", "shard_of", "partition_positions", "merge_topk",
+    "WalError", "WalCorruption", "WalWriteError",
+    "DeltaLog", "LogPosition", "LogRecovery",
+    "IngestError", "IngestConfig", "IngestOp", "IngestAck",
+    "DeltaOverlay", "Ingestor", "CompactionTicket", "CompactionReport",
+    "CompactionThread", "scan_log", "recipe_to_payload",
+    "payload_to_recipe",
 ]

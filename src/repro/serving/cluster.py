@@ -53,7 +53,7 @@ from ..obs import LATENCY_BUCKETS, Telemetry
 from ..retrieval.index import NearestNeighborIndex
 from .deadline import Deadline
 from .retry import CircuitBreaker, CircuitState
-from .sharding import merge_topk, partition_positions
+from .sharding import merge_topk, partition_positions, shard_of
 
 __all__ = ["ClusterConfig", "ClusterResult", "ShardReplica",
            "IndexCluster", "REPLICA_STATE_VALUES", "REPLICA_DEAD",
@@ -306,6 +306,11 @@ class IndexCluster:
         self._ids = index.ids.copy()
         self._class_ids = (None if index.class_ids is None
                            else index.class_ids.copy())
+        self._live = np.ones(len(self._ids), dtype=bool)
+        # Serializes streamed delta application (and anti-entropy
+        # rebuilds) against each other; queries stay lock-free — they
+        # read each replica's ``index`` reference exactly once.
+        self._topology_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._next_query_id = 0
         self._queries = 0
@@ -430,35 +435,111 @@ class IndexCluster:
         if not due:
             return 0
         rebuilt = 0
-        for shard in self.shards:
-            broken = [rep for rep in shard.replicas
-                      if not rep.alive
-                      or rep.breaker.state is CircuitState.OPEN]
-            if not broken:
-                continue
-            donor = next(
-                (rep for rep in shard.replicas
-                 if rep.alive and rep.breaker.state is CircuitState.CLOSED
-                 and bool(np.isfinite(rep.index.embeddings).all())),
-                None)
-            if donor is None:
-                continue
-            for rep in broken:
-                rep.revive(donor.index.clone())
-                rebuilt += 1
-                self._m_rebuilds.labels(cluster=self.name,
-                                        shard=shard.shard_id).inc()
-                self._m_replica_state.labels(
-                    cluster=self.name, shard=shard.shard_id,
-                    replica=rep.replica_id).set(0)
-                self.telemetry.events.emit(
-                    "replica_rebuilt", cluster=self.name,
-                    shard=shard.shard_id, replica=rep.replica_id,
-                    donor=donor.replica_id)
+        # Taken so a rebuild cannot interleave with a streamed delta
+        # being applied to the same shard's replicas.
+        with self._topology_lock:
+            for shard in self.shards:
+                broken = [rep for rep in shard.replicas
+                          if not rep.alive
+                          or rep.breaker.state is CircuitState.OPEN]
+                if not broken:
+                    continue
+                donor = next(
+                    (rep for rep in shard.replicas
+                     if rep.alive
+                     and rep.breaker.state is CircuitState.CLOSED
+                     and bool(np.isfinite(rep.index.embeddings).all())),
+                    None)
+                if donor is None:
+                    continue
+                for rep in broken:
+                    rep.revive(donor.index.clone())
+                    rebuilt += 1
+                    self._m_rebuilds.labels(cluster=self.name,
+                                            shard=shard.shard_id).inc()
+                    self._m_replica_state.labels(
+                        cluster=self.name, shard=shard.shard_id,
+                        replica=rep.replica_id).set(0)
+                    self.telemetry.events.emit(
+                        "replica_rebuilt", cluster=self.name,
+                        shard=shard.shard_id, replica=rep.replica_id,
+                        donor=donor.replica_id)
         if rebuilt:
             with self._stats_lock:
                 self._rebuilds += rebuilt
         return rebuilt
+
+    # ------------------------------------------------------------------
+    # Streamed deltas (ingest overlay mirrored into the shards)
+    # ------------------------------------------------------------------
+    def apply_add(self, item_id: int, row: np.ndarray, class_id: int,
+                  position: int) -> None:
+        """Physically add one streamed row at global ``position``.
+
+        The item routes to its owning shard by the same splitmix64
+        placement the base build used (:func:`shard_of` on the item
+        id), so a corpus rebuilt from the folded state shards
+        identically.  Every replica of the owning shard gets the row
+        via the verbatim ``append_rows`` path; the replica's
+        ``index`` reference is swapped atomically, so racing queries
+        see the shard either with or without the row — never torn.
+
+        ``position`` may skip past gaps (merge keys whose item was
+        tombstoned before this cluster ever saw it); gap positions
+        hold no rows anywhere, so they can never be returned.
+        """
+        row = np.asarray(row, dtype=np.float64).reshape(1, -1)
+        item_id = int(item_id)
+        position = int(position)
+        with self._topology_lock:
+            size = len(self._ids)
+            if position < size and self._live[position]:
+                raise ValueError(
+                    f"position {position} is already live")
+            if position >= size:
+                grow = position + 1 - size
+                self._ids = np.concatenate(
+                    [self._ids, np.full(grow, -1, dtype=np.int64)])
+                self._live = np.concatenate(
+                    [self._live, np.zeros(grow, dtype=bool)])
+                if self._class_ids is not None:
+                    self._class_ids = np.concatenate(
+                        [self._class_ids,
+                         np.full(grow, -1, dtype=np.int64)])
+            self._ids[position] = item_id
+            self._live[position] = True
+            if self._class_ids is not None:
+                self._class_ids[position] = int(class_id)
+            shard = self.shards[shard_of(item_id, len(self.shards))]
+            labels = np.array([position], dtype=np.int64)
+            classes = (None if self._class_ids is None
+                       else np.array([int(class_id)], dtype=np.int64))
+            for rep in shard.replicas:
+                rep.index = rep.index.append_rows(row, labels, classes)
+            shard.positions = np.concatenate([shard.positions, labels])
+
+    def apply_delete(self, item_id: int, position: int) -> None:
+        """Physically drop one streamed tombstone from its shard."""
+        item_id = int(item_id)
+        position = int(position)
+        with self._topology_lock:
+            if position >= len(self._ids) or not self._live[position]:
+                raise ValueError(
+                    f"position {position} is not live")
+            if self._ids[position] != item_id:
+                raise ValueError(
+                    f"position {position} holds item "
+                    f"{int(self._ids[position])}, not {item_id}")
+            self._live[position] = False
+            shard = self.shards[shard_of(item_id, len(self.shards))]
+            for rep in shard.replicas:
+                keep = np.flatnonzero(rep.index.ids != position)
+                rep.index = rep.index.subset(keep)
+            shard.positions = shard.positions[
+                shard.positions != position]
+
+    def live_item_count(self) -> int:
+        return int(np.count_nonzero(self._live))
 
     def describe(self) -> dict:
         """Topology + health snapshot for ``stats()`` and dashboards."""
@@ -486,6 +567,7 @@ class IndexCluster:
                 "shards": len(self.shards),
                 "replication": self._config.replication,
                 "items": len(self._ids),
+                "live_items": self.live_item_count(),
                 "live_replicas": self.live_replica_count(),
                 **totals,
                 "topology": topology}
@@ -503,8 +585,9 @@ class IndexCluster:
         if class_id is not None and self._class_ids is None:
             raise ValueError("index built without class metadata")
         if strict:
-            pool = (len(self._ids) if class_id is None else
-                    int(np.count_nonzero(self._class_ids == class_id)))
+            pool = (int(np.count_nonzero(self._live)) if class_id is None
+                    else int(np.count_nonzero(
+                        self._live & (self._class_ids == class_id))))
             if pool < k:
                 raise ValueError(
                     f"k={k} exceeds the candidate pool of {pool}"

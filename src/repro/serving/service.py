@@ -28,6 +28,13 @@ production deployment needs:
 * **hot-swap** — :meth:`ResilientSearchService.swap_corpus` builds a
   new corpus+index generation aside, canary-validates it, and swaps a
   single reference under the lock (:mod:`~repro.serving.hotswap`);
+* **streaming ingest** — configured with an ``ingest_log`` directory,
+  :meth:`ResilientSearchService.ingest` /
+  :meth:`~ResilientSearchService.delete` append crash-safe WAL records
+  and apply them to a delta overlay merged exactly into every search
+  (:mod:`~repro.serving.ingest`);
+  :meth:`~ResilientSearchService.compact_ingest` folds the deltas into
+  a new canary-validated base generation;
 * **outcome records** — every request, including shed and timed-out
   ones, produces a :class:`RequestOutcome`; the public search methods
   never raise for operational faults;
@@ -59,19 +66,26 @@ from ..core.engine import RecipeSearchEngine, SearchResult
 from ..data.schema import Recipe
 from ..obs import LATENCY_BUCKETS, Telemetry
 from ..obs.drift import DriftMonitor, DriftReference
+from ..robustness.faults import SimulatedCrash
 from .cluster import ClusterConfig, ClusterResult, IndexCluster
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
 from .hotswap import EngineGeneration, SwapReport, run_canaries
+from .ingest import (IngestAck, IngestConfig, IngestError, IngestOp,
+                     Ingestor, payload_to_recipe, recipe_to_payload)
 from .retry import CircuitBreaker, CircuitState, RetryPolicy
+from .wal import WalWriteError
 
 __all__ = ["ServiceConfig", "RequestOutcome", "ServiceResponse",
-           "ResilientSearchService", "STATUSES",
-           "BREAKER_STATE_VALUES"]
+           "IngestOutcome", "ResilientSearchService", "STATUSES",
+           "INGEST_STATUSES", "BREAKER_STATE_VALUES"]
 
 #: Every request resolves to exactly one of these.
 STATUSES = ("ok", "partial", "degraded", "shed", "timeout", "invalid",
             "error")
+
+#: Every ingest/delete call resolves to exactly one of these.
+INGEST_STATUSES = ("ok", "invalid", "error", "unavailable")
 
 #: Gauge encoding of breaker states (closed is the healthy zero).
 BREAKER_STATE_VALUES = {CircuitState.CLOSED: 0,
@@ -88,6 +102,39 @@ class _StageUnavailable(RuntimeError):
         super().__init__(f"{stage} unavailable: {reason}")
         self.stage = stage
         self.reason = reason
+
+
+class _IngestEngine(RecipeSearchEngine):
+    """Engine variant that can materialize streamed rows.
+
+    With ingest on, result rows may lie beyond the frozen corpus
+    (streamed adds) or belong to corpus rows whose payload an upsert
+    superseded; both resolve through the ingestor's live payload
+    store.  Canary validation and generation hooks call
+    ``engine.materialize`` directly, so the engine itself — not just
+    the service request path — must know how.
+    """
+
+    def __init__(self, model, featurizer, dataset, corpus, indexes,
+                 ingestor: Ingestor):
+        super().__init__(model, featurizer, dataset, corpus,
+                         indexes=indexes)
+        self._ingestor = ingestor
+
+    def materialize(self, rows, distances):
+        corpus_len = len(self.corpus)
+        results = []
+        for row, distance in zip(rows, distances):
+            row = int(row)
+            payload = self._ingestor.payloads.get(row)
+            if payload is not None or row >= corpus_len:
+                results.append(SearchResult(
+                    recipe=payload_to_recipe(payload, row),
+                    distance=float(distance), corpus_row=row))
+            else:
+                results.extend(super().materialize(
+                    np.array([row]), np.array([float(distance)])))
+        return results
 
 
 @dataclass(frozen=True)
@@ -156,6 +203,33 @@ class ServiceResponse:
         return self.outcome.status in ("ok", "partial", "degraded")
 
 
+@dataclass(frozen=True)
+class IngestOutcome:
+    """Structured record of one streaming mutation, whatever its fate.
+
+    Like search, the ingest entry points never raise for operational
+    faults — a full disk or an unknown id comes back as a status here
+    (the one exception is :class:`SimulatedCrash`, which by definition
+    models the process dying and must propagate).  ``epoch`` is the
+    delta epoch the mutation landed in; a compaction bumps it together
+    with the serving generation.
+    """
+
+    op: str                   # add | delete | compact
+    status: str               # one of INGEST_STATUSES
+    item_id: int | None
+    generation: int
+    epoch: int
+    latency: float
+    durable: bool = False
+    replaced: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
 class _RequestTrace:
     """Mutable per-request bookkeeping shared across stages."""
 
@@ -193,6 +267,20 @@ class ResilientSearchService:
         successful index-stage result feeds the service's
         :class:`~repro.obs.drift.DriftMonitor` and PSI drift scores
         are exported per signal.  Without it the monitor is inert.
+    ingest_log:
+        Optional directory for the streaming-ingest write-ahead log.
+        When given, the service boots by *recovering* from it — folded
+        base snapshot (if a compaction committed) plus log replay —
+        and exposes :meth:`ingest` / :meth:`delete` /
+        :meth:`compact_ingest`.  Search then runs over the exact
+        base ∪ delta merge.  Without it, the ingest entry points
+        answer ``unavailable``.
+    ingest_config:
+        Optional :class:`~repro.serving.ingest.IngestConfig` (fsync
+        batching, auto-compaction threshold).
+    ingest_faults:
+        Optional :class:`~repro.robustness.faults.IngestFault` hook
+        object threaded into the WAL and the compaction protocol.
     """
 
     def __init__(self, engine: RecipeSearchEngine,
@@ -202,7 +290,10 @@ class ResilientSearchService:
                  rng: random.Random | None = None,
                  faults=None, cluster_faults=None,
                  telemetry: Telemetry | None = None,
-                 drift_reference: DriftReference | None = None):
+                 drift_reference: DriftReference | None = None,
+                 ingest_log=None,
+                 ingest_config: IngestConfig | None = None,
+                 ingest_faults=None):
         self._config = config or ServiceConfig()
         self._clock = clock
         self._sleep = sleep
@@ -210,8 +301,13 @@ class ResilientSearchService:
         self._faults = faults
         self._cluster_faults = cluster_faults
         self._lock = threading.Lock()
+        # Serializes mutations (ingest/delete/compaction commit)
+        # against each other; queries never take it.  Lock order is
+        # always ingest lock -> service lock, never the reverse.
+        self._ingest_lock = threading.RLock()
         self._inflight = 0
         self._next_request_id = 0
+        self._next_ingest_id = 0
         self._status_counts: Counter[str] = Counter()
         self.telemetry = telemetry or Telemetry(clock=clock)
         self._setup_metrics()
@@ -224,7 +320,27 @@ class ResilientSearchService:
         #: merged into the swap report's ``quality_baseline``.  The
         #: golden probe registers here to re-baseline per generation.
         self.on_generation: list[Callable] = []
+        self.ingestor: Ingestor | None = None
+        if ingest_log is not None:
+            self.ingestor = Ingestor(
+                ingest_log,
+                {"image": engine.image_index,
+                 "recipe": engine.recipe_index},
+                config=ingest_config, telemetry=self.telemetry,
+                faults=ingest_faults)
+            # Rebuild the engine over the ingestor's recovered bases
+            # (the caller's indexes, or the folded snapshot when a
+            # committed compaction superseded them — adopted verbatim,
+            # no re-encode) with payload-aware materialize on top.
+            engine = _IngestEngine(
+                engine.model, engine.featurizer, engine.dataset,
+                engine.corpus,
+                (self.ingestor.bases["image"],
+                 self.ingestor.bases["recipe"]),
+                self.ingestor)
         self._active = self._make_generation(0, engine)
+        if self.ingestor is not None:
+            self._replay_overlay_into_clusters(self._active)
         self.embed_breaker = CircuitBreaker(
             "embed", self._config.breaker_failure_threshold,
             self._config.breaker_reset_after,
@@ -239,6 +355,8 @@ class ResilientSearchService:
             self._m_breaker_state.labels(dependency=dependency).set(0)
         self._m_generation.set(0)
         self.outcomes: deque[RequestOutcome] = deque(
+            maxlen=self._config.outcome_log_size)
+        self.ingest_outcomes: deque[IngestOutcome] = deque(
             maxlen=self._config.outcome_log_size)
         self.swaps: list[SwapReport] = []
 
@@ -280,6 +398,10 @@ class ResilientSearchService:
             labels=("result",))
         self._m_canaries = registry.counter(
             "serving_canaries_total", "canary queries run during swaps")
+        self._m_ingest = registry.counter(
+            "ingest_requests_total",
+            "streaming ingest requests by op and outcome",
+            labels=("op", "status"))
 
     def _on_breaker_transition(self, name: str,
                                state: CircuitState) -> None:
@@ -414,6 +536,17 @@ class ResilientSearchService:
         """
         started = self._clock()
         old = self._active
+        if self.ingestor is not None:
+            # A wholesale corpus replacement would silently discard the
+            # delta log's acknowledged writes; folding is the only
+            # legal path to a new base while ingest is on.
+            report = SwapReport(
+                ok=False, generation=old.generation, canaries_run=0,
+                failures=("corpus hot-swap is disabled while streaming "
+                          "ingest is active; fold deltas with "
+                          "compact_ingest() instead",),
+                rolled_back=True)
+            return self._record_swap(report, started)
         if dataset is None:
             dataset = old.engine.dataset
         canaries = (self._config.canary_queries
@@ -535,6 +668,8 @@ class ResilientSearchService:
                 "stage_latency_ms": stage_latency,
             }
         stats["drift"] = self.drift.summary()
+        if self.ingestor is not None:
+            stats["ingest"] = self.ingestor.status()
         if active.image_cluster is not None:
             stats["cluster"] = {
                 "image": active.image_cluster.describe(),
@@ -708,8 +843,14 @@ class ResilientSearchService:
                                        class_id, budget)
         breaker = self.index_breaker
         policy = self._config.retry
-        index = (generation.engine.image_index if which_index == "image"
-                 else generation.engine.recipe_index)
+        if self.ingestor is not None:
+            # The overlay answers the exact base ∪ delta merge with the
+            # same query() signature as the monolithic index.
+            index = self.ingestor.overlays[which_index]
+        else:
+            index = (generation.engine.image_index
+                     if which_index == "image"
+                     else generation.engine.recipe_index)
         last = "no attempts made"
         for attempt in range(policy.max_attempts):
             budget.check("index")
@@ -766,6 +907,250 @@ class ResilientSearchService:
                 f"no shards answered (0/{result.shards_total})")
         breaker.record_success()
         return result.ids, result.distances, result
+
+    # ------------------------------------------------------------------
+    # Streaming ingest — never raises for operational faults
+    # ------------------------------------------------------------------
+    def ingest(self, recipe: Recipe, image: np.ndarray | None = None,
+               class_name: str | None = None) -> IngestOutcome:
+        """Durably add one recipe (and optional dish image) to serving.
+
+        The write is acknowledged only after it is applied to the WAL
+        and the in-memory overlay; per the durability contract it
+        survives a crash once the log record hits the OS (fsynced per
+        the configured batching policy — ``durable`` on the outcome
+        says whether this write's batch has been synced).  Operational
+        faults (disk full, bad input) come back as structured outcomes
+        with ``status`` in :data:`INGEST_STATUSES`; this method never
+        raises for them.
+        """
+        started = self._clock()
+        generation = self._active
+        with self.telemetry.tracer.span("ingest", op="add") as span:
+            if self.ingestor is None:
+                return self._finish_ingest(
+                    "add", "unavailable", None, generation, started,
+                    span=span, error="streaming ingest is not enabled "
+                                     "(no ingest_log configured)")
+            try:
+                with np.errstate(all="ignore"):
+                    class_id = generation.engine.resolve_class(class_name)
+                    if class_id is None:
+                        class_id = int(recipe.true_class_id)
+                    recipe_vec = generation.engine.embed_recipe(recipe)
+                    if image is not None:
+                        image_vec = generation.engine.embed_image(image)
+                    else:
+                        # No dish photo yet: park the item at the
+                        # recipe embedding so both indexes stay id-
+                        # aligned; a later upsert with pixels moves it.
+                        image_vec = recipe_vec
+            except ValueError as exc:
+                return self._finish_ingest(
+                    "add", "invalid", None, generation, started,
+                    span=span, error=str(exc))
+            except Exception as exc:
+                return self._finish_ingest(
+                    "add", "error", None, generation, started, span=span,
+                    error=f"{type(exc).__name__}: {exc}")
+            payload = recipe_to_payload(recipe)
+            payload["class_id"] = int(class_id)
+            try:
+                with self._ingest_lock:
+                    ack = self.ingestor.add(
+                        {"image": image_vec, "recipe": recipe_vec},
+                        class_id=int(class_id), payload=payload)
+                    self._apply_ack_to_clusters(generation, ack)
+            except SimulatedCrash:
+                raise  # chaos-suite process death, not an outcome
+            except WalWriteError as exc:
+                return self._finish_ingest(
+                    "add", "error", None, generation, started, span=span,
+                    error=str(exc))
+            except (IngestError, ValueError) as exc:
+                return self._finish_ingest(
+                    "add", "invalid", None, generation, started,
+                    span=span, error=str(exc))
+            self.drift.observe_query(
+                np.asarray(recipe_vec, dtype=np.float64), np.empty(0))
+            return self._finish_ingest(
+                "add", "ok", ack, generation, started, span=span)
+
+    def delete(self, item_id: int) -> IngestOutcome:
+        """Durably tombstone one item (base or streamed).
+
+        Deleting an id that is not live is ``invalid``, not an error —
+        the caller raced another delete or guessed wrong.
+        """
+        started = self._clock()
+        generation = self._active
+        with self.telemetry.tracer.span("ingest", op="delete") as span:
+            if self.ingestor is None:
+                return self._finish_ingest(
+                    "delete", "unavailable", None, generation, started,
+                    span=span, error="streaming ingest is not enabled "
+                                     "(no ingest_log configured)")
+            try:
+                with self._ingest_lock:
+                    ack = self.ingestor.delete(int(item_id))
+                    self._apply_ack_to_clusters(generation, ack)
+            except SimulatedCrash:
+                raise
+            except WalWriteError as exc:
+                return self._finish_ingest(
+                    "delete", "error", int(item_id), generation, started,
+                    span=span, error=str(exc))
+            except KeyError as exc:
+                return self._finish_ingest(
+                    "delete", "invalid", int(item_id), generation,
+                    started, span=span, error=str(exc.args[0]))
+            return self._finish_ingest(
+                "delete", "ok", ack, generation, started, span=span)
+
+    def compact_ingest(self,
+                       canary_queries: int | None = None) -> SwapReport:
+        """Fold the delta overlay into a new frozen base, canary-first.
+
+        The fold is built aside and canary-validated exactly like
+        :meth:`swap_corpus`; only then does the WAL checkpoint commit
+        it (the manifest write is the single commit point — dying on
+        either side of it recovers without loss or double-apply).
+        Writes that land while canaries run are replayed onto the new
+        generation before it goes live, so a query stream racing the
+        swap observes every acknowledged item exactly once.  Never
+        raises for operational faults.
+        """
+        started = self._clock()
+        old = self._active
+        if self.ingestor is None:
+            report = SwapReport(
+                ok=False, generation=old.generation, canaries_run=0,
+                failures=("streaming ingest is not enabled (no "
+                          "ingest_log configured)",),
+                rolled_back=True)
+            return self._record_swap(report, started)
+        canaries = (self._config.canary_queries
+                    if canary_queries is None else canary_queries)
+        with self.telemetry.tracer.span("compaction",
+                                        generation=old.generation):
+            ticket = None
+            try:
+                ticket = self.ingestor.begin_compaction()
+                with np.errstate(all="ignore"):
+                    engine = _IngestEngine(
+                        old.engine.model, old.engine.featurizer,
+                        old.engine.dataset, old.engine.corpus,
+                        (ticket.folded["image"],
+                         ticket.folded["recipe"]),
+                        self.ingestor)
+                    candidate = self._make_generation(
+                        old.generation + 1, engine)
+                run, failures = run_canaries(candidate, canaries)
+                if failures:
+                    self.ingestor.abort_compaction(ticket)
+                    report = SwapReport(
+                        ok=False, generation=old.generation,
+                        canaries_run=run, failures=tuple(failures),
+                        rolled_back=True)
+                    return self._record_swap(report, started)
+                with self._ingest_lock:
+                    _, replayed = self.ingestor.commit_compaction(ticket)
+                    for op, key, replaced_key in replayed:
+                        self._apply_replayed_to_clusters(
+                            candidate, op, key, replaced_key)
+                    with self._lock:
+                        self._active = candidate
+                self.index_breaker.reset()
+                self.drift.start_generation(self.drift.reference)
+                report = SwapReport(
+                    ok=True, generation=candidate.generation,
+                    canaries_run=run, failures=(), rolled_back=False,
+                    quality_baseline=self._run_generation_hooks(
+                        candidate))
+                return self._record_swap(report, started)
+            except SimulatedCrash:
+                raise  # chaos-suite process death, not an outcome
+            except Exception as exc:
+                if ticket is not None:
+                    with contextlib.suppress(Exception):
+                        self.ingestor.abort_compaction(ticket)
+                report = SwapReport(
+                    ok=False, generation=old.generation, canaries_run=0,
+                    failures=(f"compaction failed: "
+                              f"{type(exc).__name__}: {exc}",),
+                    rolled_back=True)
+                return self._record_swap(report, started)
+
+    def _apply_ack_to_clusters(self, generation: EngineGeneration,
+                               ack: IngestAck) -> None:
+        """Mirror one acknowledged delta into the sharded clusters."""
+        self._apply_replayed_to_clusters(generation, ack.op, ack.key,
+                                         ack.replaced_key)
+
+    def _apply_replayed_to_clusters(self, generation: EngineGeneration,
+                                    op: IngestOp, key: int,
+                                    replaced_key: int | None) -> None:
+        if generation.image_cluster is None:
+            return
+        clusters = {"image": generation.image_cluster,
+                    "recipe": generation.recipe_cluster}
+        for name, cluster in clusters.items():
+            if op.kind == "add":
+                if replaced_key is not None:
+                    cluster.apply_delete(op.item_id, replaced_key)
+                cluster.apply_add(op.item_id, op.vectors[name],
+                                  op.class_id, key)
+            else:
+                cluster.apply_delete(op.item_id, key)
+
+    def _replay_overlay_into_clusters(
+            self, generation: EngineGeneration) -> None:
+        """Boot-time replay: project recovered deltas into clusters.
+
+        The clusters were just built over the recovered *base*, so the
+        overlay's tombstones and live delta rows must be re-applied on
+        top — same order as recovery (deletes of base items first,
+        then adds keyed by their overlay slots, which ``apply_add``
+        gap-fills past dead slots).
+        """
+        if generation.image_cluster is None:
+            return
+        clusters = {"image": generation.image_cluster,
+                    "recipe": generation.recipe_cluster}
+        for name, cluster in clusters.items():
+            overlay = self.ingestor.overlays[name]
+            for item_id, key in overlay.dead_base_items():
+                cluster.apply_delete(item_id, key)
+            for item_id, row, class_id, key in overlay.delta_entries():
+                cluster.apply_add(item_id, row, class_id, key)
+
+    def _finish_ingest(self, op: str, status: str, ack, generation,
+                       started: float, *, span=None,
+                       error: str | None = None) -> IngestOutcome:
+        latency = self._clock() - started
+        if isinstance(ack, IngestAck):
+            item_id, epoch = ack.item_id, ack.epoch
+            durable, replaced = ack.durable, ack.replaced
+        else:
+            item_id, epoch = ack, (self.ingestor.epoch
+                                   if self.ingestor is not None else 0)
+            durable = replaced = False
+        outcome = IngestOutcome(
+            op=op, status=status, item_id=item_id,
+            generation=generation.generation, epoch=epoch,
+            latency=latency, durable=durable, replaced=replaced,
+            error=error)
+        self.ingest_outcomes.append(outcome)
+        self._next_ingest_id += 1
+        self._m_ingest.labels(op=op, status=status).inc()
+        if span is not None:
+            span.set_attribute("status", status)
+        self.telemetry.events.emit(
+            "ingest", op=op, status=status, item_id=item_id,
+            epoch=epoch, durable=durable,
+            latency_ms=latency * 1000.0, error=error,
+            level="info" if status == "ok" else "warn")
+        return outcome
 
     def _finish(self, request_id: int, kind: str, status: str,
                 generation: EngineGeneration, started: float, *,

@@ -1,0 +1,392 @@
+"""Crash-safe write-ahead delta log for streaming corpus ingest.
+
+Every corpus mutation (add / delete) is appended to a segmented,
+length-prefixed, CRC-checksummed log *before* it is applied to the
+in-memory delta overlay.  The durability contract:
+
+- **Record framing** — 8-byte little-endian header ``(payload length,
+  crc32(payload))`` followed by the payload.  A record is valid iff
+  the full payload is present and its CRC matches.
+- **Acknowledge point** — an append is acknowledged to the caller only
+  after the bytes reach the OS (unbuffered write); it is *durable*
+  once the batched ``fsync`` has run (``fsync_every=1``, the default,
+  makes every acknowledged record durable).
+- **Torn-tail rule** — on open, a short or CRC-mismatched record at
+  the tail of the *final* segment is the signature of a crash mid
+  write: the tail is truncated back to the last valid record and
+  replay proceeds.  The same damage in a *sealed* (non-final) segment
+  cannot be a torn write — it is bit rot — and raises
+  :class:`WalCorruption` instead of silently dropping data.
+- **Failed appends leave no residue** — if a write fails midway
+  (e.g. disk full), the segment is truncated back to its pre-append
+  offset, the failure surfaces as :class:`WalWriteError`, and the log
+  remains clean for the next append.
+
+Segments are named ``wal-%06d.log``.  ``MANIFEST.json`` — replaced
+atomically (tmp file + fsync + rename + directory fsync) — records
+the first live segment and opaque caller metadata; ``checkpoint``
+advances it after a compaction folds earlier segments into a base
+snapshot, then deletes the folded segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["WalError", "WalCorruption", "WalWriteError", "LogPosition",
+           "LogRecovery", "DeltaLog", "encode_record", "read_manifest",
+           "write_manifest", "replay_segments", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+_HEADER = struct.Struct("<II")  # (payload length, crc32 of payload)
+_SEGMENT_RE = re.compile(r"^wal-(\d{6})\.log$")
+
+
+class WalError(RuntimeError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruption(WalError):
+    """A sealed segment failed validation — bit rot, not a torn write."""
+
+
+class WalWriteError(WalError):
+    """An append failed and was rolled back; the log is still clean."""
+
+
+@dataclass(frozen=True)
+class LogPosition:
+    """Where one acknowledged record landed."""
+
+    segment: int
+    offset: int
+    record: int
+
+
+@dataclass(frozen=True)
+class LogRecovery:
+    """What the open-time scan found and repaired."""
+
+    segments: int
+    records: int
+    bytes_scanned: int
+    truncated_bytes: int
+    truncated_segment: int | None
+
+
+def _segment_name(segment: int) -> str:
+    return f"wal-{segment:06d}.log"
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame one payload: length + CRC header, then the bytes."""
+    payload = bytes(payload)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_manifest(directory: str | pathlib.Path, payload: dict) -> None:
+    """Atomically replace the manifest (tmp + fsync + rename + dirsync)."""
+    directory = pathlib.Path(directory)
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / MANIFEST_NAME)
+    _fsync_dir(directory)
+
+
+def read_manifest(directory: str | pathlib.Path) -> dict | None:
+    path = pathlib.Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _scan_bytes(data: bytes) -> tuple[int, int, list[bytes]]:
+    """Walk framed records; return (records, good_bytes, payloads).
+
+    Stops at the first short or CRC-mismatched record; ``good_bytes``
+    is the offset of that record's header (i.e. where a torn tail
+    would be truncated back to).
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    size = len(data)
+    while size - offset >= _HEADER.size:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > size:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        payloads.append(payload)
+        offset = end
+    return len(payloads), offset, payloads
+
+
+def _live_segments(directory: pathlib.Path, start: int) -> list[int]:
+    found = []
+    for entry in directory.iterdir():
+        match = _SEGMENT_RE.match(entry.name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(seg for seg in found if seg >= start)
+
+
+def replay_segments(directory: str | pathlib.Path):
+    """Read-only replay of every valid record past the manifest.
+
+    Tolerates a torn tail on the final segment (stops there) without
+    truncating anything — the inspection path (``repro ingest
+    status``) must not mutate the log it is describing.  Raises
+    :class:`WalCorruption` for damage in a sealed segment.
+    """
+    directory = pathlib.Path(directory)
+    manifest = read_manifest(directory)
+    if manifest is None:
+        raise WalError(f"no write-ahead log at {directory}")
+    segments = _live_segments(directory, int(manifest["segment"]))
+    for rank, segment in enumerate(segments):
+        path = directory / _segment_name(segment)
+        data = path.read_bytes()
+        _, good, payloads = _scan_bytes(data)
+        if good < len(data) and rank != len(segments) - 1:
+            raise WalCorruption(
+                f"sealed segment {path.name} is damaged at offset {good}")
+        yield from payloads
+
+
+class DeltaLog:
+    """Segmented append-only log with manifest-driven checkpoints.
+
+    Opening the log performs crash recovery: garbage segments older
+    than the manifest are deleted, a torn tail on the final segment is
+    truncated (see module docstring), and the scan summary lands in
+    :attr:`recovery`.  Appends optionally pass through an
+    ``IngestFault`` (``on_append`` may truncate the wire bytes or
+    raise ``OSError``; ``after_append`` may simulate a crash) so the
+    chaos suite can manufacture torn tails and full disks on demand.
+    """
+
+    def __init__(self, directory: str | pathlib.Path,
+                 fsync_every: int = 1, fault=None):
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = int(fsync_every)
+        self._fault = fault
+        manifest = read_manifest(self.directory)
+        if manifest is None:
+            manifest = {"version": MANIFEST_VERSION, "segment": 0,
+                        "meta": {}}
+            write_manifest(self.directory, manifest)
+        if int(manifest.get("version", -1)) != MANIFEST_VERSION:
+            raise WalError(f"unsupported manifest version: "
+                           f"{manifest.get('version')!r}")
+        self.manifest = manifest
+        start = int(manifest["segment"])
+        for entry in list(self.directory.iterdir()):
+            match = _SEGMENT_RE.match(entry.name)
+            if match and int(match.group(1)) < start:
+                entry.unlink()  # folded into a base by a checkpoint
+        segments = _live_segments(self.directory, start)
+        if not segments:
+            (self.directory / _segment_name(start)).touch()
+            _fsync_dir(self.directory)
+            segments = [start]
+        if segments != list(range(segments[0], segments[-1] + 1)):
+            raise WalCorruption(
+                f"segment sequence has holes: {segments}")
+        self._segment_records: dict[int, int] = {}
+        truncated_bytes = 0
+        truncated_segment = None
+        total_records = 0
+        total_bytes = 0
+        for rank, segment in enumerate(segments):
+            path = self.directory / _segment_name(segment)
+            data = path.read_bytes()
+            records, good, _ = _scan_bytes(data)
+            total_bytes += len(data)
+            if good < len(data):
+                if rank != len(segments) - 1:
+                    raise WalCorruption(
+                        f"sealed segment {path.name} is damaged "
+                        f"at offset {good}")
+                with open(path, "rb+") as handle:
+                    handle.truncate(good)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                truncated_bytes = len(data) - good
+                truncated_segment = segment
+            self._segment_records[segment] = records
+            total_records += records
+        self.recovery = LogRecovery(
+            segments=len(segments), records=total_records,
+            bytes_scanned=total_bytes, truncated_bytes=truncated_bytes,
+            truncated_segment=truncated_segment)
+        self.segment = segments[-1]
+        path = self.directory / _segment_name(self.segment)
+        self._offset = path.stat().st_size
+        self._handle = open(path, "ab", buffering=0)
+        self._unsynced = 0
+        self._append_index = 0
+        self.appends = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def synced(self) -> bool:
+        """True when every acknowledged record has been fsynced."""
+        return self._unsynced == 0
+
+    @property
+    def lag_records(self) -> int:
+        """Records not yet folded into a base (since last checkpoint)."""
+        return sum(self._segment_records.values())
+
+    def append(self, payload: bytes, sync: bool | None = None
+               ) -> LogPosition:
+        """Durably append one record; returns where it landed.
+
+        ``sync=None`` follows the batched-fsync policy; ``True``
+        forces an immediate fsync, ``False`` defers it.  On any write
+        failure the segment is rolled back to its pre-append offset
+        and :class:`WalWriteError` is raised — the log never retains a
+        half-written record from a *surviving* process.
+        """
+        if self._handle is None:
+            raise WalError("log is closed")
+        data = encode_record(payload)
+        record_index = self._append_index
+        start = self._offset
+        try:
+            wire = data
+            if self._fault is not None:
+                wire = self._fault.on_append(record_index, data)
+            written = self._handle.write(wire)
+            if written != len(wire):
+                raise OSError(28, "short write")
+        except OSError as exc:
+            self._rollback(start)
+            raise WalWriteError(
+                f"append failed and was rolled back: {exc}") from exc
+        self._offset = start + len(wire)
+        if len(wire) < len(data):
+            # A torn record exists on disk only because the process
+            # died mid-write.  Persist the damage so the next open
+            # sees exactly what a real crash would leave, then let the
+            # fault simulate the death.
+            os.fsync(self._handle.fileno())
+            if self._fault is not None:
+                self._fault.after_append(record_index)
+            raise WalError("fault tore a record without crashing")
+        self._append_index += 1
+        self.appends += 1
+        self._segment_records[self.segment] = (
+            self._segment_records.get(self.segment, 0) + 1)
+        self._unsynced += 1
+        if sync or (sync is None and self._unsynced >= self.fsync_every):
+            self.sync()
+        if self._fault is not None:
+            self._fault.after_append(record_index)
+        return LogPosition(self.segment, start, record_index)
+
+    def _rollback(self, offset: int) -> None:
+        os.ftruncate(self._handle.fileno(), offset)
+        os.fsync(self._handle.fileno())
+        self._offset = offset
+
+    def sync(self) -> None:
+        """Flush the batched fsync now."""
+        if self._handle is None or self._unsynced == 0:
+            return
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+        self.syncs += 1
+
+    # ------------------------------------------------------------------
+    # Replay / rotation / checkpointing
+    # ------------------------------------------------------------------
+    def replay(self):
+        """Yield every live payload in append order (already clean)."""
+        for segment in sorted(self._segment_records):
+            path = self.directory / _segment_name(segment)
+            _, _, payloads = _scan_bytes(path.read_bytes())
+            yield from payloads
+
+    def rotate(self) -> int:
+        """Seal the current segment and open the next one."""
+        if self._handle is None:
+            raise WalError("log is closed")
+        self.sync()
+        self._handle.close()
+        self.segment += 1
+        path = self.directory / _segment_name(self.segment)
+        self._handle = open(path, "ab", buffering=0)
+        _fsync_dir(self.directory)
+        self._offset = 0
+        self._segment_records[self.segment] = 0
+        return self.segment
+
+    def checkpoint(self, meta: dict, segment: int | None = None) -> None:
+        """Atomically advance the manifest and drop folded segments.
+
+        ``segment`` becomes the first live segment (defaults to the
+        current one); everything older is deleted — its records are,
+        by contract, folded into the base snapshot named in ``meta``.
+        The manifest write is the commit point of a compaction.
+        """
+        if segment is None:
+            segment = self.segment
+        manifest = {"version": MANIFEST_VERSION, "segment": int(segment),
+                    "meta": meta}
+        write_manifest(self.directory, manifest)
+        self.manifest = manifest
+        for old in [seg for seg in self._segment_records if seg < segment]:
+            path = self.directory / _segment_name(old)
+            if path.exists():
+                path.unlink()
+            del self._segment_records[old]
+        _fsync_dir(self.directory)
+
+    def status(self) -> dict:
+        segments = sorted(self._segment_records)
+        return {
+            "directory": str(self.directory),
+            "segment": self.segment,
+            "segments": segments,
+            "lag_records": self.lag_records,
+            "appends": self.appends,
+            "syncs": self.syncs,
+            "synced": self.synced,
+            "manifest": dict(self.manifest),
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None

@@ -42,6 +42,15 @@ def test_compare_baselines():
     assert "adamine" in output
 
 
+def test_streaming_ingest_demo(tmp_path):
+    output = run_example("streaming_ingest_demo.py",
+                         "--log-dir", str(tmp_path / "wal"))
+    assert "process died" in output
+    assert "every acknowledged write survived" in output
+    assert "exactly once across" in output
+    assert "quality green: OK" in output
+
+
 def test_visualize_latent_space(tmp_path):
     output = run_example("visualize_latent_space.py",
                          "--out", str(tmp_path), "--scale", "test")
