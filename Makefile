@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos ingest-chaos bench quicktest telemetry-test slo-test monitor-demo
+.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos bench quicktest telemetry-test slo-test monitor-demo overload-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -27,8 +27,14 @@ slo-test:        ## quality-SLO chaos suite (probes, drift, burn-rate alerts, fl
 ingest-chaos:    ## streaming-ingest chaos suite (torn writes, disk-full, crash-mid-compaction, racing queries)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m ingest
 
+overload-chaos:  ## real-time overload chaos suite (storms, floods, brownout ladder, fairness)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m overload
+
 monitor-demo:    ## run the quality-observability incident demo and render it
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/quality_monitor_demo.py
+
+overload-demo:   ## run the 10x-storm brownout/recovery demo
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/overload_demo.py
 
 bench:           ## regenerate all paper tables/figures
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

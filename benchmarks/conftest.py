@@ -24,6 +24,7 @@ from repro.obs import MetricsRegistry
 BENCH_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_components.json"
 BENCH_SERVING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_serving.json"
 BENCH_INGEST_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_ingest.json"
+BENCH_OVERLOAD_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_overload.json"
 
 _registry = MetricsRegistry()
 _bench_value = _registry.gauge(
@@ -55,6 +56,16 @@ _ingest_wall_ms = _ingest_registry.gauge(
     "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
     labels=("bench",))
 
+# Overload numbers (goodput at 1x/3x/10x offered load, static vs
+# adaptive admission) track the admission plane's value.
+_overload_registry = MetricsRegistry()
+_overload_value = _overload_registry.gauge(
+    "bench_value", "headline value reported by each overload benchmark",
+    labels=("bench",))
+_overload_wall_ms = _overload_registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
+
 
 def pytest_configure(config):
     # Benchmark runs should keep the regenerated paper tables visible:
@@ -69,7 +80,9 @@ def pytest_sessionfinish(session, exitstatus):
                                (_serving_registry,
                                 BENCH_SERVING_ARTIFACT),
                                (_ingest_registry,
-                                BENCH_INGEST_ARTIFACT)):
+                                BENCH_INGEST_ARTIFACT),
+                               (_overload_registry,
+                                BENCH_OVERLOAD_ARTIFACT)):
         recorded = any(family.children()
                        for family in registry.families())
         if recorded:
@@ -113,6 +126,12 @@ def bench_record_serving(request):
 def bench_record_ingest(request):
     """Like ``bench_record`` but lands in ``BENCH_ingest.json``."""
     return _recorder(request, _ingest_value, _ingest_wall_ms)
+
+
+@pytest.fixture
+def bench_record_overload(request):
+    """Like ``bench_record`` but lands in ``BENCH_overload.json``."""
+    return _recorder(request, _overload_value, _overload_wall_ms)
 
 
 @pytest.fixture(scope="session")

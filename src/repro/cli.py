@@ -24,7 +24,11 @@ circuit breakers, degraded fallback; ``--shards N`` serves from a
 sharded, replicated index cluster; ``--ingest-log DIR`` recovers and
 serves streamed deltas) and reports the structured request outcome;
 ``ingest`` appends, tombstones, compacts, or inspects a streaming
-write-ahead delta log without a running service.
+write-ahead delta log without a running service; ``loadgen`` drives
+the service with open-loop multi-tenant traffic (``--storm 10`` for a
+10× spike, ``--flood tenant:8`` for one abusive tenant, ``--static``
+to compare against the legacy fixed cap) and reports per-tenant
+goodput, shed reasons, and brownout-ladder transitions.
 
 ``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
 spans and events to a JSONL trace with a final metrics snapshot;
@@ -109,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request time budget in seconds")
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="admission bound; excess requests are shed")
+    serve.add_argument("--adaptive", action="store_true",
+                       help="adaptive admission: AIMD concurrency "
+                            "limit, fair queuing, brownout ladder "
+                            "(replaces the static --max-inflight cap)")
+    serve.add_argument("--tenants", action="append", default=None,
+                       metavar="NAME[:WEIGHT[:RATE[:BURST[:CRIT]]]]",
+                       help="tenant admission policy (repeatable); "
+                            "implies --adaptive. RATE/BURST are "
+                            "tokens/s (empty RATE = unlimited); CRIT "
+                            "is user|background")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bounded fair-queue depth per tenant lane "
+                            "under --adaptive")
     serve.add_argument("--shards", type=int, default=1,
                        help="serve the indexes from a sharded, "
                             "replicated cluster (1 = monolithic)")
@@ -131,6 +148,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable streaming ingest backed by this "
                             "write-ahead log directory (recovers any "
                             "previous deltas before serving)")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop multi-tenant load generation "
+                        "against the resilient service (overload "
+                        "experiments)")
+    loadgen.add_argument("--data", required=True)
+    loadgen.add_argument("--model", required=True)
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="run length in seconds")
+    loadgen.add_argument("--load", action="append", default=None,
+                         metavar="NAME:RPS[:CRIT]", dest="loads",
+                         help="offered load per tenant (repeatable); "
+                              "CRIT is user|background. Default: "
+                              "one 'default' tenant at 20 rps")
+    loadgen.add_argument("--tenants", action="append", default=None,
+                         metavar="NAME[:WEIGHT[:RATE[:BURST[:CRIT]]]]",
+                         help="tenant admission policy (repeatable)")
+    loadgen.add_argument("--storm", type=float, default=None,
+                         metavar="FACTOR",
+                         help="multiply all offered rates by FACTOR "
+                              "inside the storm window")
+    loadgen.add_argument("--storm-start", type=float, default=0.0)
+    loadgen.add_argument("--storm-end", type=float, default=None,
+                         help="storm window end (default: run end)")
+    loadgen.add_argument("--flood", default=None,
+                         metavar="TENANT:FACTOR",
+                         help="multiply one tenant's offered rate")
+    loadgen.add_argument("--static", action="store_true",
+                         help="use the legacy static --max-inflight "
+                              "cap instead of adaptive admission")
+    loadgen.add_argument("--max-inflight", type=int, default=8)
+    loadgen.add_argument("--max-queue", type=int, default=64)
+    loadgen.add_argument("--deadline", type=float, default=0.5,
+                         help="per-request time budget in seconds")
+    loadgen.add_argument("--top-k", type=int, default=5)
+    loadgen.add_argument("--telemetry-jsonl", default=None,
+                         metavar="PATH")
 
     ingest = commands.add_parser(
         "ingest", help="streaming ingest against a write-ahead log "
@@ -330,6 +384,44 @@ def _command_search(args) -> int:
     return 0
 
 
+def _parse_tenant_policy(spec: str):
+    """``NAME[:WEIGHT[:RATE[:BURST[:CRIT]]]]`` → :class:`TenantPolicy`.
+
+    Empty fields keep their defaults, so ``batch:::background`` is a
+    weight-1, unlimited-rate background tenant."""
+    from .serving import TenantPolicy
+
+    parts = spec.split(":")
+    if not parts[0]:
+        raise SystemExit(f"--tenants spec needs a name: {spec!r}")
+    kwargs = {"name": parts[0]}
+    if len(parts) > 1 and parts[1]:
+        kwargs["weight"] = float(parts[1])
+    if len(parts) > 2 and parts[2]:
+        kwargs["rate"] = float(parts[2])
+    if len(parts) > 3 and parts[3]:
+        kwargs["burst"] = float(parts[3])
+    if len(parts) > 4 and parts[4]:
+        kwargs["criticality"] = parts[4]
+    return TenantPolicy(**kwargs)
+
+
+def _admission_config(args):
+    """Build an :class:`AdmissionConfig` from serve/loadgen flags, or
+    ``None`` when the legacy static path was asked for."""
+    from .serving import AdmissionConfig
+
+    tenants = tuple(_parse_tenant_policy(spec)
+                    for spec in (args.tenants or ()))
+    adaptive = bool(getattr(args, "adaptive", False) or tenants
+                    or not getattr(args, "static", True))
+    if not adaptive:
+        return None
+    return AdmissionConfig(tenants=tenants,
+                           max_queue_depth=args.max_queue,
+                           initial_limit=args.max_inflight)
+
+
 def _command_serve(args) -> int:
     from .core import RecipeSearchEngine
     from .obs import DriftReference, GoldenProbe, GoldenSet, Telemetry
@@ -344,6 +436,7 @@ def _command_serve(args) -> int:
                  if args.drift_reference else None)
     service = ResilientSearchService(engine, ServiceConfig(
         deadline=args.deadline, max_inflight=args.max_inflight,
+        admission=_admission_config(args),
         degraded_enabled=not args.no_degraded,
         shards=args.shards, replicas=args.replicas),
         telemetry=telemetry, drift_reference=reference,
@@ -399,6 +492,80 @@ def _command_serve(args) -> int:
     if args.telemetry_jsonl:
         print(f"telemetry trace: {args.telemetry_jsonl}")
     return 0 if response.ok else 1
+
+
+def _command_loadgen(args) -> int:
+    import itertools
+    import threading
+
+    from .core import RecipeSearchEngine
+    from .obs import Telemetry
+    from .serving import (LoadGenerator, ResilientSearchService,
+                          ServiceConfig, TenantLoad)
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
+    service = ResilientSearchService(engine, ServiceConfig(
+        deadline=args.deadline, max_inflight=args.max_inflight,
+        admission=_admission_config(args)), telemetry=telemetry)
+
+    loads = []
+    for spec in (args.loads or ["default:20"]):
+        parts = spec.split(":")
+        if len(parts) < 2 or not parts[0] or not parts[1]:
+            raise SystemExit(f"--load spec must be NAME:RPS: {spec!r}")
+        loads.append(TenantLoad(parts[0], float(parts[1]),
+                                criticality=(parts[2] if len(parts) > 2
+                                             and parts[2] else "user")))
+    shapers = []
+    if args.storm is not None:
+        from .robustness.faults import OverloadStorm
+        shapers.append(OverloadStorm(
+            args.storm, start_s=args.storm_start,
+            end_s=(args.duration if args.storm_end is None
+                   else args.storm_end)))
+    if args.flood is not None:
+        from .robustness.faults import TenantFlood
+        tenant, _, factor = args.flood.partition(":")
+        if not factor:
+            raise SystemExit("--flood spec must be TENANT:FACTOR")
+        shapers.append(TenantFlood(tenant, float(factor)))
+
+    # Round-robin fridge queries drawn from the corpus itself.
+    queries = [list(dataset[i].ingredients)[:4] or ["salt"]
+               for i in range(min(len(dataset), 64))]
+    counter = itertools.count()
+    counter_lock = threading.Lock()
+
+    def request_fn(tenant, criticality):
+        with counter_lock:
+            ingredients = queries[next(counter) % len(queries)]
+        return service.search_by_ingredients(
+            ingredients, k=args.top_k, tenant=tenant,
+            criticality=criticality)
+
+    mode = "static" if args.static else "adaptive"
+    print(f"loadgen: {mode} admission, {args.duration:.1f}s, "
+          + ", ".join(f"{load.name}@{load.rate:g}rps" for load in loads))
+    try:
+        report = LoadGenerator(request_fn, loads,
+                               duration_s=args.duration,
+                               shapers=shapers).run()
+    finally:
+        telemetry.close()
+    print(report.render())
+    snapshot = service.admission.snapshot()
+    print("admission: " + "  ".join(
+        f"{key}={value}" for key, value in snapshot.items()))
+    brownout = service.admission.brownout
+    if brownout is not None and brownout.transitions:
+        print("brownout transitions: " + " -> ".join(
+            f"{direction}:{step}"
+            for direction, step in brownout.transitions))
+    return 0
 
 
 def _open_ingestor(args):
@@ -638,6 +805,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "search": _command_search,
     "serve": _command_serve,
+    "loadgen": _command_loadgen,
     "ingest": _command_ingest,
     "monitor": _command_monitor,
     "metrics": _command_metrics,

@@ -131,10 +131,17 @@ class GoldenProbe:
 
     def __init__(self, service, golden: GoldenSet, *,
                  registry=None, events=None, interval_s: float = 30.0,
-                 clock: Callable[[], float] | None = None):
+                 clock: Callable[[], float] | None = None,
+                 tenant: str = "probe",
+                 criticality: str = "background"):
         self.service = service
         self.golden = golden
         self.interval_s = float(interval_s)
+        # Probe traffic rides the lowest criticality tier: under
+        # brownout it is the first load shed, so quality probing never
+        # competes with user requests for admission slots.
+        self.tenant = str(tenant)
+        self.criticality = str(criticality)
         self._clock = clock or getattr(
             getattr(service, "telemetry", None), "clock", None)
         if self._clock is None:
@@ -219,8 +226,15 @@ class GoldenProbe:
         for query in self.golden.queries:
             rank = self.golden.penalty_rank
             try:
-                response = self.service.search_by_recipe(
-                    query.recipe, k=self.golden.depth)
+                try:
+                    response = self.service.search_by_recipe(
+                        query.recipe, k=self.golden.depth,
+                        tenant=self.tenant,
+                        criticality=self.criticality)
+                except TypeError:
+                    # Duck-typed stand-ins predating multi-tenancy.
+                    response = self.service.search_by_recipe(
+                        query.recipe, k=self.golden.depth)
                 if response.ok:
                     rank = self.golden.rank_of(
                         query,

@@ -35,7 +35,14 @@ from typing import Callable
 from .metrics import MetricsRegistry
 
 __all__ = ["SLO", "BurnRateWindow", "Alert", "AlertManager",
-           "default_serving_slos", "DEFAULT_WINDOWS"]
+           "default_serving_slos", "DEFAULT_WINDOWS",
+           "DEFAULT_STAGE_P99_S"]
+
+#: Default per-stage latency target (seconds).  Shared between the
+#: default serving latency SLO below and the adaptive admission
+#: limiter's p95 target, so "what the pager considers slow" and "what
+#: the limiter steers toward" stay one number.
+DEFAULT_STAGE_P99_S = 0.25
 
 
 @dataclass(frozen=True)
@@ -357,7 +364,7 @@ class AlertManager:
 
 
 def default_serving_slos(*, stage: str = "index",
-                         stage_p99_s: float = 0.25,
+                         stage_p99_s: float = DEFAULT_STAGE_P99_S,
                          medr_ceiling: float = 10.0,
                          drift_ceiling: float = 0.25,
                          availability_budget: float = 0.01

@@ -28,7 +28,13 @@ so the guards themselves are testable:
   by a crash (:class:`TornWrite`), a full disk
   (:class:`DiskFullOnAppend`), the compactor dying at a chosen
   protocol phase (:class:`CrashMidCompaction`), and queries fired at
-  the protocol edges (:class:`CompactionRacingQueries`).
+  the protocol edges (:class:`CompactionRacingQueries`);
+* overload shapes — a fleet-wide demand spike
+  (:class:`OverloadStorm`) and a single tenant flooding
+  (:class:`TenantFlood`) plug into the load generator's rate shaper,
+  while :class:`SlowEmbedUnderLoad` makes the embed stage degrade
+  *with* concurrency, the feedback loop adaptive admission exists to
+  break.
 
 All injectors are deterministic: faults fire at explicit step/epoch/
 request indices, never at random, so a failing test replays exactly.
@@ -38,6 +44,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 from typing import Callable, Iterable
 
 import numpy as np
@@ -51,7 +58,8 @@ __all__ = ["SimulatedCrash", "FaultInjector", "ChainedFaults",
            "SlowShard", "ShardLoss",
            "IngestFault", "ChainedIngestFaults", "TornWrite",
            "DiskFullOnAppend", "CrashMidCompaction",
-           "CompactionRacingQueries"]
+           "CompactionRacingQueries",
+           "OverloadStorm", "TenantFlood", "SlowEmbedUnderLoad"]
 
 
 class SimulatedCrash(RuntimeError):
@@ -514,6 +522,87 @@ class CompactionRacingQueries(IngestFault):
         if self.phases is None or phase in self.phases:
             self.fired.append(phase)
             self.callback(phase)
+
+
+# ----------------------------------------------------------------------
+# Overload shapes (rate shapers for the load generator + one serving
+# fault that couples latency to concurrency)
+# ----------------------------------------------------------------------
+class OverloadStorm:
+    """Multiply *every* tenant's offered rate by ``factor`` during the
+    window ``[start_s, end_s)``.
+
+    A rate shaper for :class:`~repro.serving.loadgen.LoadGenerator`:
+    called as ``shaper(t, tenant)`` with ``t`` seconds since the run
+    started, it returns the multiplier to apply at that instant.  A
+    10× storm is ``OverloadStorm(10.0, start_s=0.5, end_s=1.5)`` —
+    deterministic, so a failing chaos run replays exactly.
+    """
+
+    def __init__(self, factor: float, start_s: float = 0.0,
+                 end_s: float = float("inf")):
+        if factor <= 0:
+            raise ValueError("storm factor must be positive")
+        if end_s <= start_s:
+            raise ValueError("storm window must be non-empty")
+        self.factor = float(factor)
+        self.start_s = float(start_s)
+        self.end_s = float(end_s)
+
+    def __call__(self, t: float, tenant: str | None = None) -> float:
+        if self.start_s <= t < self.end_s:
+            return self.factor
+        return 1.0
+
+
+class TenantFlood(OverloadStorm):
+    """One tenant's offered rate multiplied by ``factor``; everyone
+    else is unaffected.
+
+    The fairness scenario: the flooded lane must absorb its own abuse
+    (sheds charged to ``tenant``) while well-behaved tenants keep
+    their weighted share of admissions.
+    """
+
+    def __init__(self, tenant: str, factor: float,
+                 start_s: float = 0.0, end_s: float = float("inf")):
+        super().__init__(factor, start_s, end_s)
+        self.tenant = str(tenant)
+
+    def __call__(self, t: float, tenant: str | None = None) -> float:
+        if tenant != self.tenant:
+            return 1.0
+        return super().__call__(t, tenant)
+
+
+class SlowEmbedUnderLoad(ServingFault):
+    """Embed latency that grows linearly with concurrent requests.
+
+    This is the congestion-collapse feedback loop: more inflight work
+    → slower embeds → requests hold their slots longer → more queued
+    work.  A static admission limit happily drives the service into
+    the regime where *every* request times out; the adaptive limiter
+    must find the concurrency knee instead.  ``inflight_fn`` reads the
+    live inflight count (``service.admission.inflight`` wired by the
+    chaos suite); ``sleep`` is injectable for fake-clock tests.
+    """
+
+    def __init__(self, inflight_fn: Callable[[], int],
+                 delay_per_inflight_s: float = 0.02,
+                 sleep: Callable[[float], None] | None = None):
+        if delay_per_inflight_s < 0:
+            raise ValueError("delay_per_inflight_s must be >= 0")
+        self.inflight_fn = inflight_fn
+        self.delay_per_inflight_s = float(delay_per_inflight_s)
+        self.sleep = time.sleep if sleep is None else sleep
+        self.fired: list[tuple[int, int]] = []
+
+    def on_embed_start(self, request_id: int) -> None:
+        inflight = max(0, int(self.inflight_fn()))
+        delay = inflight * self.delay_per_inflight_s
+        if delay > 0:
+            self.sleep(delay)
+        self.fired.append((request_id, inflight))
 
 
 # ----------------------------------------------------------------------

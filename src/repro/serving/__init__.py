@@ -20,11 +20,22 @@ Production containment around :class:`~repro.core.engine.RecipeSearchEngine`:
 * :mod:`~repro.serving.ingest` — streaming adds/deletes over a frozen
   base index: the exact base ∪ delta overlay, WAL-backed durability,
   and exactly-once compaction into a new base snapshot;
+* :mod:`~repro.serving.admission` — adaptive admission control:
+  per-tenant token buckets, weighted deficit-round-robin fair
+  queuing, an AIMD concurrency limiter, and the brownout degradation
+  ladder;
+* :mod:`~repro.serving.loadgen` — open-loop multi-tenant load
+  generation for overload experiments;
 * :mod:`~repro.serving.service` — the
   :class:`~repro.serving.service.ResilientSearchService` tying it all
   together with admission control and structured outcome records.
 """
 
+from .admission import (BROWNOUT_LADDER, CRITICALITIES, SHED_REASONS,
+                        AdaptiveLimiter, AdmissionConfig,
+                        AdmissionController, AdmissionDecision,
+                        BrownoutConfig, BrownoutController, FairQueue,
+                        TenantPolicy, TokenBucket)
 from .cluster import ClusterConfig, ClusterResult, IndexCluster, ShardReplica
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
@@ -33,6 +44,8 @@ from .ingest import (CompactionReport, CompactionThread, CompactionTicket,
                      DeltaOverlay, IngestAck, IngestConfig, IngestError,
                      IngestOp, Ingestor, payload_to_recipe,
                      recipe_to_payload, scan_log)
+from .loadgen import (GOOD_STATUSES, LoadGenerator, LoadReport,
+                      TenantLoad, TenantReport)
 from .retry import CircuitBreaker, CircuitState, RetryPolicy
 from .service import (INGEST_STATUSES, STATUSES, IngestOutcome,
                       RequestOutcome, ResilientSearchService,
@@ -57,4 +70,10 @@ __all__ = [
     "DeltaOverlay", "Ingestor", "CompactionTicket", "CompactionReport",
     "CompactionThread", "scan_log", "recipe_to_payload",
     "payload_to_recipe",
+    "CRITICALITIES", "SHED_REASONS", "BROWNOUT_LADDER",
+    "TenantPolicy", "BrownoutConfig", "AdmissionConfig",
+    "AdmissionDecision", "TokenBucket", "FairQueue",
+    "AdaptiveLimiter", "BrownoutController", "AdmissionController",
+    "GOOD_STATUSES", "TenantLoad", "TenantReport", "LoadReport",
+    "LoadGenerator",
 ]

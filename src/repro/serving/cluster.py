@@ -596,7 +596,8 @@ class IndexCluster:
 
     def query(self, vector: np.ndarray, k: int = 5,
               class_id: int | None = None, strict: bool = False,
-              deadline: Deadline | None = None) -> ClusterResult:
+              deadline: Deadline | None = None,
+              hedge: bool | None = None) -> ClusterResult:
         """Fan one query out to every shard and merge the top-k.
 
         Fault-free, the merged ``(ids, distances)`` are bitwise
@@ -606,6 +607,12 @@ class IndexCluster:
         of the corpus the answer represents.  Never raises for
         operational faults — only for caller errors (bad ``k``,
         unknown metadata, ``strict`` pool violations).
+
+        ``hedge=False`` disables backup lanes for this query even when
+        the config allows them — the brownout ladder's first level
+        trades tail latency for halved worst-case fan-out cost.
+        ``None`` defers to ``ClusterConfig.hedge_enabled``; ``True``
+        cannot force hedging past a config that disabled it.
         """
         with self._stats_lock:
             query_id = self._next_query_id
@@ -626,7 +633,7 @@ class IndexCluster:
         def run(slot: int, shard: _Shard) -> None:
             outcomes[slot] = self._query_shard(
                 shard, vector, k, class_id, shard_budget, query_id,
-                stats)
+                stats, hedge=hedge)
 
         if expired:
             pass
@@ -749,13 +756,16 @@ class IndexCluster:
     # ------------------------------------------------------------------
     def _query_shard(self, shard: _Shard, vector, k: int,
                      class_id: int | None, budget: Deadline | None,
-                     query_id: int, stats: _QueryStats):
+                     query_id: int, stats: _QueryStats,
+                     hedge: bool | None = None):
         run_one = (lambda rep:
                    self._attempt(shard, rep, query_id, budget,
                                  lambda: rep.index.query(
                                      vector, k=k, class_id=class_id)))
+        allow_hedge = (self._config.hedge_enabled if hedge is None
+                       else bool(hedge) and self._config.hedge_enabled)
         return self._run_lanes(shard, run_one, budget, stats,
-                               hedge=self._config.hedge_enabled)
+                               hedge=allow_hedge)
 
     def _query_shard_batch(self, shard: _Shard, vectors, k: int,
                            class_id: int | None,

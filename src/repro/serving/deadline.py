@@ -46,6 +46,10 @@ class Deadline:
         self.budget = float(budget)
         self._clock = clock
         self._start = clock()
+        # Precomputed expiry instant: the expired fast path is one
+        # clock read and one comparison, cheap enough for the
+        # admission queue to gate every dequeue on it.
+        self._expires_at = self._start + self.budget
 
     @property
     def elapsed(self) -> float:
@@ -56,7 +60,13 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
-        return self.remaining() <= 0.0
+        """Exactly-zero remaining counts as expired: a request granted
+        at the boundary has no budget left to do anything with."""
+        return self._clock() >= self._expires_at
+
+    def remaining_fraction(self) -> float:
+        """Remaining budget as a fraction of the original, in [0, 1]."""
+        return min(max(self.remaining() / self.budget, 0.0), 1.0)
 
     def check(self, stage: str) -> None:
         """Raise :class:`DeadlineExceeded` if the budget is gone."""

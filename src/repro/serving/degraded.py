@@ -40,6 +40,10 @@ class DegradedRanker:
 
     def __init__(self, dataset: RecipeDataset, corpus: EncodedCorpus):
         self._class_ids = np.asarray(corpus.true_class_ids, dtype=np.int64)
+        # Per-class candidate rows, computed once: under brownout the
+        # ranker serves *every* request, so the per-query flatnonzero
+        # scan would become the new hot path.
+        self._candidate_cache: dict[int | None, np.ndarray] = {}
         self._ingredients: list[set[str]] = []
         self._tokens: list[set[str]] = []
         for row in range(len(corpus)):
@@ -81,9 +85,14 @@ class DegradedRanker:
 
     # -- internals -----------------------------------------------------
     def _candidates(self, class_id: int | None) -> np.ndarray:
-        if class_id is None:
-            return np.arange(len(self._class_ids))
-        rows = np.flatnonzero(self._class_ids == class_id)
+        key = None if class_id is None else int(class_id)
+        rows = self._candidate_cache.get(key)
+        if rows is None:
+            if key is None:
+                rows = np.arange(len(self._class_ids))
+            else:
+                rows = np.flatnonzero(self._class_ids == key)
+            self._candidate_cache[key] = rows
         if rows.size == 0:
             raise ValueError(f"no items of class {class_id} in corpus")
         return rows

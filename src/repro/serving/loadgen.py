@@ -1,0 +1,206 @@
+"""Open-loop multi-tenant load generation for overload experiments.
+
+Closed-loop clients (issue, wait, issue again) self-throttle under
+overload: when the service slows down, so does the offered load, and
+the interesting regime — demand exceeding capacity — never happens.
+This generator is *open-loop*: each tenant issues requests on a fixed
+schedule regardless of how many are still outstanding, which is what
+real traffic does to a service and exactly the condition the
+admission plane is built for.
+
+Rate shapers (:class:`~repro.robustness.faults.OverloadStorm`,
+:class:`~repro.robustness.faults.TenantFlood`) multiply a tenant's
+offered rate as a function of time, so a 10× storm or a single-tenant
+flood is a deterministic schedule, not a random burst.
+
+The report separates *offered* load from *goodput* — requests that
+came back useful (``ok``/``partial``/``degraded``) — and breaks sheds
+down by reason and tenant, because under overload the whole point is
+*which* requests were refused and *why*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["GOOD_STATUSES", "TenantLoad", "TenantReport", "LoadReport",
+           "LoadGenerator"]
+
+#: Statuses that count toward goodput: the caller got a usable answer
+#: (degraded answers are still answers — that is the brownout bargain).
+GOOD_STATUSES = ("ok", "partial", "degraded")
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's offered load: ``rate`` requests/second at shaper
+    factor 1.0, issued at criticality ``criticality``."""
+
+    name: str
+    rate: float
+    criticality: str = "user"
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("offered rate must be positive")
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant outcome accounting for one load run."""
+
+    tenant: str
+    offered: int = 0
+    statuses: Counter = field(default_factory=Counter)
+    shed_reasons: Counter = field(default_factory=Counter)
+    latencies: list = field(default_factory=list)
+
+    @property
+    def good(self) -> int:
+        return sum(self.statuses[s] for s in GOOD_STATUSES)
+
+    @property
+    def shed(self) -> int:
+        return self.statuses["shed"]
+
+    def goodput(self, elapsed_s: float) -> float:
+        return self.good / elapsed_s if elapsed_s > 0 else 0.0
+
+    def p95_ms(self) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = int(0.95 * (len(ordered) - 1) + 0.5)
+        return ordered[rank] * 1000.0
+
+
+@dataclass
+class LoadReport:
+    """Whole-run accounting: per-tenant reports plus wall time."""
+
+    elapsed_s: float
+    tenants: dict
+
+    @property
+    def offered(self) -> int:
+        return sum(t.offered for t in self.tenants.values())
+
+    @property
+    def good(self) -> int:
+        return sum(t.good for t in self.tenants.values())
+
+    def goodput(self) -> float:
+        return self.good / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def render(self) -> str:
+        lines = [f"{'tenant':<12} {'offered':>7} {'good':>6} {'shed':>5} "
+                 f"{'goodput/s':>9} {'p95 ms':>7}  shed reasons"]
+        for name in sorted(self.tenants):
+            report = self.tenants[name]
+            reasons = ", ".join(
+                f"{reason}={count}" for reason, count
+                in sorted(report.shed_reasons.items())) or "-"
+            lines.append(
+                f"{name:<12} {report.offered:>7} {report.good:>6} "
+                f"{report.shed:>5} {report.goodput(self.elapsed_s):>9.1f} "
+                f"{report.p95_ms():>7.1f}  {reasons}")
+        lines.append(
+            f"{'TOTAL':<12} {self.offered:>7} {self.good:>6} "
+            f"{sum(t.shed for t in self.tenants.values()):>5} "
+            f"{self.goodput():>9.1f}")
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drive ``request_fn`` with open-loop multi-tenant traffic.
+
+    ``request_fn(tenant, criticality)`` issues one request and returns
+    the service response (anything with an ``outcome`` carrying
+    ``status``, ``shed_reason`` and ``latency``).  Each arrival runs
+    on its own thread so a stalled request never delays the schedule —
+    that is what makes the loop open.  Exceptions from ``request_fn``
+    are counted under status ``error`` rather than killing the run.
+    """
+
+    def __init__(self, request_fn: Callable,
+                 loads: Iterable[TenantLoad], *,
+                 duration_s: float = 1.0,
+                 shapers: Sequence[Callable] = (),
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        self._request_fn = request_fn
+        self._loads = list(loads)
+        if not self._loads:
+            raise ValueError("at least one tenant load is required")
+        self._duration_s = float(duration_s)
+        self._shapers = list(shapers)
+        self._clock = clock
+        self._sleep = sleep
+
+    def _factor(self, t: float, tenant: str) -> float:
+        factor = 1.0
+        for shaper in self._shapers:
+            factor *= shaper(t, tenant)
+        return factor
+
+    def run(self) -> LoadReport:
+        lock = threading.Lock()
+        reports = {load.name: TenantReport(load.name)
+                   for load in self._loads}
+        request_threads: list[threading.Thread] = []
+        start = self._clock()
+
+        def issue(load: TenantLoad) -> None:
+            try:
+                response = self._request_fn(load.name, load.criticality)
+                outcome = response.outcome
+                status = outcome.status
+                shed_reason = outcome.shed_reason
+                latency = outcome.latency
+            except Exception as exc:  # count it, keep the run alive
+                status, shed_reason, latency = "error", None, 0.0
+                _ = exc
+            with lock:
+                report = reports[load.name]
+                report.statuses[status] += 1
+                if status in GOOD_STATUSES:
+                    report.latencies.append(latency)
+                if status == "shed":
+                    report.shed_reasons[shed_reason or "unknown"] += 1
+
+        def schedule(load: TenantLoad) -> None:
+            next_t = 0.0
+            while next_t < self._duration_s:
+                delay = (start + next_t) - self._clock()
+                if delay > 0:
+                    self._sleep(delay)
+                worker = threading.Thread(target=issue, args=(load,),
+                                          daemon=True)
+                with lock:
+                    reports[load.name].offered += 1
+                    request_threads.append(worker)
+                worker.start()
+                # The *next* arrival's spacing uses the rate in force
+                # now — a storm window compresses spacing inside it.
+                next_t += 1.0 / (load.rate * self._factor(next_t,
+                                                          load.name))
+
+        schedulers = [threading.Thread(target=schedule, args=(load,),
+                                       daemon=True)
+                      for load in self._loads]
+        for thread in schedulers:
+            thread.start()
+        for thread in schedulers:
+            thread.join()
+        with lock:
+            pending = list(request_threads)
+        for thread in pending:
+            thread.join()
+        return LoadReport(elapsed_s=self._clock() - start,
+                          tenants=reports)

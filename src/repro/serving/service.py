@@ -67,6 +67,8 @@ from ..data.schema import Recipe
 from ..obs import LATENCY_BUCKETS, Telemetry
 from ..obs.drift import DriftMonitor, DriftReference
 from ..robustness.faults import SimulatedCrash
+from .admission import (SHED_REASONS, AdmissionConfig,
+                        AdmissionController, AdmissionDecision)
 from .cluster import ClusterConfig, ClusterResult, IndexCluster
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
@@ -78,7 +80,7 @@ from .wal import WalWriteError
 
 __all__ = ["ServiceConfig", "RequestOutcome", "ServiceResponse",
            "IngestOutcome", "ResilientSearchService", "STATUSES",
-           "INGEST_STATUSES", "BREAKER_STATE_VALUES"]
+           "INGEST_STATUSES", "BREAKER_STATE_VALUES", "SHED_REASONS"]
 
 #: Every request resolves to exactly one of these.
 STATUSES = ("ok", "partial", "degraded", "shed", "timeout", "invalid",
@@ -148,6 +150,10 @@ class ServiceConfig:
     breaker_reset_after: float = 5.0   # seconds open before half-open
     breaker_half_open_successes: int = 2
     max_inflight: int = 8              # admission bound; excess is shed
+    #: Adaptive overload control (token buckets, fair queuing, AIMD
+    #: concurrency, brownout ladder).  ``None`` keeps the legacy
+    #: static ``max_inflight`` counter with immediate shedding.
+    admission: AdmissionConfig | None = None
     canary_queries: int = 3            # per hot-swap validation
     outcome_log_size: int = 512        # ring buffer of RequestOutcomes
     degraded_enabled: bool = True
@@ -185,6 +191,13 @@ class RequestOutcome:
     #: status: the answer covers only the shards that made it.
     shards_total: int | None = None
     shards_answered: int | None = None
+    #: Which tenant the request was billed to ("default" when the
+    #: caller named none).
+    tenant: str = "default"
+    #: For ``shed`` outcomes, one of
+    #: :data:`~repro.serving.admission.SHED_REASONS` — rate-limit vs
+    #: queue-full vs in-queue expiry are different operator actions.
+    shed_reason: str | None = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +250,50 @@ class _RequestTrace:
 
     def __init__(self):
         self.attempts = 0
+
+
+class _StaticAdmission:
+    """The legacy bounded-counter admission path behind the same
+    acquire/release surface as :class:`AdmissionController`, so the
+    request pipeline has exactly one shape.  No queue, no tenants, no
+    brownout: excess load sheds immediately."""
+
+    brownout = None
+
+    def __init__(self, max_inflight: int):
+        self._max_inflight = int(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def limit(self) -> int:
+        return self._max_inflight
+
+    def acquire(self, tenant: str, criticality: str | None,
+                deadline: Deadline) -> AdmissionDecision:
+        criticality = criticality or "user"
+        with self._lock:
+            if self._inflight < self._max_inflight:
+                self._inflight += 1
+                return AdmissionDecision(True, tenant, criticality)
+        return AdmissionDecision(
+            False, tenant, criticality, reason="inflight_limit",
+            detail=f"load shed: {self._max_inflight} requests "
+                   f"already in flight")
+
+    def release(self, latency_s: float) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"mode": "static", "limit": self._max_inflight,
+                    "inflight": self._inflight, "queued": 0}
 
 
 class ResilientSearchService:
@@ -305,12 +362,22 @@ class ResilientSearchService:
         # against each other; queries never take it.  Lock order is
         # always ingest lock -> service lock, never the reverse.
         self._ingest_lock = threading.RLock()
-        self._inflight = 0
         self._next_request_id = 0
         self._next_ingest_id = 0
         self._status_counts: Counter[str] = Counter()
         self.telemetry = telemetry or Telemetry(clock=clock)
         self._setup_metrics()
+        #: The admission control plane: adaptive (token buckets, fair
+        #: queuing, AIMD concurrency, brownout ladder) when the config
+        #: carries an :class:`AdmissionConfig`, else the legacy static
+        #: counter behind the same acquire/release surface.
+        if self._config.admission is not None:
+            self.admission = AdmissionController(
+                self._config.admission, clock=clock, sleep=sleep,
+                registry=self.telemetry.registry,
+                events=self.telemetry.events)
+        else:
+            self.admission = _StaticAdmission(self._config.max_inflight)
         self.drift = DriftMonitor(
             drift_reference, registry=self.telemetry.registry,
             on_scores=lambda scores: self.telemetry.events.emit(
@@ -402,6 +469,10 @@ class ResilientSearchService:
             "ingest_requests_total",
             "streaming ingest requests by op and outcome",
             labels=("op", "status"))
+        self._m_shed = registry.counter(
+            "requests_shed_total",
+            "requests shed at admission by reason and tenant",
+            labels=("reason", "tenant"))
 
     def _on_breaker_transition(self, name: str,
                                state: CircuitState) -> None:
@@ -431,31 +502,39 @@ class ResilientSearchService:
     # ------------------------------------------------------------------
     def search_by_ingredients(self, ingredients: list[str], k: int = 5,
                               class_name: str | None = None,
-                              deadline: float | None = None
+                              deadline: float | None = None,
+                              tenant: str = "default",
+                              criticality: str | None = None
                               ) -> ServiceResponse:
         """Resilient fridge search (ingredient list → dishes)."""
         ingredients = list(ingredients)
         return self._serve(
             "ingredients", k, class_name, deadline,
             embed=lambda engine: engine.embed_ingredients(ingredients),
-            fallback=lambda ranker, class_id: ranker.rank_ingredients(
+            fallback=lambda ranker, class_id, k: ranker.rank_ingredients(
                 ingredients, k, class_id),
-            which_index="image")
+            which_index="image", tenant=tenant, criticality=criticality)
 
     def search_by_recipe(self, recipe: Recipe, k: int = 5,
                          class_name: str | None = None,
-                         deadline: float | None = None) -> ServiceResponse:
+                         deadline: float | None = None,
+                         tenant: str = "default",
+                         criticality: str | None = None
+                         ) -> ServiceResponse:
         """Resilient recipe → images search."""
         return self._serve(
             "recipe", k, class_name, deadline,
             embed=lambda engine: engine.embed_recipe(recipe),
-            fallback=lambda ranker, class_id: ranker.rank_recipe(
+            fallback=lambda ranker, class_id, k: ranker.rank_recipe(
                 recipe, k, class_id),
-            which_index="image")
+            which_index="image", tenant=tenant, criticality=criticality)
 
     def search_by_image(self, image: np.ndarray, k: int = 5,
                         class_name: str | None = None,
-                        deadline: float | None = None) -> ServiceResponse:
+                        deadline: float | None = None,
+                        tenant: str = "default",
+                        criticality: str | None = None
+                        ) -> ServiceResponse:
         """Resilient image → recipes search.
 
         Degraded mode has no pixels-to-text bridge, so the fallback is
@@ -465,21 +544,24 @@ class ResilientSearchService:
         return self._serve(
             "image", k, class_name, deadline,
             embed=lambda engine: engine.embed_image(image),
-            fallback=lambda ranker, class_id: ranker.rank_default(
+            fallback=lambda ranker, class_id, k: ranker.rank_default(
                 k, class_id),
-            which_index="recipe")
+            which_index="recipe", tenant=tenant, criticality=criticality)
 
     def search_without(self, recipe: Recipe, ingredient: str, k: int = 5,
                        class_name: str | None = None,
-                       deadline: float | None = None) -> ServiceResponse:
+                       deadline: float | None = None,
+                       tenant: str = "default",
+                       criticality: str | None = None
+                       ) -> ServiceResponse:
         """Resilient dietary-filter search (§5.3)."""
         edited = recipe.without_ingredient(ingredient)
         return self._serve(
             "without", k, class_name, deadline,
             embed=lambda engine: engine.embed_recipe(edited),
-            fallback=lambda ranker, class_id: ranker.rank_recipe(
+            fallback=lambda ranker, class_id, k: ranker.rank_recipe(
                 edited, k, class_id),
-            which_index="image")
+            which_index="image", tenant=tenant, criticality=criticality)
 
     # ------------------------------------------------------------------
     # Generations
@@ -659,7 +741,8 @@ class ResilientSearchService:
             active = self._active
             stats = {
                 "requests": self._next_request_id,
-                "inflight": self._inflight,
+                "inflight": self.admission.inflight,
+                "admission": self.admission.snapshot(),
                 "generation": active.generation,
                 "statuses": dict(self._status_counts),
                 "embed_breaker": self.embed_breaker.state.value,
@@ -682,7 +765,8 @@ class ResilientSearchService:
     # ------------------------------------------------------------------
     def _serve(self, kind: str, k: int, class_name: str | None,
                deadline_s: float | None, embed, fallback,
-               which_index: str) -> ServiceResponse:
+               which_index: str, tenant: str = "default",
+               criticality: str | None = None) -> ServiceResponse:
         started = self._clock()
         generation = self._active  # snapshot: the whole request uses it
         budget = Deadline(deadline_s or self._config.deadline,
@@ -690,36 +774,60 @@ class ResilientSearchService:
         with self.telemetry.tracer.span(
                 "request", kind=kind,
                 generation=generation.generation) as span:
-            with self._stage_span("admit", budget):
-                with self._lock:
-                    request_id = self._next_request_id
-                    self._next_request_id += 1
-                    admitted = self._inflight < self._config.max_inflight
-                    if admitted:
-                        self._inflight += 1
-                        self._m_inflight.set(self._inflight)
+            with self._lock:
+                request_id = self._next_request_id
+                self._next_request_id += 1
             span.set_attribute("request_id", request_id)
-            if not admitted:
+            # The admit span covers any fair-queue wait, so queue time
+            # shows up as admit-stage latency, not as mystery slack.
+            with self._stage_span("admit", budget):
+                decision = self.admission.acquire(tenant, criticality,
+                                                  budget)
+            if not decision.admitted:
                 return self._finish(
                     request_id, kind, "shed", generation, started,
-                    stage="admission", span=span,
-                    error=f"load shed: {self._config.max_inflight} "
-                          f"requests already in flight")
+                    stage="admission", span=span, error=decision.detail,
+                    tenant=tenant, shed_reason=decision.reason)
+            self._m_inflight.set(self.admission.inflight)
             trace = _RequestTrace()
             try:
                 try:
+                    # Brownout effects, evaluated once per request
+                    # against the ladder the admission plane steps.
+                    brownout = self.admission.brownout
+                    k_effective = k
+                    hedge = None
+                    force_degraded = False
+                    if brownout is not None:
+                        if brownout.active("hedge_off"):
+                            hedge = False
+                        if brownout.active("shrink_k"):
+                            k_effective = max(
+                                1, min(k, brownout.config.k_cap))
+                        force_degraded = (
+                            brownout.active("degraded")
+                            and self._config.degraded_enabled)
                     class_id = generation.engine.resolve_class(class_name)
                     degraded_reason = None
                     fan_out = None
                     try:
+                        if force_degraded:
+                            raise _StageUnavailable(
+                                "admission",
+                                f"brownout ladder at level "
+                                f"{brownout.level}: serving model-free")
+                        # A deadline that died between grant and here
+                        # must not burn an embed call.
+                        budget.check("queue")
                         with self._stage_span("embed", budget):
                             vector = self._embed_stage(
                                 generation, request_id, embed, budget,
                                 trace)
                         with self._stage_span("index", budget):
                             rows, distances, fan_out = self._index_stage(
-                                generation, request_id, vector, k,
-                                class_id, which_index, budget)
+                                generation, request_id, vector,
+                                k_effective, class_id, which_index,
+                                budget, hedge)
                         status = ("partial"
                                   if fan_out is not None and fan_out.partial
                                   else "ok")
@@ -735,10 +843,11 @@ class ResilientSearchService:
                                 request_id, kind, "error", generation,
                                 started, attempts=trace.attempts,
                                 stage=exc.stage, error=str(exc),
-                                span=span)
+                                span=span, tenant=tenant)
                         with self._stage_span("degraded", budget):
                             rows, distances = fallback(
-                                generation.fallback, class_id)
+                                generation.fallback, class_id,
+                                k_effective)
                         status = "degraded"
                         degraded_reason = str(exc)
                     budget.check("materialize")
@@ -749,26 +858,26 @@ class ResilientSearchService:
                         request_id, kind, status, generation, started,
                         results=results, attempts=trace.attempts,
                         error=degraded_reason, span=span,
-                        fan_out=fan_out)
+                        fan_out=fan_out, tenant=tenant)
                 except DeadlineExceeded as exc:
                     return self._finish(
                         request_id, kind, "timeout", generation, started,
                         attempts=trace.attempts, stage=exc.stage,
-                        error=str(exc), span=span)
+                        error=str(exc), span=span, tenant=tenant)
                 except ValueError as exc:
                     return self._finish(
                         request_id, kind, "invalid", generation, started,
                         attempts=trace.attempts, error=str(exc),
-                        span=span)
+                        span=span, tenant=tenant)
                 except Exception as exc:  # containment: no fault escapes
                     return self._finish(
                         request_id, kind, "error", generation, started,
                         attempts=trace.attempts,
-                        error=f"{type(exc).__name__}: {exc}", span=span)
+                        error=f"{type(exc).__name__}: {exc}", span=span,
+                        tenant=tenant)
             finally:
-                with self._lock:
-                    self._inflight -= 1
-                    self._m_inflight.set(self._inflight)
+                self.admission.release(self._clock() - started)
+                self._m_inflight.set(self.admission.inflight)
 
     def _embed_stage(self, generation: EngineGeneration, request_id: int,
                      embed, budget: Deadline,
@@ -824,7 +933,8 @@ class ResilientSearchService:
 
     def _index_stage(self, generation: EngineGeneration, request_id: int,
                      vector: np.ndarray, k: int, class_id: int | None,
-                     which_index: str, budget: Deadline
+                     which_index: str, budget: Deadline,
+                     hedge: bool | None = None
                      ) -> tuple[np.ndarray, np.ndarray,
                                 ClusterResult | None]:
         """Index query with retries behind the index breaker.
@@ -840,7 +950,7 @@ class ResilientSearchService:
                    else generation.recipe_cluster)
         if cluster is not None:
             return self._cluster_stage(cluster, request_id, vector, k,
-                                       class_id, budget)
+                                       class_id, budget, hedge)
         breaker = self.index_breaker
         policy = self._config.retry
         if self.ingestor is not None:
@@ -881,7 +991,8 @@ class ResilientSearchService:
 
     def _cluster_stage(self, cluster: IndexCluster, request_id: int,
                        vector: np.ndarray, k: int,
-                       class_id: int | None, budget: Deadline
+                       class_id: int | None, budget: Deadline,
+                       hedge: bool | None = None
                        ) -> tuple[np.ndarray, np.ndarray, ClusterResult]:
         """One fan-out through the generation's cluster.
 
@@ -899,7 +1010,7 @@ class ResilientSearchService:
         if self._faults is not None:
             self._faults.on_index_start(request_id, cluster)
         result = cluster.query(vector, k=k, class_id=class_id,
-                               deadline=budget)
+                               deadline=budget, hedge=hedge)
         if result.shards_answered == 0:
             breaker.record_failure()
             raise _StageUnavailable(
@@ -1156,7 +1267,9 @@ class ResilientSearchService:
                 generation: EngineGeneration, started: float, *,
                 results=(), attempts: int = 0, stage: str | None = None,
                 error: str | None = None, span=None,
-                fan_out: ClusterResult | None = None) -> ServiceResponse:
+                fan_out: ClusterResult | None = None,
+                tenant: str = "default",
+                shed_reason: str | None = None) -> ServiceResponse:
         latency = self._clock() - started
         # Stage wall times come straight off the request span's closed
         # children, so the outcome record and the trace always agree.
@@ -1176,11 +1289,15 @@ class ResilientSearchService:
             shards_total=(None if fan_out is None
                           else fan_out.shards_total),
             shards_answered=(None if fan_out is None
-                             else fan_out.shards_answered))
+                             else fan_out.shards_answered),
+            tenant=tenant, shed_reason=shed_reason)
         with self._lock:
             self.outcomes.append(outcome)
             self._status_counts[status] += 1
         self._m_requests.labels(kind=kind, status=status).inc()
+        if status == "shed":
+            self._m_shed.labels(reason=shed_reason or "inflight_limit",
+                                tenant=tenant).inc()
         self._m_request_latency.observe(latency)
         return ServiceResponse(
             results=tuple(results), degraded=outcome.degraded,

@@ -131,3 +131,31 @@ class TestServe:
                      "--ingredients", "vibranium"])
         assert code == 1
         assert "status invalid" in capsys.readouterr().out
+
+
+class TestLoadgen:
+    def test_storm_reports_per_tenant_goodput(self, data_dir, run_dir,
+                                              capsys):
+        code = main(["loadgen", "--data", str(data_dir),
+                     "--model", str(run_dir),
+                     "--duration", "0.6", "--load", "mobile:15",
+                     "--load", "batch:5:background",
+                     "--storm", "4", "--deadline", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "loadgen: adaptive admission" in output
+        assert "mobile" in output
+        assert "batch" in output
+        assert "goodput" in output
+        assert "mode=adaptive" in output
+
+    def test_static_flag_uses_legacy_admission(self, data_dir, run_dir,
+                                               capsys):
+        code = main(["loadgen", "--data", str(data_dir),
+                     "--model", str(run_dir),
+                     "--duration", "0.4", "--static",
+                     "--deadline", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "loadgen: static admission" in output
+        assert "mode=static" in output

@@ -51,6 +51,14 @@ def test_streaming_ingest_demo(tmp_path):
     assert "quality green: OK" in output
 
 
+def test_overload_demo():
+    output = run_example("overload_demo.py", "--duration", "2.0")
+    assert "engage" in output          # the ladder actually engaged
+    assert "goodput" in output
+    assert "brownout level after cool-down: 0" in output
+    assert "post-storm request: status=ok" in output
+
+
 def test_visualize_latent_space(tmp_path):
     output = run_example("visualize_latent_space.py",
                          "--out", str(tmp_path), "--scale", "test")
