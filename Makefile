@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos bench quicktest telemetry-test slo-test monitor-demo overload-demo
+.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos bench quicktest telemetry-test slo-test trace-test monitor-demo overload-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -23,6 +23,9 @@ telemetry-test:  ## telemetry layer tests, incl. the chaos-marked ones
 
 slo-test:        ## quality-SLO chaos suite (probes, drift, burn-rate alerts, flight recorder)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m slo
+
+trace-test:      ## whole-path tracing suite (also part of tier-1)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m trace
 
 ingest-chaos:    ## streaming-ingest chaos suite (torn writes, disk-full, crash-mid-compaction, racing queries)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m ingest

@@ -1,0 +1,93 @@
+"""Tracing-overhead benchmarks.
+
+One simulated request is 1 root span + 4 stage children (admit, embed,
+index, materialize) — the same shape the service emits.  Three
+configurations are timed:
+
+* **off**      — no spans at all (the floor the others are measured
+  against);
+* **on**       — spans recorded into the tracer's ring buffer;
+* **sampling** — spans recorded *and* fed through the tail-based
+  :class:`~repro.obs.TraceSampler` (buffer, verdict, retention).
+
+Headline numbers are the per-request overhead in microseconds versus
+the ``off`` floor, landing in ``BENCH_tracing.json`` via the
+``bench_record_tracing`` fixture (see ``conftest.py``).
+"""
+
+import time
+
+from repro.obs import Tracer, TraceSampler
+
+STAGES = ("admit", "embed", "index", "materialize")
+REQUESTS_PER_ITER = 100
+
+
+def _request_off():
+    total = 0
+    for stage in STAGES:
+        total += len(stage)
+    return total
+
+
+def _request_traced(tracer):
+    with tracer.span("request"):
+        for stage in STAGES:
+            with tracer.span(stage):
+                pass
+
+
+def _mean_request_s(fn, *args, repeats=30):
+    started = time.perf_counter()
+    for __ in range(repeats):
+        fn(*args)
+    return (time.perf_counter() - started) / (repeats * REQUESTS_PER_ITER)
+
+
+def _floor_s():
+    def batch():
+        for __ in range(REQUESTS_PER_ITER):
+            _request_off()
+
+    return _mean_request_s(batch)
+
+
+def _bench_overhead(benchmark, record, tracer):
+    def batch():
+        for __ in range(REQUESTS_PER_ITER):
+            _request_traced(tracer)
+
+    benchmark(batch)
+    try:
+        mean_iter_s = float(benchmark.stats.stats.mean)
+        traced_s = mean_iter_s / REQUESTS_PER_ITER
+    except AttributeError:  # --benchmark-disable
+        traced_s = _mean_request_s(batch)
+    record((traced_s - _floor_s()) * 1e6, benchmark)
+
+
+def test_bench_tracing_off(benchmark, bench_record_tracing):
+    """Headline: untraced request cost in microseconds (the floor)."""
+    def batch():
+        for __ in range(REQUESTS_PER_ITER):
+            _request_off()
+
+    benchmark(batch)
+    try:
+        floor_s = float(benchmark.stats.stats.mean) / REQUESTS_PER_ITER
+    except AttributeError:
+        floor_s = _mean_request_s(batch)
+    bench_record_tracing(floor_s * 1e6, benchmark)
+
+
+def test_bench_tracing_on(benchmark, bench_record_tracing):
+    """Headline: added microseconds/request with spans recorded."""
+    _bench_overhead(benchmark, bench_record_tracing, Tracer())
+
+
+def test_bench_tracing_on_with_sampling(benchmark,
+                                        bench_record_tracing):
+    """Headline: added microseconds/request with spans + tail
+    sampling (buffering, verdicts, retention bookkeeping)."""
+    tracer = Tracer(sampler=TraceSampler(fraction=0.1))
+    _bench_overhead(benchmark, bench_record_tracing, tracer)

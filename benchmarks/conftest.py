@@ -25,6 +25,7 @@ BENCH_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_components.json"
 BENCH_SERVING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_serving.json"
 BENCH_INGEST_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_ingest.json"
 BENCH_OVERLOAD_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_overload.json"
+BENCH_TRACING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 
 _registry = MetricsRegistry()
 _bench_value = _registry.gauge(
@@ -66,6 +67,16 @@ _overload_wall_ms = _overload_registry.gauge(
     "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
     labels=("bench",))
 
+# Tracing numbers (span overhead per request with tracing off / on /
+# on + tail sampling) track the observability tax on the hot path.
+_tracing_registry = MetricsRegistry()
+_tracing_value = _tracing_registry.gauge(
+    "bench_value", "headline value reported by each tracing benchmark",
+    labels=("bench",))
+_tracing_wall_ms = _tracing_registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
+
 
 def pytest_configure(config):
     # Benchmark runs should keep the regenerated paper tables visible:
@@ -82,7 +93,9 @@ def pytest_sessionfinish(session, exitstatus):
                                (_ingest_registry,
                                 BENCH_INGEST_ARTIFACT),
                                (_overload_registry,
-                                BENCH_OVERLOAD_ARTIFACT)):
+                                BENCH_OVERLOAD_ARTIFACT),
+                               (_tracing_registry,
+                                BENCH_TRACING_ARTIFACT)):
         recorded = any(family.children()
                        for family in registry.families())
         if recorded:
@@ -132,6 +145,12 @@ def bench_record_ingest(request):
 def bench_record_overload(request):
     """Like ``bench_record`` but lands in ``BENCH_overload.json``."""
     return _recorder(request, _overload_value, _overload_wall_ms)
+
+
+@pytest.fixture
+def bench_record_tracing(request):
+    """Like ``bench_record`` but lands in ``BENCH_tracing.json``."""
+    return _recorder(request, _tracing_value, _tracing_wall_ms)
 
 
 @pytest.fixture(scope="session")

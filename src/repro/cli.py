@@ -227,6 +227,33 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--interval", type=float, default=2.0,
                          help="seconds between renders with --follow")
 
+    trace = commands.add_parser(
+        "trace", help="inspect spans from a telemetry or flight JSONL "
+                      "file: span trees, critical paths")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    trace_list = trace_commands.add_parser(
+        "list", help="one line per trace: root, duration, span count")
+    trace_list.add_argument("--jsonl", required=True, metavar="PATH",
+                            help="telemetry/flight JSONL file to read")
+    trace_list.add_argument("--limit", type=int, default=20,
+                            help="show the N slowest traces")
+    trace_show = trace_commands.add_parser(
+        "show", help="render one trace as an ASCII span tree")
+    trace_show.add_argument("trace_id", type=int)
+    trace_show.add_argument("--jsonl", required=True, metavar="PATH")
+    trace_show.add_argument("--critical", action="store_true",
+                            help="mark spans on the blocking critical "
+                                 "path")
+    trace_critpath = trace_commands.add_parser(
+        "critpath", help="aggregate critical-path breakdown: where "
+                         "does the time go?")
+    trace_critpath.add_argument("--jsonl", required=True,
+                                metavar="PATH")
+    trace_critpath.add_argument("--quantile", type=float, default=None,
+                                help="focus on traces at or above this "
+                                     "duration quantile (e.g. 0.99)")
+
     metrics = commands.add_parser(
         "metrics", help="inspect telemetry traces written with "
                         "--telemetry-jsonl")
@@ -781,6 +808,68 @@ def _command_monitor(args) -> int:
     return 1 if any_firing else 0
 
 
+def _trace_verdicts(path) -> dict[int, str]:
+    """Sampler verdicts by trace id from ``{"kind": "trace"}`` rows."""
+    verdicts: dict[int, str] = {}
+    for record in _read_jsonl_tolerant(path):
+        if record.get("kind") == "trace" and "trace_id" in record:
+            verdicts[int(record["trace_id"])] = \
+                record.get("verdict", "?")
+    return verdicts
+
+
+def _command_trace(args) -> int:
+    from .obs import (aggregate, build_traces, render_tree,
+                      spans_from_jsonl)
+
+    records = spans_from_jsonl(args.jsonl)
+    if not records:
+        print(f"no spans in {args.jsonl}")
+        return 1
+    trees = build_traces(records)
+
+    if args.trace_command == "show":
+        tree = trees.get(args.trace_id)
+        if tree is None:
+            print(f"trace {args.trace_id} not found in {args.jsonl} "
+                  f"({len(trees)} traces present)")
+            return 1
+        print(render_tree(tree, critical=args.critical))
+        return 0
+
+    if args.trace_command == "critpath":
+        breakdown = aggregate(trees, focus_quantile=args.quantile)
+        scope = ("all traces" if args.quantile is None
+                 else f"traces at/above the p{args.quantile * 100:g} "
+                      f"duration")
+        print(f"critical path over {breakdown['traces']} roots "
+              f"({scope}), {breakdown['total_s'] * 1000:.1f}ms "
+              f"attributed:")
+        for name, entry in breakdown["by_name"].items():
+            print(f"  {name:<16} {entry['seconds'] * 1000:>9.2f}ms  "
+                  f"{entry['share'] * 100:5.1f}%")
+        return 0
+
+    # list: slowest first, with root/span/orphan counts and sampler
+    # verdicts when the file carries kept-trace rows.
+    verdicts = _trace_verdicts(args.jsonl)
+    rows = sorted(trees.values(),
+                  key=lambda tree: (tree.root.duration
+                                    if tree.root is not None else 0.0),
+                  reverse=True)
+    print(f"{len(rows)} traces in {args.jsonl}")
+    print(f"{'trace':>8}  {'root':<12} {'ms':>9}  {'spans':>5}  "
+          f"{'orphans':>7}  verdict")
+    for tree in rows[:args.limit]:
+        root = tree.root
+        name = root.name if root is not None else "(no root)"
+        duration = root.duration * 1000.0 if root is not None else 0.0
+        print(f"{tree.trace_id:>8}  {name:<12} {duration:>9.2f}  "
+              f"{len(tree.spans()):>5}  {len(tree.orphans):>7}  "
+              f"{verdicts.get(tree.trace_id, '-')}")
+    return 0
+
+
 def _command_metrics(args) -> int:
     import json
 
@@ -808,6 +897,7 @@ _COMMANDS = {
     "loadgen": _command_loadgen,
     "ingest": _command_ingest,
     "monitor": _command_monitor,
+    "trace": _command_trace,
     "metrics": _command_metrics,
 }
 

@@ -26,25 +26,35 @@ import threading
 import time
 from typing import Callable
 
+from .critpath import (SpanNode, TraceTree, aggregate, build_traces,
+                       critical_path, kept_trace_tree, render_tree,
+                       self_time, spans_from_jsonl)
 from .drift import (DRIFT_REFERENCE_NAME, DRIFT_SIGNALS, DriftMonitor,
                     DriftReference, QuantileSketch, ks_statistic, psi)
 from .events import EventLog
 from .flight import FlightRecorder
 from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
                       Histogram, MetricError, MetricsRegistry,
-                      parse_prometheus, quantile_from_counts)
+                      ParsedExposition, parse_prometheus,
+                      quantile_from_counts)
 from .probes import GoldenProbe, GoldenSet, ProbeQuery
 from .sanitize import is_finite_number, json_safe
 from .slo import (DEFAULT_WINDOWS, SLO, Alert, AlertManager,
                   BurnRateWindow, default_serving_slos)
 from .timing import Timer
-from .tracing import Span, SpanRecord, Tracer
+from .tracing import (KeptTrace, Span, SpanRecord, TraceContext,
+                      Tracer, TraceSampler)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
     "DEFAULT_BUCKETS", "LATENCY_BUCKETS", "parse_prometheus",
+    "ParsedExposition",
     "quantile_from_counts", "is_finite_number", "json_safe",
-    "Span", "SpanRecord", "Tracer", "Timer", "EventLog",
+    "Span", "SpanRecord", "Tracer", "TraceContext", "TraceSampler",
+    "KeptTrace", "Timer", "EventLog",
+    "SpanNode", "TraceTree", "build_traces", "critical_path",
+    "self_time", "aggregate", "render_tree", "spans_from_jsonl",
+    "kept_trace_tree",
     "JsonlWriter", "Telemetry",
     "read_jsonl", "last_metrics_snapshot",
     "QuantileSketch", "psi", "ks_statistic", "DRIFT_SIGNALS",
@@ -97,12 +107,17 @@ class Telemetry:
     def __init__(self, jsonl_path=None,
                  clock: Callable[[], float] = time.monotonic,
                  max_spans: int = 4096, max_events: int = 4096,
-                 printer: Callable[[str], None] | None = None):
+                 printer: Callable[[str], None] | None = None,
+                 trace_sample_fraction: float | None = None):
         self.clock = clock
         self.writer = JsonlWriter(jsonl_path) if jsonl_path else None
         self.registry = MetricsRegistry()
+        self.sampler = None
+        if trace_sample_fraction is not None:
+            self.sampler = TraceSampler(fraction=trace_sample_fraction,
+                                        registry=self.registry)
         self.tracer = Tracer(clock=clock, max_spans=max_spans,
-                             sink=self.writer)
+                             sink=self.writer, sampler=self.sampler)
         self.events = EventLog(max_events=max_events, clock=clock,
                                sink=self.writer, printer=printer)
 

@@ -1,0 +1,285 @@
+"""Critical-path analysis over finished span trees.
+
+The tracer's ring buffer (or an exported JSONL file) holds flat
+:class:`~repro.obs.tracing.SpanRecord` rows in completion order.  This
+module reassembles them into per-trace trees (:func:`build_traces`),
+computes *self time* (a span's duration not covered by its children)
+and the *blocking critical path* per request — the chain of spans that
+actually determined the root's wall time, which under a shard fan-out
+is the straggler lane, not the sum of lanes — and aggregates a "where
+does p99 go" breakdown across many traces (:func:`aggregate`).
+
+Everything operates on plain records, so it works identically on a
+live tracer snapshot, a sampler's kept traces, or a JSONL file read
+back by the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .tracing import KeptTrace, SpanRecord
+
+__all__ = ["SpanNode", "TraceTree", "build_traces", "self_time",
+           "critical_path", "aggregate", "render_tree",
+           "spans_from_jsonl", "kept_trace_tree"]
+
+
+@dataclass(eq=False)  # identity semantics: nodes are tree positions
+class SpanNode:
+    """One span plus its resolved children, as tree structure."""
+
+    record: SpanRecord
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def start(self) -> float:
+        return self.record.start
+
+    @property
+    def end(self) -> float:
+        return self.record.start + self.record.duration
+
+    @property
+    def duration(self) -> float:
+        return self.record.duration
+
+    def walk(self):
+        """Yield this node and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def label(self) -> str:
+        """One-line human rendering used by the ASCII tree."""
+        parts = [self.name, f"{self.duration * 1000.0:.2f}ms"]
+        if self.record.status != "ok":
+            parts.append(f"!{self.record.status}")
+        attrs = self.record.attributes
+        interesting = {k: attrs[k] for k in
+                       ("shard", "replica", "tenant", "criticality",
+                        "status", "op", "kind", "cluster", "lane")
+                       if k in attrs}
+        if interesting:
+            parts.append(" ".join(f"{k}={v}"
+                                  for k, v in interesting.items()))
+        return "  ".join(parts)
+
+
+@dataclass
+class TraceTree:
+    """All spans of one trace: roots, plus any unresolvable orphans."""
+
+    trace_id: int
+    roots: list[SpanNode] = field(default_factory=list)
+    orphans: list[SpanRecord] = field(default_factory=list)
+
+    @property
+    def root(self) -> SpanNode | None:
+        """The longest root span (a well-formed trace has exactly one)."""
+        if not self.roots:
+            return None
+        return max(self.roots, key=lambda node: node.duration)
+
+    def spans(self) -> list[SpanNode]:
+        out: list[SpanNode] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+
+def _as_record(item) -> SpanRecord | None:
+    if isinstance(item, SpanRecord):
+        return item
+    if isinstance(item, dict):
+        if item.get("kind") not in (None, "span"):
+            return None
+        if "span_id" not in item:
+            return None
+        return SpanRecord.from_event(item)
+    return None
+
+
+def build_traces(records) -> dict[int, TraceTree]:
+    """Group flat span records into per-trace trees.
+
+    ``records`` may hold :class:`SpanRecord` objects, span event
+    dicts, or a mix (non-span dicts are ignored, so a raw telemetry
+    JSONL stream can be fed directly).  A span whose ``parent_id``
+    does not resolve to another span *in the same trace* is an orphan
+    — the acceptance signal for broken context propagation.
+    """
+    by_trace: dict[int, list[SpanRecord]] = {}
+    for item in records:
+        record = _as_record(item)
+        if record is not None:
+            by_trace.setdefault(record.trace_id, []).append(record)
+    trees: dict[int, TraceTree] = {}
+    for trace_id, spans in by_trace.items():
+        nodes = {span.span_id: SpanNode(span) for span in spans}
+        tree = TraceTree(trace_id)
+        for span in spans:
+            node = nodes[span.span_id]
+            if span.parent_id is None:
+                tree.roots.append(node)
+            elif span.parent_id in nodes:
+                nodes[span.parent_id].children.append(node)
+            else:
+                tree.orphans.append(span)
+        for node in nodes.values():
+            node.children.sort(key=lambda child: child.start)
+        trees[trace_id] = tree
+    return trees
+
+
+def self_time(node: SpanNode) -> float:
+    """Seconds of ``node`` not covered by any child interval."""
+    intervals = sorted((max(child.start, node.start),
+                        min(child.end, node.end))
+                       for child in node.children)
+    covered, cursor = 0.0, node.start
+    for start, end in intervals:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = end
+    return max(0.0, node.duration - covered)
+
+
+def critical_path(root: SpanNode) -> list[tuple[SpanNode, float]]:
+    """The blocking chain that determined ``root``'s wall time.
+
+    Walk backwards from the root's end: at each cursor position the
+    blocking span is the child reaching closest to the cursor (under a
+    parallel fan-out, the straggler); gaps between children are the
+    parent's own time.  Returns ``(node, seconds)`` segments in
+    chronological order; seconds over all segments sum to the root's
+    duration (children ending after their parent are clamped).
+    """
+    segments: list[tuple[SpanNode, float]] = []
+
+    def walk(node: SpanNode, cursor: float) -> None:
+        while True:
+            candidates = [child for child in node.children
+                          if child.start < cursor
+                          and min(child.end, cursor) > child.start]
+            if not candidates:
+                remaining = cursor - node.start
+                if remaining > 0:
+                    segments.append((node, remaining))
+                return
+            child = max(candidates,
+                        key=lambda c: (min(c.end, cursor), c.start))
+            child_end = min(child.end, cursor)
+            if cursor - child_end > 0:
+                segments.append((node, cursor - child_end))
+            walk(child, child_end)
+            cursor = max(child.start, node.start)
+            if cursor <= node.start:
+                return
+
+    walk(root, root.end)
+    segments.reverse()
+    return segments
+
+
+def aggregate(trees, focus_quantile: float | None = None) -> dict:
+    """Cross-trace critical-path breakdown: where does the time go?
+
+    Runs :func:`critical_path` on every trace root and sums attributed
+    seconds by span name.  With ``focus_quantile`` (e.g. ``0.99``)
+    only traces whose root duration is at or above that quantile of
+    all root durations are aggregated — the "where does p99 go" view.
+    """
+    roots = [tree.root for tree in
+             (trees.values() if isinstance(trees, dict) else trees)
+             if tree.root is not None]
+    if focus_quantile is not None and roots:
+        ordered = sorted(node.duration for node in roots)
+        index = min(len(ordered) - 1,
+                    int(focus_quantile * len(ordered)))
+        threshold = ordered[index]
+        roots = [node for node in roots if node.duration >= threshold]
+    by_name: dict[str, float] = {}
+    total = 0.0
+    for root in roots:
+        for node, seconds in critical_path(root):
+            by_name[node.name] = by_name.get(node.name, 0.0) + seconds
+            total += seconds
+    breakdown = {name: {"seconds": seconds,
+                        "share": seconds / total if total > 0 else 0.0}
+                 for name, seconds in
+                 sorted(by_name.items(), key=lambda kv: -kv[1])}
+    return {"traces": len(roots), "total_s": total,
+            "by_name": breakdown}
+
+
+def render_tree(tree: TraceTree, critical: bool = False) -> str:
+    """ASCII span tree for one trace, ``repro trace show`` style.
+
+    With ``critical=True`` the spans on the root's blocking path are
+    marked with ``*`` and annotated with their attributed seconds.
+    """
+    marked: dict[int, float] = {}
+    if critical and tree.root is not None:
+        for node, seconds in critical_path(tree.root):
+            marked[node.record.span_id] = \
+                marked.get(node.record.span_id, 0.0) + seconds
+    lines = [f"trace {tree.trace_id}"]
+
+    def emit(node: SpanNode, prefix: str, connector: str) -> None:
+        label = node.label()
+        span_id = node.record.span_id
+        if span_id in marked:
+            label = f"* {label}  [path {marked[span_id] * 1000.0:.2f}ms]"
+        lines.append(f"{prefix}{connector}{label}")
+        child_prefix = prefix + ("    " if connector.startswith("└")
+                                 else "│   " if connector else "")
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            emit(child, child_prefix, "└── " if last else "├── ")
+
+    for root in tree.roots:
+        emit(root, "", "")
+    for orphan in tree.orphans:
+        lines.append(f"(orphan) {orphan.name} span={orphan.span_id} "
+                     f"parent={orphan.parent_id}")
+    return "\n".join(lines)
+
+
+def spans_from_jsonl(path) -> list[SpanRecord]:
+    """Read span records out of a telemetry or flight JSONL file.
+
+    Accepts both flat ``{"kind": "span"}`` rows and sampler
+    ``{"kind": "trace"}`` containers (whose ``spans`` lists are
+    flattened); anything else — metrics snapshots, events, garbage
+    lines — is skipped.
+    """
+    records: list[SpanRecord] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(row, dict):
+                continue
+            if row.get("kind") == "trace":
+                for span in row.get("spans", ()):
+                    records.append(SpanRecord.from_event(span))
+            elif row.get("kind") == "span" and "span_id" in row:
+                records.append(SpanRecord.from_event(row))
+    return records
+
+
+def kept_trace_tree(trace: KeptTrace) -> TraceTree:
+    """Tree for one sampler-kept trace."""
+    return build_traces(trace.spans)[trace.trace_id]

@@ -10,6 +10,7 @@ alert transitions to firing:
 ``flight-0001-<reason>/``
     ``manifest.json``   — reason, timestamps, alert context
     ``spans.jsonl``     — the tracer's finished-span ring buffer
+    ``traces.jsonl``    — whole traces kept by the tail sampler
     ``events.jsonl``    — recent structured events
     ``metrics.json``    — full registry snapshot (JSON exposition)
     ``drift.json``      — reference + live sketches (when wired)
@@ -117,6 +118,14 @@ class FlightRecorder:
                  for record in list(self.telemetry.tracer.finished)]
         self._write_jsonl(root / "spans.jsonl", spans)
 
+        # Tail-sampled whole traces (when a sampler is wired): each
+        # row is one kept trace with its verdict and every span, ready
+        # for `repro trace critpath`.
+        sampler = getattr(self.telemetry.tracer, "sampler", None)
+        traces = sampler.to_events() if sampler is not None else []
+        if traces:
+            self._write_jsonl(root / "traces.jsonl", traces)
+
         events = self.telemetry.events.snapshot(limit=self.max_events)
         self._write_jsonl(root / "events.jsonl", events)
 
@@ -137,6 +146,7 @@ class FlightRecorder:
             "ts": now,
             "context": context,
             "spans": len(spans),
+            "traces": len(traces),
             "events": len(events),
             "has_drift": self.drift is not None,
             "has_probe": self.probe is not None,

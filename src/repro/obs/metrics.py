@@ -36,7 +36,8 @@ from .sanitize import json_safe  # noqa: F401  (re-exported convenience)
 
 __all__ = ["MetricError", "Counter", "Gauge", "Histogram",
            "MetricsRegistry", "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
-           "parse_prometheus", "quantile_from_counts"]
+           "parse_prometheus", "ParsedExposition",
+           "quantile_from_counts"]
 
 #: General-purpose boundaries (seconds-ish scale).
 DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -132,7 +133,8 @@ class Histogram:
     across processes stays meaningful.
     """
 
-    __slots__ = ("_lock", "boundaries", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "boundaries", "_counts", "_sum", "_count",
+                 "_exemplars")
 
     def __init__(self, lock: threading.Lock, boundaries):
         self._lock = lock
@@ -145,15 +147,26 @@ class Histogram:
         self._counts = [0] * (len(self.boundaries) + 1)
         self._sum = 0.0
         self._count = 0
+        # bucket index -> (observed value, trace id); one exemplar per
+        # bucket, latest observation wins.
+        self._exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id=None) -> None:
         value = float(value)
         if not math.isfinite(value):
             return
         with self._lock:
-            self._counts[bisect.bisect_left(self.boundaries, value)] += 1
+            index = bisect.bisect_left(self.boundaries, value)
+            self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id is not None:
+                self._exemplars[index] = (value, str(trace_id))
+
+    def exemplars(self) -> dict[int, tuple[float, str]]:
+        """Snapshot of ``{bucket index: (value, trace_id)}``."""
+        with self._lock:
+            return dict(self._exemplars)
 
     def time(self, clock=None):
         """A :class:`~repro.obs.timing.Timer` feeding this histogram."""
@@ -287,8 +300,8 @@ class _Family:
     def set(self, value: float) -> None:
         self._default().set(value)
 
-    def observe(self, value: float) -> None:
-        self._default().observe(value)
+    def observe(self, value: float, trace_id=None) -> None:
+        self._default().observe(value, trace_id=trace_id)
 
     def time(self):
         return self._default().time()
@@ -391,10 +404,20 @@ class MetricsRegistry:
                         f"{family.name}{labels} {_fmt(child.value)}")
                     continue
                 bounds = list(family.buckets) + [math.inf]
-                for bound, cum in zip(bounds, child.cumulative()):
+                exemplars = child.exemplars()
+                for index, (bound, cum) in enumerate(
+                        zip(bounds, child.cumulative())):
                     le = _label_str(family.label_names, key,
                                     extra=f'le="{_fmt(bound)}"')
-                    lines.append(f"{family.name}_bucket{le} {cum}")
+                    line = f"{family.name}_bucket{le} {cum}"
+                    exemplar = exemplars.get(index)
+                    if exemplar is not None:
+                        # OpenMetrics exemplar: the p99 bucket links
+                        # straight to a kept trace id.
+                        value, trace_id = exemplar
+                        line += (f' # {{trace_id="{trace_id}"}} '
+                                 f"{_fmt(value)}")
+                    lines.append(line)
                 lines.append(f"{family.name}_sum{labels} "
                              f"{_fmt(child.sum)}")
                 lines.append(f"{family.name}_count{labels} "
@@ -417,6 +440,13 @@ class MetricsRegistry:
                     sample["count"] = child.count
                     sample["sum"] = child.sum
                     sample["bucket_counts"] = child.bucket_counts()
+                    exemplars = child.exemplars()
+                    if exemplars:
+                        sample["exemplars"] = {
+                            str(index): {"value": value,
+                                         "trace_id": trace_id}
+                            for index, (value, trace_id)
+                            in sorted(exemplars.items())}
                 else:
                     sample["value"] = child.value
                 samples.append(sample)
@@ -456,35 +486,70 @@ class MetricsRegistry:
                                      for c in sample["bucket_counts"]]
                     child._sum = float(sample["sum"])
                     child._count = int(sample["count"])
+                    child._exemplars = {
+                        int(index): (float(ex["value"]),
+                                     str(ex["trace_id"]))
+                        for index, ex
+                        in sample.get("exemplars", {}).items()}
                 else:
                     child._value = float(sample["value"])
         return registry
 
 
-def parse_prometheus(text: str) -> dict[str, dict[tuple, float]]:
+class ParsedExposition(dict):
+    """:func:`parse_prometheus` result: ``{series: {labels: value}}``.
+
+    Plain-``dict`` compatible for every existing caller, plus an
+    :attr:`exemplars` side table mapping ``(series, labels)`` to the
+    OpenMetrics exemplar attached to that sample
+    (``{"labels": {...}, "value": float}``), so round-trips through
+    text exposition preserve trace links instead of dropping them.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.exemplars: dict[tuple, dict] = {}
+
+
+def parse_prometheus(text: str) -> "ParsedExposition":
     """Parse Prometheus text into ``{series: {label-items: value}}``.
 
     Only what :meth:`MetricsRegistry.to_prometheus` emits is supported
     (enough for round-trip tests and quick greps, not a full scraper).
     Series names keep their ``_bucket``/``_sum``/``_count`` suffixes;
-    label sets are ``tuple(sorted((name, value), ...))``.
+    label sets are ``tuple(sorted((name, value), ...))``.  OpenMetrics
+    exemplar suffixes (``... # {trace_id="7"} 0.042``) are tolerated
+    and preserved on the result's ``exemplars`` attribute rather than
+    breaking the value parse.
     """
-    samples: dict[str, dict[tuple, float]] = {}
+
+    def parse_labels(blob: str) -> tuple:
+        labels = []
+        for item in filter(None, blob.split(",")):
+            key, __, raw = item.partition("=")
+            labels.append((key, raw.strip('"')))
+        return tuple(sorted(labels))
+
+    samples = ParsedExposition()
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        exemplar = None
+        if " # " in line:            # OpenMetrics exemplar suffix
+            line, __, suffix = line.partition(" # ")
+            ex_labels, __, ex_value = suffix.rpartition(" ")
+            exemplar = {"labels": dict(parse_labels(
+                            ex_labels.strip().strip("{}"))),
+                        "value": float(ex_value)}
         name_part, __, value_part = line.rpartition(" ")
         if "{" in name_part:
             name, __, label_part = name_part.partition("{")
-            label_part = label_part.rstrip("}")
-            labels = []
-            for item in filter(None, label_part.split(",")):
-                key, __, raw = item.partition("=")
-                labels.append((key, raw.strip('"')))
-            key = tuple(sorted(labels))
+            key = parse_labels(label_part.rstrip("}"))
         else:
             name, key = name_part, ()
         value = float(value_part)
         samples.setdefault(name, {})[key] = value
+        if exemplar is not None:
+            samples.exemplars[(name, key)] = exemplar
     return samples

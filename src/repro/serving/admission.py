@@ -559,11 +559,12 @@ class AdmissionController:
     def __init__(self, config: AdmissionConfig | None = None, *,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep,
-                 registry=None, events=None,
+                 registry=None, events=None, tracer=None,
                  burn_fn: Callable[[], float] | None = None):
         self.config = config or AdmissionConfig()
         self._clock = clock
         self._sleep = sleep
+        self._tracer = tracer
         self._burn_fn = burn_fn
         self._lock = threading.Lock()
         self._inflight = 0
@@ -703,11 +704,16 @@ class AdmissionController:
                     state = _EXPIRED
             if state == _GRANTED:
                 wait = self._clock() - enqueued
+                trace_id = self._trace_queue_wait(
+                    enqueued, wait, tenant, criticality, "granted")
                 if self._m_queue_wait is not None:
-                    self._m_queue_wait.observe(wait)
+                    self._m_queue_wait.observe(wait, trace_id=trace_id)
                 return AdmissionDecision(True, tenant, criticality,
                                          queue_wait_s=wait)
             if state == _EXPIRED:
+                self._trace_queue_wait(
+                    enqueued, self._clock() - enqueued, tenant,
+                    criticality, "expired")
                 return AdmissionDecision(
                     False, tenant, criticality, reason="expired",
                     detail="deadline expired while waiting in the "
@@ -726,6 +732,19 @@ class AdmissionController:
         self.brownout.observe(pressure, burn=self._burn())
 
     # -- internals ---------------------------------------------------
+    def _trace_queue_wait(self, enqueued: float, wait: float,
+                          tenant: str, criticality: str,
+                          outcome: str) -> int | None:
+        """Record the enqueue→dequeue interval as a ``queue_wait``
+        child of the caller's active span; returns the trace id (for
+        the histogram exemplar) or ``None`` when untraced."""
+        if self._tracer is None:
+            return None
+        record = self._tracer.record_span(
+            "queue_wait", start=enqueued, duration=wait,
+            tenant=tenant, criticality=criticality, outcome=outcome)
+        return record.trace_id
+
     def _burn(self) -> float:
         if self._burn_fn is None:
             return 0.0

@@ -630,10 +630,20 @@ class IndexCluster:
         outcomes: list[tuple[np.ndarray, np.ndarray] | None] = (
             [None] * len(self.shards))
 
+        tracer = self.telemetry.tracer
+        ctx = tracer.capture()
+
         def run(slot: int, shard: _Shard) -> None:
-            outcomes[slot] = self._query_shard(
-                shard, vector, k, class_id, shard_budget, query_id,
-                stats, hedge=hedge)
+            # Worker threads adopt the submitting thread's context so
+            # every per-shard span lands in the request's trace.
+            with tracer.attach(ctx), \
+                    tracer.span("shard_query", cluster=self.name,
+                                shard=shard.shard_id) as span:
+                outcomes[slot] = self._query_shard(
+                    shard, vector, k, class_id, shard_budget, query_id,
+                    stats, hedge=hedge)
+                span.set_attribute(
+                    "answered", outcomes[slot] is not None)
 
         if expired:
             pass
@@ -691,10 +701,16 @@ class IndexCluster:
         outcomes: list[tuple[np.ndarray, np.ndarray] | None] = (
             [None] * len(self.shards))
 
+        tracer = self.telemetry.tracer
+        ctx = tracer.capture()
+
         def run(slot: int, shard: _Shard) -> None:
-            outcomes[slot] = self._query_shard_batch(
-                shard, vectors, k, class_id, shard_budget, query_id,
-                stats)
+            with tracer.attach(ctx), \
+                    tracer.span("shard_query", cluster=self.name,
+                                shard=shard.shard_id, batch=True):
+                outcomes[slot] = self._query_shard_batch(
+                    shard, vectors, k, class_id, shard_budget, query_id,
+                    stats)
 
         if expired:
             pass
@@ -836,8 +852,21 @@ class IndexCluster:
                 self._m_hedges.labels(cluster=self.name,
                                       shard=shard.shard_id).inc()
                 holder.expect_lane()
-                backup = threading.Thread(target=lane,
-                                          args=([ordered[1]],),
+                tracer = self.telemetry.tracer
+                ctx = tracer.capture()
+
+                def hedge_lane() -> None:
+                    # The backup lane is its own span inside the
+                    # shard_query: when the hedge wins, the critical
+                    # path shows it; when it loses, the span closes
+                    # late and still joins the trace by parent id.
+                    with tracer.attach(ctx), \
+                            tracer.span("hedge", cluster=self.name,
+                                        shard=shard.shard_id,
+                                        replica=ordered[1].replica_id):
+                        lane([ordered[1]])
+
+                backup = threading.Thread(target=hedge_lane,
                                           daemon=True)
                 backup.start()
         timeout = (None if budget is None

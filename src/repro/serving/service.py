@@ -375,7 +375,8 @@ class ResilientSearchService:
             self.admission = AdmissionController(
                 self._config.admission, clock=clock, sleep=sleep,
                 registry=self.telemetry.registry,
-                events=self.telemetry.events)
+                events=self.telemetry.events,
+                tracer=self.telemetry.tracer)
         else:
             self.admission = _StaticAdmission(self._config.max_inflight)
         self.drift = DriftMonitor(
@@ -406,6 +407,9 @@ class ResilientSearchService:
                  self.ingestor.bases["recipe"]),
                 self.ingestor)
         self._active = self._make_generation(0, engine)
+        # Trace link from the most recent ingest span to the background
+        # compaction it may trigger (see compact_ingest).
+        self._last_ingest_ctx = None
         if self.ingestor is not None:
             self._replay_overlay_into_clusters(self._active)
         self.embed_breaker = CircuitBreaker(
@@ -494,8 +498,10 @@ class ResilientSearchService:
             try:
                 yield span
             finally:
+                # The trace id rides along as an OpenMetrics exemplar:
+                # a hot p99 bucket links straight to a kept trace.
                 self._m_stage_latency.labels(stage=stage).observe(
-                    self._clock() - start)
+                    self._clock() - start, trace_id=span.trace_id)
 
     # ------------------------------------------------------------------
     # Public search API — never raises for operational faults
@@ -1038,6 +1044,7 @@ class ResilientSearchService:
         started = self._clock()
         generation = self._active
         with self.telemetry.tracer.span("ingest", op="add") as span:
+            self._last_ingest_ctx = span.context()
             if self.ingestor is None:
                 return self._finish_ingest(
                     "add", "unavailable", None, generation, started,
@@ -1096,6 +1103,7 @@ class ResilientSearchService:
         started = self._clock()
         generation = self._active
         with self.telemetry.tracer.span("ingest", op="delete") as span:
+            self._last_ingest_ctx = span.context()
             if self.ingestor is None:
                 return self._finish_ingest(
                     "delete", "unavailable", None, generation, started,
@@ -1142,8 +1150,15 @@ class ResilientSearchService:
             return self._record_swap(report, started)
         canaries = (self._config.canary_queries
                     if canary_queries is None else canary_queries)
-        with self.telemetry.tracer.span("compaction",
-                                        generation=old.generation):
+        tracer = self.telemetry.tracer
+        # The compaction thread has no active span of its own; adopt
+        # the triggering ingest's context so the fold shows up in that
+        # trace instead of starting an orphan root.  A caller already
+        # inside a span (CLI, tests) keeps its own lineage.
+        link = (self._last_ingest_ctx if tracer.current() is None
+                else None)
+        with tracer.attach(link), \
+                tracer.span("compaction", generation=old.generation):
             ticket = None
             try:
                 ticket = self.ingestor.begin_compaction()
@@ -1298,7 +1313,9 @@ class ResilientSearchService:
         if status == "shed":
             self._m_shed.labels(reason=shed_reason or "inflight_limit",
                                 tenant=tenant).inc()
-        self._m_request_latency.observe(latency)
+        self._m_request_latency.observe(
+            latency, trace_id=span.trace_id if span is not None
+            else None)
         return ServiceResponse(
             results=tuple(results), degraded=outcome.degraded,
             generation=generation.generation, outcome=outcome)
