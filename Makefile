@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos bench quicktest telemetry-test slo-test trace-test monitor-demo overload-demo
+.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos gateway-chaos bench quicktest telemetry-test slo-test trace-test monitor-demo overload-demo gateway-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -33,11 +33,17 @@ ingest-chaos:    ## streaming-ingest chaos suite (torn writes, disk-full, crash-
 overload-chaos:  ## real-time overload chaos suite (storms, floods, brownout ladder, fairness)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m overload
 
+gateway-chaos:   ## real-socket gateway chaos suite (slowloris, floods, drain under load, stale cache)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m gateway
+
 monitor-demo:    ## run the quality-observability incident demo and render it
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/quality_monitor_demo.py
 
 overload-demo:   ## run the 10x-storm brownout/recovery demo
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/overload_demo.py
+
+gateway-demo:    ## run the HTTP gateway drain-under-load demo
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/gateway_demo.py
 
 bench:           ## regenerate all paper tables/figures
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

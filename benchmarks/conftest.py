@@ -26,6 +26,7 @@ BENCH_SERVING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_serving.json"
 BENCH_INGEST_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_ingest.json"
 BENCH_OVERLOAD_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_overload.json"
 BENCH_TRACING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_tracing.json"
+BENCH_GATEWAY_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_gateway.json"
 
 _registry = MetricsRegistry()
 _bench_value = _registry.gauge(
@@ -67,6 +68,17 @@ _overload_wall_ms = _overload_registry.gauge(
     "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
     labels=("bench",))
 
+# Gateway numbers (requests/sec and p99 over real sockets with the
+# result cache off/on, drain latency under load) track the HTTP
+# front door's overhead on top of the in-process service.
+_gateway_registry = MetricsRegistry()
+_gateway_value = _gateway_registry.gauge(
+    "bench_value", "headline value reported by each gateway benchmark",
+    labels=("bench",))
+_gateway_wall_ms = _gateway_registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
+
 # Tracing numbers (span overhead per request with tracing off / on /
 # on + tail sampling) track the observability tax on the hot path.
 _tracing_registry = MetricsRegistry()
@@ -95,7 +107,9 @@ def pytest_sessionfinish(session, exitstatus):
                                (_overload_registry,
                                 BENCH_OVERLOAD_ARTIFACT),
                                (_tracing_registry,
-                                BENCH_TRACING_ARTIFACT)):
+                                BENCH_TRACING_ARTIFACT),
+                               (_gateway_registry,
+                                BENCH_GATEWAY_ARTIFACT)):
         recorded = any(family.children()
                        for family in registry.families())
         if recorded:
@@ -151,6 +165,12 @@ def bench_record_overload(request):
 def bench_record_tracing(request):
     """Like ``bench_record`` but lands in ``BENCH_tracing.json``."""
     return _recorder(request, _tracing_value, _tracing_wall_ms)
+
+
+@pytest.fixture
+def bench_record_gateway(request):
+    """Like ``bench_record`` but lands in ``BENCH_gateway.json``."""
+    return _recorder(request, _gateway_value, _gateway_wall_ms)
 
 
 @pytest.fixture(scope="session")

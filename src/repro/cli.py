@@ -24,11 +24,15 @@ circuit breakers, degraded fallback; ``--shards N`` serves from a
 sharded, replicated index cluster; ``--ingest-log DIR`` recovers and
 serves streamed deltas) and reports the structured request outcome;
 ``ingest`` appends, tombstones, compacts, or inspects a streaming
-write-ahead delta log without a running service; ``loadgen`` drives
-the service with open-loop multi-tenant traffic (``--storm 10`` for a
+write-ahead delta log without a running service; ``gateway`` serves
+search/ingest over HTTP through the hardened front-end (per-tenant
+API keys, ``X-Deadline-Ms`` propagation, slowloris armor, graceful
+SIGTERM drain, swap-aware result cache); ``loadgen`` drives the
+service with open-loop multi-tenant traffic (``--storm 10`` for a
 10× spike, ``--flood tenant:8`` for one abusive tenant, ``--static``
-to compare against the legacy fixed cap) and reports per-tenant
-goodput, shed reasons, and brownout-ladder transitions.
+to compare against the legacy fixed cap, ``--url`` to hit a live
+gateway over real sockets) and reports per-tenant goodput, shed
+reasons, and brownout-ladder transitions.
 
 ``train`` and ``serve`` accept ``--telemetry-jsonl PATH`` to stream
 spans and events to a JSONL trace with a final metrics snapshot;
@@ -149,12 +153,74 @@ def build_parser() -> argparse.ArgumentParser:
                             "write-ahead log directory (recovers any "
                             "previous deltas before serving)")
 
+    gateway = commands.add_parser(
+        "gateway", help="serve search/ingest over HTTP through the "
+                        "hardened gateway (wire armor, graceful "
+                        "drain, swap-aware result cache)")
+    gateway.add_argument("--data", required=True)
+    gateway.add_argument("--model", required=True)
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    gateway.add_argument("--api-key", action="append", default=None,
+                         dest="api_keys", metavar="KEY:TENANT",
+                         help="accept KEY as TENANT (repeatable); "
+                              "with no keys the trusted X-Tenant "
+                              "header names the tenant")
+    gateway.add_argument("--deadline", type=float, default=1.0,
+                         help="default per-request budget in seconds")
+    gateway.add_argument("--max-deadline-ms", type=float, default=10000.0,
+                         help="ceiling for the X-Deadline-Ms header")
+    gateway.add_argument("--adaptive", action="store_true",
+                         help="adaptive admission (AIMD, fair "
+                              "queuing, brownout ladder)")
+    gateway.add_argument("--tenants", action="append", default=None,
+                         metavar="NAME[:WEIGHT[:RATE[:BURST[:CRIT]]]]",
+                         help="tenant admission policy (repeatable); "
+                              "implies --adaptive")
+    gateway.add_argument("--max-inflight", type=int, default=8)
+    gateway.add_argument("--max-queue", type=int, default=64)
+    gateway.add_argument("--max-connections", type=int, default=64,
+                         help="concurrent connection cap; excess is "
+                              "shed at accept with a canned 503")
+    gateway.add_argument("--cache-capacity", type=int, default=256)
+    gateway.add_argument("--cache-ttl", type=float, default=30.0,
+                         help="result-cache freshness window, seconds")
+    gateway.add_argument("--stale-ttl", type=float, default=300.0,
+                         help="how long past TTL an entry may still "
+                              "be served stale under brownout")
+    gateway.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache")
+    gateway.add_argument("--drain-deadline", type=float, default=5.0,
+                         help="seconds SIGTERM waits for inflight "
+                              "requests before cutting stragglers")
+    gateway.add_argument("--duration", type=float, default=None,
+                         help="run for N seconds then drain (default: "
+                              "run until SIGTERM/SIGINT)")
+    gateway.add_argument("--ingest-log", default=None, metavar="DIR",
+                         help="enable streaming ingest backed by this "
+                              "write-ahead log directory")
+    gateway.add_argument("--telemetry-jsonl", default=None,
+                         metavar="PATH")
+
     loadgen = commands.add_parser(
         "loadgen", help="open-loop multi-tenant load generation "
                         "against the resilient service (overload "
-                        "experiments)")
-    loadgen.add_argument("--data", required=True)
-    loadgen.add_argument("--model", required=True)
+                        "experiments), in-process or --url over HTTP")
+    loadgen.add_argument("--data", default=None,
+                         help="dataset path (required unless --url)")
+    loadgen.add_argument("--model", default=None,
+                         help="model run dir (required unless --url)")
+    loadgen.add_argument("--url", default=None, metavar="URL",
+                         help="drive a live gateway at URL (e.g. "
+                              "http://127.0.0.1:8080/search) instead "
+                              "of an in-process service")
+    loadgen.add_argument("--api-key", action="append", default=None,
+                         dest="api_keys", metavar="TENANT:KEY",
+                         help="API key to send for TENANT "
+                              "(repeatable; --url mode only)")
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="X-Deadline-Ms to send (--url mode)")
     loadgen.add_argument("--duration", type=float, default=2.0,
                          help="run length in seconds")
     loadgen.add_argument("--load", action="append", default=None,
@@ -525,19 +591,25 @@ def _command_loadgen(args) -> int:
     import itertools
     import threading
 
-    from .core import RecipeSearchEngine
-    from .obs import Telemetry
-    from .serving import (LoadGenerator, ResilientSearchService,
-                          ServiceConfig, TenantLoad)
+    from .serving import LoadGenerator, TenantLoad
 
-    dataset = _load_dataset(args.data)
-    featurizer, model = _load_run(args.model, dataset)
-    test = featurizer.encode_split(dataset, "test")
-    engine = RecipeSearchEngine(model, featurizer, dataset, test)
-    telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
-    service = ResilientSearchService(engine, ServiceConfig(
-        deadline=args.deadline, max_inflight=args.max_inflight,
-        admission=_admission_config(args)), telemetry=telemetry)
+    service = telemetry = None
+    if args.url is None:
+        if not args.data or not args.model:
+            raise SystemExit("loadgen needs --data and --model "
+                             "(or --url for a live gateway)")
+        from .core import RecipeSearchEngine
+        from .obs import Telemetry
+        from .serving import ResilientSearchService, ServiceConfig
+
+        dataset = _load_dataset(args.data)
+        featurizer, model = _load_run(args.model, dataset)
+        test = featurizer.encode_split(dataset, "test")
+        engine = RecipeSearchEngine(model, featurizer, dataset, test)
+        telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
+        service = ResilientSearchService(engine, ServiceConfig(
+            deadline=args.deadline, max_inflight=args.max_inflight,
+            admission=_admission_config(args)), telemetry=telemetry)
 
     loads = []
     for spec in (args.loads or ["default:20"]):
@@ -561,37 +633,105 @@ def _command_loadgen(args) -> int:
             raise SystemExit("--flood spec must be TENANT:FACTOR")
         shapers.append(TenantFlood(tenant, float(factor)))
 
-    # Round-robin fridge queries drawn from the corpus itself.
-    queries = [list(dataset[i].ingredients)[:4] or ["salt"]
-               for i in range(min(len(dataset), 64))]
-    counter = itertools.count()
-    counter_lock = threading.Lock()
+    if args.url is not None:
+        from .serving import HttpRequester
 
-    def request_fn(tenant, criticality):
-        with counter_lock:
-            ingredients = queries[next(counter) % len(queries)]
-        return service.search_by_ingredients(
-            ingredients, k=args.top_k, tenant=tenant,
-            criticality=criticality)
+        api_keys = {}
+        for spec in (args.api_keys or ()):
+            tenant, _, key = spec.partition(":")
+            if not key:
+                raise SystemExit("--api-key spec must be TENANT:KEY")
+            api_keys[tenant] = key
+        request_fn = HttpRequester(args.url, api_keys=api_keys,
+                                   deadline_ms=args.deadline_ms,
+                                   timeout_s=max(args.deadline * 4, 5.0))
+        mode = f"http {args.url}"
+    else:
+        # Round-robin fridge queries drawn from the corpus itself.
+        queries = [list(dataset[i].ingredients)[:4] or ["salt"]
+                   for i in range(min(len(dataset), 64))]
+        counter = itertools.count()
+        counter_lock = threading.Lock()
 
-    mode = "static" if args.static else "adaptive"
-    print(f"loadgen: {mode} admission, {args.duration:.1f}s, "
+        def request_fn(tenant, criticality):
+            with counter_lock:
+                ingredients = queries[next(counter) % len(queries)]
+            return service.search_by_ingredients(
+                ingredients, k=args.top_k, tenant=tenant,
+                criticality=criticality)
+
+        mode = ("static" if args.static else "adaptive") + " admission"
+    print(f"loadgen: {mode}, {args.duration:.1f}s, "
           + ", ".join(f"{load.name}@{load.rate:g}rps" for load in loads))
     try:
         report = LoadGenerator(request_fn, loads,
                                duration_s=args.duration,
                                shapers=shapers).run()
     finally:
-        telemetry.close()
+        if telemetry is not None:
+            telemetry.close()
     print(report.render())
-    snapshot = service.admission.snapshot()
-    print("admission: " + "  ".join(
-        f"{key}={value}" for key, value in snapshot.items()))
-    brownout = service.admission.brownout
-    if brownout is not None and brownout.transitions:
-        print("brownout transitions: " + " -> ".join(
-            f"{direction}:{step}"
-            for direction, step in brownout.transitions))
+    if service is not None:
+        snapshot = service.admission.snapshot()
+        print("admission: " + "  ".join(
+            f"{key}={value}" for key, value in snapshot.items()))
+        brownout = service.admission.brownout
+        if brownout is not None and brownout.transitions:
+            print("brownout transitions: " + " -> ".join(
+                f"{direction}:{step}"
+                for direction, step in brownout.transitions))
+    return 0
+
+
+def _command_gateway(args) -> int:
+    from .core import RecipeSearchEngine
+    from .obs import Telemetry
+    from .serving import (CacheConfig, Gateway, GatewayConfig,
+                          ResilientSearchService, ServiceConfig)
+
+    api_keys = {}
+    for spec in (args.api_keys or ()):
+        key, _, tenant = spec.partition(":")
+        if not tenant:
+            raise SystemExit("--api-key spec must be KEY:TENANT")
+        api_keys[key] = tenant
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    telemetry = Telemetry(jsonl_path=args.telemetry_jsonl)
+    service = ResilientSearchService(engine, ServiceConfig(
+        deadline=args.deadline, max_inflight=args.max_inflight,
+        admission=_admission_config(args)),
+        telemetry=telemetry, ingest_log=args.ingest_log)
+    gateway = Gateway(service, GatewayConfig(
+        host=args.host, port=args.port, api_keys=api_keys,
+        max_connections=args.max_connections,
+        max_deadline_ms=args.max_deadline_ms,
+        drain_deadline_s=args.drain_deadline,
+        cache=CacheConfig(capacity=args.cache_capacity,
+                          ttl_s=args.cache_ttl,
+                          stale_ttl_s=args.stale_ttl,
+                          enabled=not args.no_cache)))
+    gateway.start()
+    gateway.install_signal_handlers()
+    auth = (f"{len(api_keys)} API key(s)" if api_keys
+            else "trusted X-Tenant")
+    print(f"gateway: http://{args.host}:{gateway.port}  "
+          f"auth: {auth}  cache: "
+          f"{'off' if args.no_cache else f'{args.cache_ttl:g}s ttl'}")
+    print("endpoints: POST /search  POST /ingest  POST /delete  "
+          "GET /stats  GET /metrics  GET /healthz  GET /readyz")
+    try:
+        if args.duration is not None:
+            gateway.wait_drained(timeout=args.duration)
+            gateway.drain(reason="duration")
+        else:
+            gateway.wait_drained()
+    except KeyboardInterrupt:
+        gateway.drain(reason="keyboard_interrupt")
+    print("gateway drained")
     return 0
 
 
@@ -894,6 +1034,7 @@ _COMMANDS = {
     "evaluate": _command_evaluate,
     "search": _command_search,
     "serve": _command_serve,
+    "gateway": _command_gateway,
     "loadgen": _command_loadgen,
     "ingest": _command_ingest,
     "monitor": _command_monitor,

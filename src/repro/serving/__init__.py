@@ -25,10 +25,17 @@ Production containment around :class:`~repro.core.engine.RecipeSearchEngine`:
   queuing, an AIMD concurrency limiter, and the brownout degradation
   ladder;
 * :mod:`~repro.serving.loadgen` — open-loop multi-tenant load
-  generation for overload experiments;
+  generation for overload experiments, in-process or over HTTP;
 * :mod:`~repro.serving.service` — the
   :class:`~repro.serving.service.ResilientSearchService` tying it all
-  together with admission control and structured outcome records.
+  together with admission control and structured outcome records;
+* :mod:`~repro.serving.gateway` — the hardened stdlib HTTP front-end:
+  wire armor (timeouts, size bounds, slowloris reaper,
+  shed-at-accept), graceful SIGTERM drain, and a swap-aware LRU+TTL
+  result cache with stale-while-revalidate under brownout;
+* :mod:`~repro.serving.netfaults` — real-socket misbehaving clients
+  (slowloris, mid-response resets, connection floods, truncated
+  bodies) for the gateway chaos suite.
 """
 
 from .admission import (BROWNOUT_LADDER, CRITICALITIES, SHED_REASONS,
@@ -39,13 +46,19 @@ from .admission import (BROWNOUT_LADDER, CRITICALITIES, SHED_REASONS,
 from .cluster import ClusterConfig, ClusterResult, IndexCluster, ShardReplica
 from .deadline import Deadline, DeadlineExceeded
 from .degraded import DegradedRanker
+from .gateway import (SHED_STATUS_CODES, STATUS_CODES, BadRequest,
+                      CacheConfig, Gateway, GatewayConfig, ResultCache,
+                      normalize_search_request, parse_deadline_header,
+                      query_fingerprint)
 from .hotswap import EngineGeneration, SwapReport, run_canaries
 from .ingest import (CompactionReport, CompactionThread, CompactionTicket,
                      DeltaOverlay, IngestAck, IngestConfig, IngestError,
                      IngestOp, Ingestor, payload_to_recipe,
                      recipe_to_payload, scan_log)
-from .loadgen import (GOOD_STATUSES, LoadGenerator, LoadReport,
-                      TenantLoad, TenantReport)
+from .loadgen import (GOOD_STATUSES, HttpRequester, LoadGenerator,
+                      LoadReport, TenantLoad, TenantReport)
+from .netfaults import (ConnectionFlood, DisconnectMidResponse,
+                        SlowClient, TruncatedBody)
 from .retry import CircuitBreaker, CircuitState, RetryPolicy
 from .service import (INGEST_STATUSES, STATUSES, IngestOutcome,
                       RequestOutcome, ResilientSearchService,
@@ -75,5 +88,11 @@ __all__ = [
     "AdmissionDecision", "TokenBucket", "FairQueue",
     "AdaptiveLimiter", "BrownoutController", "AdmissionController",
     "GOOD_STATUSES", "TenantLoad", "TenantReport", "LoadReport",
-    "LoadGenerator",
+    "LoadGenerator", "HttpRequester",
+    "STATUS_CODES", "SHED_STATUS_CODES", "BadRequest", "CacheConfig",
+    "GatewayConfig", "ResultCache", "Gateway",
+    "normalize_search_request", "parse_deadline_header",
+    "query_fingerprint",
+    "SlowClient", "DisconnectMidResponse", "ConnectionFlood",
+    "TruncatedBody",
 ]

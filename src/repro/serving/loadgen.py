@@ -21,14 +21,17 @@ down by reason and tenant, because under overload the whole point is
 
 from __future__ import annotations
 
+import http.client
+import json
 import threading
 import time
+import urllib.parse
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 __all__ = ["GOOD_STATUSES", "TenantLoad", "TenantReport", "LoadReport",
-           "LoadGenerator"]
+           "LoadGenerator", "HttpRequester"]
 
 #: Statuses that count toward goodput: the caller got a usable answer
 #: (degraded answers are still answers — that is the brownout bargain).
@@ -113,6 +116,116 @@ class LoadReport:
             f"{sum(t.shed for t in self.tenants.values()):>5} "
             f"{self.goodput():>9.1f}")
         return "\n".join(lines)
+
+
+@dataclass
+class _WireOutcome:
+    """Client-side view of one HTTP request's result.
+
+    Shaped like :class:`~repro.serving.service.RequestOutcome` as far
+    as the generator's accounting reads it (``status``,
+    ``shed_reason``, ``latency``), so the same :class:`LoadGenerator`
+    report works for in-process and over-the-wire runs.  ``latency``
+    is *client-observed* wall time — it includes the wire, which is
+    the point of driving the socket path.
+    """
+
+    status: str
+    shed_reason: str | None
+    latency: float
+    http_status: int = 0
+
+
+@dataclass
+class _WireResponse:
+    outcome: _WireOutcome
+
+
+class HttpRequester:
+    """``request_fn`` for :class:`LoadGenerator` that drives a URL.
+
+    Each call opens a fresh connection (``Connection: close``) to the
+    gateway, POSTs ``payload`` to the URL's path, and translates the
+    JSON reply back into an outcome: the gateway embeds the service's
+    ``RequestOutcome`` in every response body, success or failure, so
+    per-tenant goodput/shed accounting is identical to in-process
+    runs.  A connection refused or reset (the gateway shedding at
+    accept, or mid-drain) counts as ``shed``/``at_accept`` — from the
+    client's seat that *is* load shedding.
+
+    ``api_keys`` maps tenant name → API key; tenants without a key
+    fall back to the trusted ``X-Tenant`` header.
+    """
+
+    def __init__(self, url: str, *,
+                 payload: Mapping | None = None,
+                 api_keys: Mapping[str, str] | None = None,
+                 deadline_ms: float | None = None,
+                 timeout_s: float = 10.0):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme: {parsed.scheme!r}")
+        if not parsed.hostname:
+            raise ValueError(f"no host in url: {url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._path = parsed.path or "/search"
+        self._payload = dict(payload) if payload is not None else {
+            "ingredients": ["chicken", "garlic"], "k": 5}
+        self._api_keys = dict(api_keys or {})
+        self._deadline_ms = deadline_ms
+        self._timeout_s = timeout_s
+
+    def __call__(self, tenant: str, criticality: str) -> _WireResponse:
+        body = json.dumps(self._payload).encode("utf-8")
+        headers = {"Content-Type": "application/json",
+                   "Content-Length": str(len(body)),
+                   "X-Criticality": criticality,
+                   "Connection": "close"}
+        key = self._api_keys.get(tenant)
+        if key is not None:
+            headers["X-Api-Key"] = key
+        else:
+            headers["X-Tenant"] = tenant
+        if self._deadline_ms is not None:
+            headers["X-Deadline-Ms"] = f"{self._deadline_ms:g}"
+        started = time.monotonic()
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout_s)
+        try:
+            conn.request("POST", self._path, body=body, headers=headers)
+            reply = conn.getresponse()
+            raw = reply.read()
+            http_status = reply.status
+        except OSError:
+            # Refused/reset before a reply: the wire's spelling of
+            # "go away".  Shed at the front door, not an error.
+            return _WireResponse(_WireOutcome(
+                "shed", "at_accept", time.monotonic() - started))
+        finally:
+            conn.close()
+        latency = time.monotonic() - started
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            parsed = {}
+        outcome = parsed.get("outcome") or {}
+        status = outcome.get("status")
+        if status is None:
+            # Canned replies (shed-at-accept 503, drain 503, 4xx)
+            # carry no service outcome; map from the HTTP code.
+            if http_status in (429, 503):
+                status, reason = "shed", parsed.get(
+                    "reason", parsed.get("error", "overloaded"))
+            elif 200 <= http_status < 300:
+                status, reason = "ok", None
+            else:
+                status, reason = "error", None
+            return _WireResponse(_WireOutcome(
+                status, reason, latency, http_status))
+        return _WireResponse(_WireOutcome(
+            str(status), outcome.get("shed_reason"), latency,
+            http_status))
 
 
 class LoadGenerator:

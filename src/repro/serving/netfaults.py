@@ -1,0 +1,287 @@
+"""Network fault injectors: misbehaving clients for the gateway.
+
+:mod:`repro.robustness.faults` perturbs the *inside* of the serving
+stack (slow embeds, NaN vectors, crashed shards).  This module attacks
+the *wire*: each injector here is a real TCP client that connects to a
+live :class:`~repro.serving.gateway.Gateway` socket and misbehaves the
+way production clients actually do —
+
+* :class:`SlowClient` — a slowloris: trickles header bytes far slower
+  than any human typist, holding a connection slot hostage until the
+  gateway's reaper evicts it;
+* :class:`DisconnectMidResponse` — sends a valid request, reads a few
+  bytes of the response, then slams the socket shut (RST via
+  ``SO_LINGER 0``), so the gateway's write path sees a broken pipe;
+* :class:`ConnectionFlood` — opens as many simultaneous idle
+  connections as the OS allows, measuring how many the gateway accepts
+  versus sheds at the front door;
+* :class:`TruncatedBody` — promises ``Content-Length: N`` then sends
+  fewer than N bytes and closes, exercising the bounded body reader.
+
+Every injector's :meth:`run` is synchronous, uses only stdlib sockets,
+and returns a plain dict of observations (bytes sent, how the server
+reacted, elapsed wall time) so chaos tests can assert on the gateway's
+behaviour without reaching into its internals.  None of them raise for
+expected server defenses — a reset from the gateway is a *result*, not
+an error.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SlowClient", "DisconnectMidResponse", "ConnectionFlood",
+           "TruncatedBody", "read_response"]
+
+_RECV = 65536
+
+
+def read_response(sock: socket.socket,
+                  timeout_s: float = 5.0) -> bytes:
+    """Read until the server closes the connection (or timeout).
+
+    The fault clients always send ``Connection: close``, so EOF marks
+    the end of the response; a timeout returns whatever arrived.
+    """
+    sock.settimeout(timeout_s)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(_RECV)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except (socket.timeout, OSError):
+        pass
+    return b"".join(chunks)
+
+
+def _status_of(raw: bytes) -> int | None:
+    """Parse the status code out of a raw HTTP response, if any."""
+    line = raw.split(b"\r\n", 1)[0]
+    parts = line.split()
+    if len(parts) >= 2 and parts[0].startswith(b"HTTP/"):
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass
+class SlowClient:
+    """Slowloris: drip header bytes until the server hangs up.
+
+    Sends one byte of a syntactically valid GET request every
+    ``byte_interval_s`` seconds.  A gateway with a working reaper
+    closes the connection once the header phase outlives its deadline;
+    an unprotected server would hold the slot for
+    ``len(request) * byte_interval_s`` seconds (minutes).
+    """
+
+    host: str
+    port: int
+    byte_interval_s: float = 0.2
+    #: Hard cap so a broken reaper can't hang the chaos suite.
+    max_duration_s: float = 30.0
+    target: str = "/healthz"
+
+    def run(self) -> dict:
+        payload = (f"GET {self.target} HTTP/1.1\r\n"
+                   f"Host: {self.host}\r\n"
+                   "Connection: close\r\n\r\n").encode("ascii")
+        started = time.monotonic()
+        sent = 0
+        evicted = False
+        with socket.create_connection((self.host, self.port),
+                                      timeout=5.0) as sock:
+            sock.settimeout(max(self.byte_interval_s, 0.05))
+            for byte in payload:
+                if time.monotonic() - started > self.max_duration_s:
+                    break
+                try:
+                    sock.sendall(bytes([byte]))
+                    sent += 1
+                except OSError:
+                    evicted = True
+                    break
+                # A server that already hung up surfaces as EOF (or a
+                # reset) on recv; keep dripping only while it listens.
+                try:
+                    peek = sock.recv(_RECV)
+                    if peek == b"":
+                        evicted = True
+                        break
+                except socket.timeout:
+                    pass  # still connected — the drip *is* the wait
+                except OSError:
+                    evicted = True
+                    break
+        return {"fault": "slow_client", "bytes_sent": sent,
+                "bytes_total": len(payload), "evicted": evicted,
+                "elapsed_s": time.monotonic() - started}
+
+
+@dataclass
+class DisconnectMidResponse:
+    """Send a full request, read a little, then reset the connection.
+
+    ``SO_LINGER`` with a zero timeout turns ``close()`` into an RST,
+    the rudest possible hangup: the gateway's response writer hits a
+    broken pipe mid-``sendall`` and must contain it (count it, close
+    the connection, keep serving everyone else).
+    """
+
+    host: str
+    port: int
+    body: bytes = b'{"ingredients": ["chicken"], "k": 3}'
+    target: str = "/search"
+    tenant: str = "default"
+    #: Bytes of response to read before slamming the door.
+    read_bytes: int = 16
+
+    def run(self) -> dict:
+        request = (f"POST {self.target} HTTP/1.1\r\n"
+                   f"Host: {self.host}\r\n"
+                   f"X-Tenant: {self.tenant}\r\n"
+                   "Content-Type: application/json\r\n"
+                   f"Content-Length: {len(self.body)}\r\n"
+                   "Connection: close\r\n\r\n").encode("ascii")
+        started = time.monotonic()
+        got = b""
+        with socket.create_connection((self.host, self.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(request + self.body)
+            sock.settimeout(5.0)
+            try:
+                while len(got) < self.read_bytes:
+                    chunk = sock.recv(self.read_bytes - len(got))
+                    if not chunk:
+                        break
+                    got += chunk
+            except OSError:
+                pass
+            # Zero linger: close() sends RST instead of FIN.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+        return {"fault": "disconnect_mid_response",
+                "bytes_read": len(got),
+                "status": _status_of(got),
+                "elapsed_s": time.monotonic() - started}
+
+
+@dataclass
+class ConnectionFlood:
+    """Open many idle connections at once and hold them.
+
+    Measures the gateway's front-door policy: with ``max_connections``
+    slots busy it must shed further arrivals with a canned 503 (or
+    refuse outright), never queue them invisibly.  ``hold_s`` keeps
+    the accepted sockets open so the idle reaper's eviction is also
+    observable.
+    """
+
+    host: str
+    port: int
+    connections: int = 32
+    hold_s: float = 1.0
+
+    def run(self) -> dict:
+        socks: list[socket.socket] = []
+        refused = 0
+        shed = 0
+        lock = threading.Lock()
+
+        def _open() -> None:
+            nonlocal refused
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=2.0)
+            except OSError:
+                with lock:
+                    refused += 1
+                return
+            with lock:
+                socks.append(sock)
+
+        threads = [threading.Thread(target=_open)
+                   for _ in range(self.connections)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        deadline = time.monotonic() + self.hold_s
+        # Poll the held sockets: a shed connection gets a canned 503
+        # and EOF; an accepted one stays silently open (idle phase).
+        alive = list(socks)
+        while alive and time.monotonic() < deadline:
+            still = []
+            for sock in alive:
+                sock.settimeout(0.05)
+                try:
+                    data = sock.recv(_RECV)
+                except socket.timeout:
+                    still.append(sock)
+                    continue
+                except OSError:
+                    continue
+                if data and _status_of(data) == 503:
+                    shed += 1
+                elif data:
+                    still.append(sock)
+            alive = still
+        held = len(alive)
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return {"fault": "connection_flood",
+                "attempted": self.connections, "refused": refused,
+                "shed": shed, "held_open": held}
+
+
+@dataclass
+class TruncatedBody:
+    """Advertise a body, deliver only part of it, then hang up.
+
+    The gateway's body reader must treat the early EOF as a malformed
+    request (structured 400 or silent close) rather than blocking
+    forever on the missing bytes or throwing a traceback into the log.
+    """
+
+    host: str
+    port: int
+    target: str = "/search"
+    advertised_length: int = 512
+    body_fragment: bytes = b'{"ingredients": ["chick'
+    tenant: str = "default"
+    #: Extra results accumulated by repeated :meth:`run` calls.
+    results: list = field(default_factory=list)
+
+    def run(self) -> dict:
+        request = (f"POST {self.target} HTTP/1.1\r\n"
+                   f"Host: {self.host}\r\n"
+                   f"X-Tenant: {self.tenant}\r\n"
+                   "Content-Type: application/json\r\n"
+                   f"Content-Length: {self.advertised_length}\r\n"
+                   "Connection: close\r\n\r\n").encode("ascii")
+        started = time.monotonic()
+        with socket.create_connection((self.host, self.port),
+                                      timeout=5.0) as sock:
+            sock.sendall(request + self.body_fragment)
+            try:
+                sock.shutdown(socket.SHUT_WR)  # EOF: body never comes
+            except OSError:
+                pass
+            raw = read_response(sock, timeout_s=10.0)
+        result = {"fault": "truncated_body",
+                  "status": _status_of(raw),
+                  "response_bytes": len(raw),
+                  "elapsed_s": time.monotonic() - started}
+        self.results.append(result)
+        return result

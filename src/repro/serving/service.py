@@ -198,6 +198,12 @@ class RequestOutcome:
     #: :data:`~repro.serving.admission.SHED_REASONS` — rate-limit vs
     #: queue-full vs in-queue expiry are different operator actions.
     shed_reason: str | None = None
+    #: Where this request's deadline budget came from: ``"default"``
+    #: (the service config — nobody chose it), ``"caller"`` (an
+    #: explicit in-process argument), or ``"header"`` (the gateway's
+    #: ``X-Deadline-Ms``).  Distinguishes a deliberately tight budget
+    #: from a silently defaulted one when reading timeout outcomes.
+    deadline_source: str = "default"
 
 
 @dataclass(frozen=True)
@@ -510,7 +516,8 @@ class ResilientSearchService:
                               class_name: str | None = None,
                               deadline: float | None = None,
                               tenant: str = "default",
-                              criticality: str | None = None
+                              criticality: str | None = None,
+                              deadline_source: str | None = None
                               ) -> ServiceResponse:
         """Resilient fridge search (ingredient list → dishes)."""
         ingredients = list(ingredients)
@@ -519,13 +526,15 @@ class ResilientSearchService:
             embed=lambda engine: engine.embed_ingredients(ingredients),
             fallback=lambda ranker, class_id, k: ranker.rank_ingredients(
                 ingredients, k, class_id),
-            which_index="image", tenant=tenant, criticality=criticality)
+            which_index="image", tenant=tenant, criticality=criticality,
+            deadline_source=deadline_source)
 
     def search_by_recipe(self, recipe: Recipe, k: int = 5,
                          class_name: str | None = None,
                          deadline: float | None = None,
                          tenant: str = "default",
-                         criticality: str | None = None
+                         criticality: str | None = None,
+                         deadline_source: str | None = None
                          ) -> ServiceResponse:
         """Resilient recipe → images search."""
         return self._serve(
@@ -533,13 +542,15 @@ class ResilientSearchService:
             embed=lambda engine: engine.embed_recipe(recipe),
             fallback=lambda ranker, class_id, k: ranker.rank_recipe(
                 recipe, k, class_id),
-            which_index="image", tenant=tenant, criticality=criticality)
+            which_index="image", tenant=tenant, criticality=criticality,
+            deadline_source=deadline_source)
 
     def search_by_image(self, image: np.ndarray, k: int = 5,
                         class_name: str | None = None,
                         deadline: float | None = None,
                         tenant: str = "default",
-                        criticality: str | None = None
+                        criticality: str | None = None,
+                        deadline_source: str | None = None
                         ) -> ServiceResponse:
         """Resilient image → recipes search.
 
@@ -552,13 +563,15 @@ class ResilientSearchService:
             embed=lambda engine: engine.embed_image(image),
             fallback=lambda ranker, class_id, k: ranker.rank_default(
                 k, class_id),
-            which_index="recipe", tenant=tenant, criticality=criticality)
+            which_index="recipe", tenant=tenant, criticality=criticality,
+            deadline_source=deadline_source)
 
     def search_without(self, recipe: Recipe, ingredient: str, k: int = 5,
                        class_name: str | None = None,
                        deadline: float | None = None,
                        tenant: str = "default",
-                       criticality: str | None = None
+                       criticality: str | None = None,
+                       deadline_source: str | None = None
                        ) -> ServiceResponse:
         """Resilient dietary-filter search (§5.3)."""
         edited = recipe.without_ingredient(ingredient)
@@ -567,7 +580,8 @@ class ResilientSearchService:
             embed=lambda engine: engine.embed_recipe(edited),
             fallback=lambda ranker, class_id, k: ranker.rank_recipe(
                 edited, k, class_id),
-            which_index="image", tenant=tenant, criticality=criticality)
+            which_index="image", tenant=tenant, criticality=criticality,
+            deadline_source=deadline_source)
 
     # ------------------------------------------------------------------
     # Generations
@@ -772,9 +786,14 @@ class ResilientSearchService:
     def _serve(self, kind: str, k: int, class_name: str | None,
                deadline_s: float | None, embed, fallback,
                which_index: str, tenant: str = "default",
-               criticality: str | None = None) -> ServiceResponse:
+               criticality: str | None = None,
+               deadline_source: str | None = None) -> ServiceResponse:
         started = self._clock()
         generation = self._active  # snapshot: the whole request uses it
+        # An explicit source (the gateway says "header") wins; else the
+        # presence of a caller-chosen budget decides.
+        deadline_source = deadline_source or (
+            "caller" if deadline_s is not None else "default")
         budget = Deadline(deadline_s or self._config.deadline,
                           clock=self._clock)
         with self.telemetry.tracer.span(
@@ -793,7 +812,8 @@ class ResilientSearchService:
                 return self._finish(
                     request_id, kind, "shed", generation, started,
                     stage="admission", span=span, error=decision.detail,
-                    tenant=tenant, shed_reason=decision.reason)
+                    tenant=tenant, shed_reason=decision.reason,
+                    deadline_source=deadline_source)
             self._m_inflight.set(self.admission.inflight)
             trace = _RequestTrace()
             try:
@@ -849,7 +869,8 @@ class ResilientSearchService:
                                 request_id, kind, "error", generation,
                                 started, attempts=trace.attempts,
                                 stage=exc.stage, error=str(exc),
-                                span=span, tenant=tenant)
+                                span=span, tenant=tenant,
+                                deadline_source=deadline_source)
                         with self._stage_span("degraded", budget):
                             rows, distances = fallback(
                                 generation.fallback, class_id,
@@ -864,23 +885,26 @@ class ResilientSearchService:
                         request_id, kind, status, generation, started,
                         results=results, attempts=trace.attempts,
                         error=degraded_reason, span=span,
-                        fan_out=fan_out, tenant=tenant)
+                        fan_out=fan_out, tenant=tenant,
+                        deadline_source=deadline_source)
                 except DeadlineExceeded as exc:
                     return self._finish(
                         request_id, kind, "timeout", generation, started,
                         attempts=trace.attempts, stage=exc.stage,
-                        error=str(exc), span=span, tenant=tenant)
+                        error=str(exc), span=span, tenant=tenant,
+                        deadline_source=deadline_source)
                 except ValueError as exc:
                     return self._finish(
                         request_id, kind, "invalid", generation, started,
                         attempts=trace.attempts, error=str(exc),
-                        span=span, tenant=tenant)
+                        span=span, tenant=tenant,
+                        deadline_source=deadline_source)
                 except Exception as exc:  # containment: no fault escapes
                     return self._finish(
                         request_id, kind, "error", generation, started,
                         attempts=trace.attempts,
                         error=f"{type(exc).__name__}: {exc}", span=span,
-                        tenant=tenant)
+                        tenant=tenant, deadline_source=deadline_source)
             finally:
                 self.admission.release(self._clock() - started)
                 self._m_inflight.set(self.admission.inflight)
@@ -1284,7 +1308,8 @@ class ResilientSearchService:
                 error: str | None = None, span=None,
                 fan_out: ClusterResult | None = None,
                 tenant: str = "default",
-                shed_reason: str | None = None) -> ServiceResponse:
+                shed_reason: str | None = None,
+                deadline_source: str = "default") -> ServiceResponse:
         latency = self._clock() - started
         # Stage wall times come straight off the request span's closed
         # children, so the outcome record and the trace always agree.
@@ -1305,7 +1330,8 @@ class ResilientSearchService:
                           else fan_out.shards_total),
             shards_answered=(None if fan_out is None
                              else fan_out.shards_answered),
-            tenant=tenant, shed_reason=shed_reason)
+            tenant=tenant, shed_reason=shed_reason,
+            deadline_source=deadline_source)
         with self._lock:
             self.outcomes.append(outcome)
             self._status_counts[status] += 1
