@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos gateway-chaos bench quicktest telemetry-test slo-test trace-test monitor-demo overload-demo gateway-demo
+.PHONY: test faults chaos cluster-chaos ingest-chaos overload-chaos gateway-chaos bench quicktest telemetry-test slo-test trace-test profile-test monitor-demo overload-demo gateway-demo profile-demo
 
 test:            ## full tier-1 suite (RuntimeWarnings are errors; chaos excluded)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -27,6 +27,9 @@ slo-test:        ## quality-SLO chaos suite (probes, drift, burn-rate alerts, fl
 trace-test:      ## whole-path tracing suite (also part of tier-1)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m trace
 
+profile-test:    ## real-clock profiler/memory-ledger suite (live sampler threads)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m profile
+
 ingest-chaos:    ## streaming-ingest chaos suite (torn writes, disk-full, crash-mid-compaction, racing queries)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -q -m ingest
 
@@ -44,6 +47,9 @@ overload-demo:   ## run the 10x-storm brownout/recovery demo
 
 gateway-demo:    ## run the HTTP gateway drain-under-load demo
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/gateway_demo.py
+
+profile-demo:    ## run the alert-triggered profile-capture demo
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/profiler_demo.py
 
 bench:           ## regenerate all paper tables/figures
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -27,6 +27,7 @@ BENCH_INGEST_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_ingest.json"
 BENCH_OVERLOAD_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_overload.json"
 BENCH_TRACING_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_tracing.json"
 BENCH_GATEWAY_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_gateway.json"
+BENCH_PROFILER_ARTIFACT = pathlib.Path(__file__).parent / "BENCH_profiler.json"
 
 _registry = MetricsRegistry()
 _bench_value = _registry.gauge(
@@ -79,6 +80,17 @@ _gateway_wall_ms = _gateway_registry.gauge(
     "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
     labels=("bench",))
 
+# Profiler numbers (per-request latency with the sampling profiler
+# off vs on at the default rate, sampler pass cost) prove the
+# continuous-profiling tax stays under its <5% budget.
+_profiler_registry = MetricsRegistry()
+_profiler_value = _profiler_registry.gauge(
+    "bench_value", "headline value reported by each profiler benchmark",
+    labels=("bench",))
+_profiler_wall_ms = _profiler_registry.gauge(
+    "bench_wall_ms", "mean wall time per benchmark iteration (ms)",
+    labels=("bench",))
+
 # Tracing numbers (span overhead per request with tracing off / on /
 # on + tail sampling) track the observability tax on the hot path.
 _tracing_registry = MetricsRegistry()
@@ -109,7 +121,9 @@ def pytest_sessionfinish(session, exitstatus):
                                (_tracing_registry,
                                 BENCH_TRACING_ARTIFACT),
                                (_gateway_registry,
-                                BENCH_GATEWAY_ARTIFACT)):
+                                BENCH_GATEWAY_ARTIFACT),
+                               (_profiler_registry,
+                                BENCH_PROFILER_ARTIFACT)):
         recorded = any(family.children()
                        for family in registry.families())
         if recorded:
@@ -171,6 +185,12 @@ def bench_record_tracing(request):
 def bench_record_gateway(request):
     """Like ``bench_record`` but lands in ``BENCH_gateway.json``."""
     return _recorder(request, _gateway_value, _gateway_wall_ms)
+
+
+@pytest.fixture
+def bench_record_profiler(request):
+    """Like ``bench_record`` but lands in ``BENCH_profiler.json``."""
+    return _recorder(request, _profiler_value, _profiler_wall_ms)
 
 
 @pytest.fixture(scope="session")

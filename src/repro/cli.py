@@ -152,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable streaming ingest backed by this "
                             "write-ahead log directory (recovers any "
                             "previous deltas before serving)")
+    serve.add_argument("--profile-hz", type=float, default=None,
+                       metavar="HZ",
+                       help="run the sampling profiler at HZ while "
+                            "serving and report where the CPU went")
 
     gateway = commands.add_parser(
         "gateway", help="serve search/ingest over HTTP through the "
@@ -202,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "write-ahead log directory")
     gateway.add_argument("--telemetry-jsonl", default=None,
                          metavar="PATH")
+    gateway.add_argument("--profile-hz", type=float, default=None,
+                         metavar="HZ",
+                         help="run the sampling profiler at HZ for "
+                              "the gateway's lifetime (stacks land "
+                              "in /stats and flight bundles)")
 
     loadgen = commands.add_parser(
         "loadgen", help="open-loop multi-tenant load generation "
@@ -319,6 +328,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace_critpath.add_argument("--quantile", type=float, default=None,
                                 help="focus on traces at or above this "
                                      "duration quantile (e.g. 0.99)")
+
+    profile = commands.add_parser(
+        "profile", help="sampling profiler: record a serving "
+                        "workload, or inspect a collapsed profile")
+    profile_commands = profile.add_subparsers(dest="profile_command",
+                                              required=True)
+    record = profile_commands.add_parser(
+        "record", help="profile a synthetic serving workload and "
+                       "write collapsed stacks")
+    record.add_argument("--data", required=True)
+    record.add_argument("--model", required=True)
+    record.add_argument("--duration", type=float, default=2.0,
+                        help="seconds of workload to sample")
+    record.add_argument("--hz", type=float, default=None,
+                        help="sampling rate (default 61)")
+    record.add_argument("--out", default=None, metavar="PATH",
+                        help="write Brendan Gregg folded stacks here "
+                             "(default: profile.txt)")
+    record.add_argument("--top-k", type=int, default=5)
+    record.add_argument("--shards", type=int, default=1)
+    profile_top = profile_commands.add_parser(
+        "top", help="hottest frames of a collapsed profile")
+    profile_top.add_argument("--profile", required=True, metavar="PATH",
+                             help="collapsed-stack file (profile.txt "
+                                  "from record or a flight bundle)")
+    profile_top.add_argument("--limit", type=int, default=15)
+    flame = profile_commands.add_parser(
+        "flame", help="render a collapsed profile as an ASCII flame "
+                      "tree")
+    flame.add_argument("--profile", required=True, metavar="PATH")
+    flame.add_argument("--width", type=int, default=100)
+    flame.add_argument("--min-share", type=float, default=0.01,
+                       help="hide subtrees below this sample share")
 
     metrics = commands.add_parser(
         "metrics", help="inspect telemetry traces written with "
@@ -540,6 +582,8 @@ def _command_serve(args) -> int:
               f"epoch {recovery['epoch']}  base {recovery['base']}  "
               f"replayed {recovery['replayed_records']} records  "
               f"truncated {recovery['truncated_bytes']} torn bytes")
+    if args.profile_hz is not None:
+        service.start_profiler(args.profile_hz)
     try:
         response = service.search_by_ingredients(
             args.ingredients, k=args.top_k, class_name=args.class_name)
@@ -582,9 +626,33 @@ def _command_serve(args) -> int:
             for stage, ms in outcome.stage_ms.items()))
     for result in response.results:
         print(f"  {result.recipe.title:<30} distance {result.distance:.3f}")
+    if args.profile_hz is not None:
+        service.profiler.stop()
+        _print_profile_summary(service)
     if args.telemetry_jsonl:
         print(f"telemetry trace: {args.telemetry_jsonl}")
     return 0 if response.ok else 1
+
+
+def _print_profile_summary(service) -> None:
+    snapshot = service.profiler.snapshot()
+    overhead = snapshot["self_overhead"]
+    print(f"profile: {snapshot['samples']} samples at "
+          f"{snapshot['hz']:g}Hz  overhead "
+          f"{overhead['fraction'] * 100:.2f}% "
+          f"({overhead['per_sample_us']:.0f}us/sample)")
+    for entry in snapshot["top"][:5]:
+        print(f"  {entry['frame']:<44} {entry['samples']:>6}  "
+              f"{entry['share'] * 100:5.1f}%")
+    memory = service.memory.snapshot()
+    parts = [f"{name} {nbytes / 1024:.0f}KiB" for name, nbytes
+             in sorted(memory["components"].items(),
+                       key=lambda kv: -kv[1])[:6]]
+    rss = memory["rss_bytes"]
+    rss_text = f"{rss / 1048576:.1f}MiB" if rss is not None else "n/a"
+    print(f"memory: rss {rss_text}  tracked "
+          f"{memory['tracked_bytes'] / 1048576:.1f}MiB  "
+          + "  ".join(parts))
 
 
 def _command_loadgen(args) -> int:
@@ -714,6 +782,8 @@ def _command_gateway(args) -> int:
                           ttl_s=args.cache_ttl,
                           stale_ttl_s=args.stale_ttl,
                           enabled=not args.no_cache)))
+    if args.profile_hz is not None:
+        service.start_profiler(args.profile_hz)
     gateway.start()
     gateway.install_signal_handlers()
     auth = (f"{len(api_keys)} API key(s)" if api_keys
@@ -732,6 +802,9 @@ def _command_gateway(args) -> int:
     except KeyboardInterrupt:
         gateway.drain(reason="keyboard_interrupt")
     print("gateway drained")
+    if args.profile_hz is not None:
+        service.profiler.stop()
+        _print_profile_summary(service)
     return 0
 
 
@@ -922,6 +995,56 @@ def _render_monitor(path) -> tuple[str, bool]:
             # The snapshot is authoritative over events when present.
             firing[key[0]] = value > 0
 
+        # Overload-control plane: brownout rung and who was shed why.
+        for __, level in _gauge_values(registry,
+                                       "brownout_level").items():
+            lines.append(f"brownout level: {level:g}")
+        shed = _gauge_values(registry, "requests_shed_total")
+        if shed:
+            total = sum(shed.values())
+            detail = "  ".join(
+                f"{reason}/{tenant} {count:g}"
+                for (reason, tenant), count in sorted(shed.items()))
+            lines.append(f"shed: {total:g} total  {detail}")
+
+        # Gateway front-door connection + cache traffic.
+        conn = _gauge_values(registry, "gateway_active_connections")
+        inflight = _gauge_values(registry, "gateway_inflight_requests")
+        if conn or inflight:
+            lines.append(
+                f"gateway: {next(iter(conn.values()), 0):g} "
+                f"connections  "
+                f"{next(iter(inflight.values()), 0):g} inflight")
+        cache = _gauge_values(registry, "gateway_cache_events_total")
+        if cache:
+            lines.append("cache: " + "  ".join(
+                f"{key[0]} {value:g}"
+                for key, value in sorted(cache.items())))
+
+        # Memory ledger: rss, tracked total, biggest components.
+        rss = next(iter(_gauge_values(
+            registry, "memory_rss_bytes").values()), None)
+        tracked = next(iter(_gauge_values(
+            registry, "memory_tracked_bytes").values()), None)
+        if rss is not None or tracked is not None:
+            components = _gauge_values(registry,
+                                       "memory_component_bytes")
+            hot = "  ".join(
+                f"{key[0]} {value / 1024:.0f}KiB"
+                for key, value in sorted(components.items(),
+                                         key=lambda kv: -kv[1])[:5])
+            rss_text = (f"{rss / 1048576:.1f}MiB"
+                        if rss is not None else "n/a")
+            tracked_text = (f"{tracked / 1048576:.1f}MiB"
+                            if tracked is not None else "n/a")
+            lines.append(f"memory: rss {rss_text}  "
+                         f"tracked {tracked_text}  {hot}")
+        overhead = next(iter(_gauge_values(
+            registry, "profiler_overhead_ratio").values()), None)
+        if overhead is not None:
+            lines.append(f"profiler overhead: "
+                         f"{overhead * 100:.2f}%")
+
     for name, state in sorted(firing.items()):
         lines.append(f"alert {name}: "
                      f"{'FIRING' if state else 'resolved'}")
@@ -1010,6 +1133,72 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _read_collapsed(path) -> list[str]:
+    """Folded lines from a profile file, skipping ``#`` summary rows
+    (flight-bundle ``profile.txt`` leads with a commented summary)."""
+    lines = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if line and not line.lstrip().startswith("#"):
+                lines.append(line)
+    return lines
+
+
+def _command_profile(args) -> int:
+    from .obs import render_flame, top_frames
+
+    if args.profile_command == "top":
+        lines = _read_collapsed(args.profile)
+        entries = top_frames(lines, args.limit)
+        if not entries:
+            print(f"no samples in {args.profile}")
+            return 1
+        print(f"{'samples':>8}  {'share':>6}  frame")
+        for entry in entries:
+            print(f"{entry['samples']:>8}  "
+                  f"{entry['share'] * 100:5.1f}%  {entry['frame']}")
+        return 0
+
+    if args.profile_command == "flame":
+        lines = _read_collapsed(args.profile)
+        print(render_flame(lines, width=args.width,
+                           min_share=args.min_share))
+        return 0
+
+    # record: profile a synthetic serving workload end to end.
+    import itertools
+    import time as _time
+
+    from .core import RecipeSearchEngine
+    from .serving import ResilientSearchService, ServiceConfig
+
+    dataset = _load_dataset(args.data)
+    featurizer, model = _load_run(args.model, dataset)
+    test = featurizer.encode_split(dataset, "test")
+    engine = RecipeSearchEngine(model, featurizer, dataset, test)
+    service = ResilientSearchService(engine, ServiceConfig(
+        shards=args.shards))
+    queries = [list(dataset[i].ingredients)[:4] or ["salt"]
+               for i in range(min(len(dataset), 64))]
+    profiler = service.start_profiler(args.hz)
+    deadline = _time.monotonic() + args.duration
+    requests = 0
+    for index in itertools.count():
+        if _time.monotonic() >= deadline:
+            break
+        service.search_by_ingredients(queries[index % len(queries)],
+                                      k=args.top_k)
+        requests += 1
+    profiler.stop()
+    out = pathlib.Path(args.out or "profile.txt")
+    out.write_text("\n".join(profiler.collapsed()) + "\n")
+    print(f"profiled {requests} requests over {args.duration:.1f}s  "
+          f"-> {out}")
+    _print_profile_summary(service)
+    return 0
+
+
 def _command_metrics(args) -> int:
     import json
 
@@ -1039,6 +1228,7 @@ _COMMANDS = {
     "ingest": _command_ingest,
     "monitor": _command_monitor,
     "trace": _command_trace,
+    "profile": _command_profile,
     "metrics": _command_metrics,
 }
 

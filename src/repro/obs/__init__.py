@@ -33,11 +33,16 @@ from .drift import (DRIFT_REFERENCE_NAME, DRIFT_SIGNALS, DriftMonitor,
                     DriftReference, QuantileSketch, ks_statistic, psi)
 from .events import EventLog
 from .flight import FlightRecorder
+from .memledger import (MemoryLedger, approx_bytes, ndarray_bytes,
+                        ring_bytes, rss_bytes)
 from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
                       Histogram, MetricError, MetricsRegistry,
                       ParsedExposition, parse_prometheus,
                       quantile_from_counts)
 from .probes import GoldenProbe, GoldenSet, ProbeQuery
+from .profiler import (DEFAULT_HZ as DEFAULT_PROFILE_HZ,
+                       SamplingProfiler, classify_thread,
+                       parse_collapsed, render_flame, top_frames)
 from .sanitize import is_finite_number, json_safe
 from .slo import (DEFAULT_WINDOWS, SLO, Alert, AlertManager,
                   BurnRateWindow, default_serving_slos)
@@ -63,6 +68,10 @@ __all__ = [
     "SLO", "BurnRateWindow", "Alert", "AlertManager",
     "DEFAULT_WINDOWS", "default_serving_slos",
     "FlightRecorder",
+    "SamplingProfiler", "DEFAULT_PROFILE_HZ", "classify_thread",
+    "parse_collapsed", "top_frames", "render_flame",
+    "MemoryLedger", "rss_bytes", "approx_bytes", "ring_bytes",
+    "ndarray_bytes",
 ]
 
 

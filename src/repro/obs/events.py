@@ -81,6 +81,15 @@ class EventLog:
             records = records[-limit:]
         return [dict(r) for r in records]
 
+    def retained_bytes(self) -> int:
+        """Estimated bytes held by the event ring buffer, so the
+        memory ledger can see observability's own footprint."""
+        from .memledger import ring_bytes
+
+        with self._lock:
+            records = list(self.events)
+        return ring_bytes(records)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self.events)

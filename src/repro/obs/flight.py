@@ -15,6 +15,8 @@ alert transitions to firing:
     ``metrics.json``    — full registry snapshot (JSON exposition)
     ``drift.json``      — reference + live sketches (when wired)
     ``probe.json``      — golden-probe summary (when wired)
+    ``profile.txt``     — collapsed CPU stacks + sampler summary
+    ``memory.json``     — per-component memory ledger snapshot
 
 Bundles are written to a temp directory and renamed into place, so a
 partially written bundle is never mistaken for evidence.  A minimum
@@ -47,6 +49,11 @@ class FlightRecorder:
         Optional :class:`~repro.obs.drift.DriftMonitor` and
         :class:`~repro.obs.probes.GoldenProbe` whose state joins the
         bundle.
+    profiler, memory:
+        Optional :class:`~repro.obs.profiler.SamplingProfiler` and
+        :class:`~repro.obs.memledger.MemoryLedger`; when wired the
+        bundle gains ``profile.txt`` (folded stacks plus the sampler
+        summary) and ``memory.json`` (itemized component bytes).
     clock:
         Wall-clock source for manifest timestamps (injectable).
     min_interval_s:
@@ -57,12 +64,15 @@ class FlightRecorder:
     """
 
     def __init__(self, telemetry, directory, *, drift=None,
-                 probe=None, clock: Callable[[], float] | None = None,
+                 probe=None, profiler=None, memory=None,
+                 clock: Callable[[], float] | None = None,
                  min_interval_s: float = 10.0, max_events: int = 512):
         self.telemetry = telemetry
         self.directory = pathlib.Path(directory)
         self.drift = drift
         self.probe = probe
+        self.profiler = profiler
+        self.memory = memory
         self._clock = clock or telemetry.clock
         self.min_interval_s = float(min_interval_s)
         self.max_events = int(max_events)
@@ -141,6 +151,19 @@ class FlightRecorder:
             self._write_json(root / "probe.json",
                              self.probe.summary())
 
+        if self.profiler is not None:
+            summary = json.dumps(json_safe(self.profiler.snapshot()),
+                                 sort_keys=True, default=str, indent=1)
+            folded = "\n".join(self.profiler.collapsed())
+            (root / "profile.txt").write_text(
+                "# sampler summary\n"
+                + "".join("# " + line + "\n"
+                          for line in summary.splitlines())
+                + folded + ("\n" if folded else ""))
+        if self.memory is not None:
+            self._write_json(root / "memory.json",
+                             self.memory.snapshot())
+
         self._write_json(root / "manifest.json", {
             "reason": reason,
             "ts": now,
@@ -150,6 +173,8 @@ class FlightRecorder:
             "events": len(events),
             "has_drift": self.drift is not None,
             "has_probe": self.probe is not None,
+            "has_profile": self.profiler is not None,
+            "has_memory": self.memory is not None,
         })
 
     @staticmethod

@@ -30,12 +30,34 @@ def is_finite_number(value) -> bool:
 
 
 def json_safe(value):
-    """Replace non-finite floats (NaN MedR, Inf norms) with ``None``
-    so every emitted record is strictly valid JSON."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
+    """Make ``value`` strictly ``json.dumps``-able, never raising.
+
+    Non-finite floats (NaN MedR, Inf norms) become ``None``; dict
+    keys that JSON cannot encode are stringified; sets become lists;
+    numpy scalars/arrays collapse via ``item()``/``tolist()`` without
+    importing numpy; anything else falls back to ``str`` — so a stray
+    Path or enum in a stats dict degrades to text instead of taking
+    the telemetry line (or a flight bundle) down with a TypeError.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, int):
+        return value
     if isinstance(value, dict):
-        return {key: json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
+        return {(key if isinstance(key, (str, int, float, bool))
+                 or key is None else str(key)): json_safe(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
         return [json_safe(item) for item in value]
-    return value
+    # Duck-typed numpy without the import: arrays expose tolist(),
+    # scalars expose item(); both resolve to plain python values.
+    for collapse in ("tolist", "item"):
+        method = getattr(value, collapse, None)
+        if callable(method):
+            try:
+                return json_safe(method())
+            except Exception:            # noqa: BLE001
+                break
+    return str(value)

@@ -173,7 +173,11 @@ class Tracer:
         self._sink = sink
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
-        self._local = threading.local()
+        # Per-thread span stacks, keyed by thread ident rather than
+        # hidden in a threading.local: the owning thread is the only
+        # writer, but the profiler reads a snapshot to pair samples
+        # with the innermost open span (open_spans_by_thread).
+        self._stacks: dict[int, list] = {}
         self.finished: deque[SpanRecord] = deque(maxlen=max_spans)
         # Spans currently open anywhere in the process, by span id.
         # _finish resolves parents here — not on the finishing
@@ -183,11 +187,12 @@ class Tracer:
         self._exported = 0           # high-water mark for export_jsonl
         self.sampler = sampler
 
-    # -- thread-local span stack ---------------------------------------
+    # -- per-thread span stack ------------------------------------------
     def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
-            stack = self._local.stack = []
+            stack = self._stacks[ident] = []
         return stack
 
     def current(self):
@@ -215,6 +220,21 @@ class Tracer:
             stack.pop()
         elif span in stack:           # mis-nested exit; recover anyway
             stack.remove(span)
+        if not stack:                 # don't leak dead threads' stacks
+            self._stacks.pop(threading.get_ident(), None)
+
+    def open_spans_by_thread(self) -> dict[int, Span]:
+        """Innermost *open* span per thread ident — the registry the
+        sampling profiler pairs stack samples with.  Stacks are only
+        mutated by their owning threads; this reads shallow copies, so
+        a torn read can at worst miss one span transition."""
+        out: dict[int, Span] = {}
+        for ident, stack in list(self._stacks.items()):
+            for item in reversed(tuple(stack)):
+                if isinstance(item, Span) and item.record is None:
+                    out[ident] = item
+                    break
+        return out
 
     # -- cross-thread propagation --------------------------------------
     def capture(self) -> TraceContext | None:
@@ -248,6 +268,8 @@ class Tracer:
                 stack.pop()
             elif ctx in stack:        # mis-nested detach; recover
                 stack.remove(ctx)
+            if not stack:
+                self._stacks.pop(threading.get_ident(), None)
 
     # -- span lifecycle ------------------------------------------------
     def span(self, name: str, **attributes) -> Span:
@@ -300,6 +322,17 @@ class Tracer:
             self._sink(record.to_event())
         if self.sampler is not None:
             self.sampler.observe(record)
+
+    def retained_bytes(self) -> int:
+        """Estimated bytes held by the finished-span ring buffer plus
+        the open-span registry — how much memory tracing itself
+        retains, for the memory ledger."""
+        from .memledger import ring_bytes
+
+        with self._lock:
+            finished = list(self.finished)
+            open_spans = list(self._open.values())
+        return ring_bytes(finished) + ring_bytes(open_spans)
 
     # -- export --------------------------------------------------------
     def to_events(self) -> list[dict]:
@@ -475,6 +508,20 @@ class TraceSampler:
     def pending_traces(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def retained_bytes(self) -> int:
+        """Estimated bytes buffered by tail sampling (pending spans
+        awaiting a root, kept traces, and the decision cache)."""
+        from .memledger import approx_bytes, ring_bytes
+
+        with self._lock:
+            pending = [span for spans in self._pending.values()
+                       for span in spans]
+            kept = [span for trace in self._kept
+                    for span in trace.spans]
+            decided = len(self._decided)
+        return (ring_bytes(pending) + ring_bytes(kept)
+                + decided * approx_bytes(0) * 2)
 
     def to_events(self) -> list[dict]:
         """Kept traces as JSONL-ready events (for flight bundles)."""

@@ -630,6 +630,14 @@ class AdmissionController:
         with self._lock:
             return self._queue.depth(tenant)
 
+    def retained_bytes(self) -> int:
+        """Estimated bytes held by queued admission tickets (depth ×
+        per-ticket footprint) for the memory ledger."""
+        with self._lock:
+            queued = len(self._queue)
+        # A _Ticket is slots + a Deadline + queue node bookkeeping.
+        return queued * 256
+
     def snapshot(self) -> dict:
         with self._lock:
             queued = len(self._queue)

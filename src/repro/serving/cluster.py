@@ -649,7 +649,9 @@ class IndexCluster:
             pass
         elif self._config.parallel and len(self.shards) > 1:
             workers = [threading.Thread(target=run, args=(i, shard),
-                                        daemon=True)
+                                        daemon=True,
+                                        name=f"shard-{self.name}"
+                                             f"-{shard.shard_id}")
                        for i, shard in enumerate(self.shards)]
             for worker in workers:
                 worker.start()
@@ -716,7 +718,9 @@ class IndexCluster:
             pass
         elif self._config.parallel and len(self.shards) > 1:
             workers = [threading.Thread(target=run, args=(i, shard),
-                                        daemon=True)
+                                        daemon=True,
+                                        name=f"shard-{self.name}"
+                                             f"-{shard.shard_id}")
                        for i, shard in enumerate(self.shards)]
             for worker in workers:
                 worker.start()
@@ -841,7 +845,9 @@ class IndexCluster:
                       if hedge and len(ordered) > 1 else None)
         holder.expect_lane()
         primary = threading.Thread(target=lane, args=(ordered,),
-                                   daemon=True)
+                                   daemon=True,
+                                   name=f"shard-{self.name}"
+                                        f"-{shard.shard_id}")
         primary.start()
         if hedge_wait is not None:
             if budget is not None:
@@ -867,7 +873,9 @@ class IndexCluster:
                         lane([ordered[1]])
 
                 backup = threading.Thread(target=hedge_lane,
-                                          daemon=True)
+                                          daemon=True,
+                                          name=f"hedge-{self.name}"
+                                               f"-{shard.shard_id}")
                 backup.start()
         timeout = (None if budget is None
                    else max(budget.remaining(), 0.0))

@@ -325,6 +325,17 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
+    def retained_bytes(self) -> int:
+        """Estimated bytes held by cached result bodies (memory
+        ledger entry for the gateway's cache)."""
+        from ..obs.memledger import ring_bytes
+
+        with self._lock:
+            bodies = [entry.body for entry in self._entries.values()]
+        # _CacheEntry is slotted: estimate the retained bodies plus a
+        # small fixed per-entry overhead for the entry + key tuple.
+        return ring_bytes(bodies) + len(bodies) * 96
+
     def get(self, tenant: str, fingerprint: str, generation: int, *,
             allow_stale: bool = False) -> tuple[dict, str] | None:
         """Look up one query; ``(body, "fresh"|"stale")`` or ``None``."""
@@ -472,6 +483,9 @@ class Gateway:
         self._prev_handlers: dict[int, object] = {}
         self.cache = ResultCache(self.config.cache, clock=clock,
                                  registry=self.telemetry.registry)
+        memory = getattr(self.service, "memory", None)
+        if memory is not None:
+            memory.register("result_cache", self.cache.retained_bytes)
         self._setup_metrics()
 
     # -- metrics -----------------------------------------------------

@@ -278,6 +278,14 @@ class DeltaOverlay:
     def live_count(self) -> int:
         return int(np.count_nonzero(self._base_live)) + self.delta_rows
 
+    def retained_bytes(self) -> int:
+        """Bytes held by the overlay's delta arrays and liveness
+        bookkeeping (capacity, not just live rows — grown arrays stay
+        allocated until the next fold)."""
+        return int(self._rows.nbytes + self._ids.nbytes
+                   + self._class.nbytes + self._live.nbytes
+                   + self._base_live.nbytes)
+
     def is_live(self, item_id: int) -> bool:
         return int(item_id) in self._key_of
 
@@ -808,7 +816,8 @@ class CompactionThread:
         self._interval = float(interval)
         self._sleep = sleep
         self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="ingest-compaction")
         self.errors: list[str] = []
         self.reports = []
 

@@ -66,6 +66,8 @@ from ..core.engine import RecipeSearchEngine, SearchResult
 from ..data.schema import Recipe
 from ..obs import LATENCY_BUCKETS, Telemetry
 from ..obs.drift import DriftMonitor, DriftReference
+from ..obs.memledger import MemoryLedger, ndarray_bytes, ring_bytes
+from ..obs.profiler import SamplingProfiler
 from ..robustness.faults import SimulatedCrash
 from .admission import (SHED_REASONS, AdmissionConfig,
                         AdmissionController, AdmissionDecision)
@@ -436,10 +438,68 @@ class ResilientSearchService:
         self.ingest_outcomes: deque[IngestOutcome] = deque(
             maxlen=self._config.outcome_log_size)
         self.swaps: list[SwapReport] = []
+        #: Per-component memory ledger + sampling profiler.  The
+        #: ledger is always live (reporters are just callbacks); the
+        #: profiler is constructed idle and started by the CLI's
+        #: ``--profile-hz``, an alert-triggered capture window, or a
+        #: direct ``start_profiler`` call.
+        self.memory = MemoryLedger(registry=self.telemetry.registry,
+                                   clock=clock)
+        self.profiler = SamplingProfiler(
+            tracer=self.telemetry.tracer,
+            registry=self.telemetry.registry)
+        self._register_memory_reporters()
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def _register_memory_reporters(self) -> None:
+        """Teach the ledger where this service's bytes live: index
+        rows, ingest overlay + WAL-on-disk, telemetry ring buffers,
+        admission queue, outcome logs.  Every reporter reads the
+        *current* generation through ``self`` so hot-swaps are
+        reflected without re-registration."""
+        def index_bytes() -> dict:
+            engine = self._active.engine
+            return {
+                "image": ndarray_bytes(engine.image_index.embeddings,
+                                       engine.image_index.ids,
+                                       engine.image_index.class_ids),
+                "recipe": ndarray_bytes(engine.recipe_index.embeddings,
+                                        engine.recipe_index.ids,
+                                        engine.recipe_index.class_ids),
+            }
+
+        self.memory.register("index", index_bytes)
+        if self.ingestor is not None:
+            self.memory.register("overlay", lambda: sum(
+                overlay.retained_bytes()
+                for overlay in self.ingestor.overlays.values()))
+            self.memory.register("wal_disk",
+                                 self.ingestor.log.disk_bytes)
+        self.memory.register("tracer_ring",
+                             self.telemetry.tracer.retained_bytes)
+        self.memory.register("event_ring",
+                             self.telemetry.events.retained_bytes)
+        if self.telemetry.sampler is not None:
+            self.memory.register(
+                "trace_sampler", self.telemetry.sampler.retained_bytes)
+        admission_bytes = getattr(self.admission, "retained_bytes",
+                                  None)
+        if admission_bytes is not None:
+            self.memory.register("admission_queue", admission_bytes)
+        self.memory.register("outcome_ring", lambda: (
+            ring_bytes(self.outcomes)
+            + ring_bytes(self.ingest_outcomes)))
+
+    def start_profiler(self, hz: float | None = None
+                       ) -> "SamplingProfiler":
+        """Start continuous sampling (``--profile-hz`` entry point)."""
+        if hz is not None:
+            self.profiler.set_hz(hz)
+        self.profiler.start()
+        return self.profiler
+
     def _setup_metrics(self) -> None:
         registry = self.telemetry.registry
         self._m_requests = registry.counter(
@@ -771,6 +831,11 @@ class ResilientSearchService:
                 "stage_latency_ms": stage_latency,
             }
         stats["drift"] = self.drift.summary()
+        stats["memory"] = self.memory.snapshot()
+        profile = self.profiler.snapshot()
+        stats["profiler"] = {key: profile[key] for key in
+                             ("running", "hz", "samples", "windows",
+                              "self_overhead")}
         if self.ingestor is not None:
             stats["ingest"] = self.ingestor.status()
         if active.image_cluster is not None:

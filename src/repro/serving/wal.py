@@ -267,6 +267,21 @@ class DeltaLog:
         """Records not yet folded into a base (since last checkpoint)."""
         return sum(self._segment_records.values())
 
+    def disk_bytes(self) -> int:
+        """Bytes the log holds on disk (segments, manifest, bases) —
+        the WAL's entry in the memory/storage ledger."""
+        total = 0
+        try:
+            for entry in self.directory.iterdir():
+                try:
+                    if entry.is_file():
+                        total += entry.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            return total
+        return total
+
     def append(self, payload: bytes, sync: bool | None = None
                ) -> LogPosition:
         """Durably append one record; returns where it landed.
